@@ -1,0 +1,48 @@
+//===- bench/Table1.h - Table 1 pipeline registry -----------------*- C++ -*-===//
+///
+/// \file
+/// The per-protocol verification pipelines behind the Table 1 reproduction:
+/// each row runs every IS application of one protocol (building universes,
+/// discharging all conditions) and records acceptance, obligation counts
+/// and timing. Shared by bench_table1 and the experiment record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_BENCH_TABLE1_H
+#define ISQ_BENCH_TABLE1_H
+
+#include <cstddef>
+#include <string>
+
+namespace isq {
+namespace bench {
+
+/// One row of the reproduced Table 1.
+struct Table1Row {
+  std::string Name;
+  /// Number of IS applications (must match the paper's #IS column).
+  size_t NumISApplications = 0;
+  /// The paper's #IS column value, for side-by-side comparison.
+  size_t PaperNumIS = 0;
+  /// Verification obligations discharged across all applications.
+  size_t Obligations = 0;
+  /// Whether every application was accepted and the final program
+  /// satisfies the protocol's specification.
+  bool Accepted = false;
+  /// Wall-clock seconds for the full pipeline.
+  double Seconds = 0.0;
+};
+
+/// Number of protocols in the table.
+size_t numTable1Rows();
+
+/// Runs the full pipeline for row \p Index (0-based).
+Table1Row runTable1Row(size_t Index);
+
+/// Runs every row and renders the Table-1-shaped summary.
+std::string renderTable1();
+
+} // namespace bench
+} // namespace isq
+
+#endif // ISQ_BENCH_TABLE1_H

@@ -1,0 +1,46 @@
+// Broadcast consensus (Fig. 1 of "Inductive Sequentialization of
+// Asynchronous Programs", PLDI 2020), with its proof artifacts.
+//
+// Verify with:
+//   isq-verify broadcast.asl --const n=3 --eliminate Broadcast,Collect \
+//              --abstract Collect=CollectAbs
+
+const n: int;
+
+var value: map<int, int> := map i in 1 .. n : i;
+var decision: map<int, option<int>> := map i in 1 .. n : none;
+var CH: map<int, bag<int>> := map i in 1 .. n : {};
+
+action Main() {
+  for i in 1 .. n {
+    async Broadcast(i);
+    async Collect(i);
+  }
+}
+
+// Atomically send value[i] to every node.
+action Broadcast(i: int) {
+  for j in 1 .. n {
+    CH[j] := insert(CH[j], value[i]);
+  }
+}
+
+// Atomically receive n values and decide their maximum.
+action Collect(i: int) {
+  await size(CH[i]) >= n;
+  choose vs in sub_bags(CH[i], n);
+  CH[i] := diff(CH[i], vs);
+  decision[i] := some(max(vs));
+}
+
+// Fig. 1-4: the left-mover abstraction. Its gate asserts the facts that
+// hold in the sequential context — no Broadcast still pending and a full
+// channel — which makes it non-blocking and a left mover.
+action CollectAbs(i: int) {
+  assert pending(Broadcast) == 0;
+  assert size(CH[i]) >= n;
+  await size(CH[i]) >= n;
+  choose vs in sub_bags(CH[i], n);
+  CH[i] := diff(CH[i], vs);
+  decision[i] := some(max(vs));
+}

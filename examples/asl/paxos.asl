@@ -1,0 +1,168 @@
+// Single-decree Paxos (§5.2, Fig. 4 of "Inductive Sequentialization of
+// Asynchronous Programs", PLDI 2020), in ASL, with the Fig. 4(c)-style
+// abstractions whose gates assert lower-round quiescence through the
+// pending-async mirror.
+//
+// R rounds over N acceptors; round r proposes its own value r unless a
+// quorum reveals an earlier vote. Message loss and lateness are modeled
+// by nondeterministic drops (the `if (*)` of Fig. 4(b)). Safety: no two
+// rounds decide different values.
+//
+// Verify with:
+//   isq-verify paxos.asl --const R=2 --const N=2 --arg-major \
+//       --eliminate StartRound,Join,Propose,Vote,Conclude \
+//       --abstract Join=JoinAbs --abstract Propose=ProposeAbs \
+//       --abstract Vote=VoteAbs --abstract Conclude=ConcludeAbs \
+//       --weight StartRound=9 --weight Propose=5 --weight Conclude=2
+//
+// Cooperation weights must dominate the fan-out: Propose > N + Conclude
+// and StartRound > N + Propose (for N=3 use StartRound=11, Propose=6).
+// The (CO) condition rejects inconsistent weights with a concrete
+// counterexample.
+
+const R: int;
+const N: int;
+
+var coin: set<bool> := insert(insert({}, true), false);
+var lastJoined: map<int, int> := map nd in 1 .. N : 0;
+var joinedNodes: map<int, set<int>> := map r in 1 .. R : {};
+var voteValue: map<int, option<int>> := map r in 1 .. R : none;
+var voteNodes: map<int, set<int>> := map r in 1 .. R : {};
+var decision: map<int, option<int>> := map r in 1 .. R : none;
+var propv: int := 0;   // proposer scratch; reset before Propose completes
+
+action Main() {
+  for r in 1 .. R {
+    async StartRound(r);
+  }
+}
+
+action StartRound(r: int) {
+  for nd in 1 .. N {
+    async Join(r, nd);
+  }
+  async Propose(r);
+}
+
+// Acceptor nd promises round r unless it already heard a higher one; the
+// message may be dropped.
+action Join(r: int, nd: int) {
+  choose deliver in coin;
+  if deliver && lastJoined[nd] < r {
+    lastJoined[nd] := r;
+    joinedNodes[r] := insert(joinedNodes[r], nd);
+  }
+}
+
+// With a join quorum, propose the value of the highest earlier round some
+// quorum member voted in (or the round's own value); the round may fail.
+action Propose(r: int) {
+  assert !is_some(voteValue[r]);
+  choose act in coin;
+  if act {
+    choose quorum in subsets(joinedNodes[r]);
+    if 2 * size(quorum) > N {
+      propv := r;
+      for p in 1 .. r - 1 {
+        if is_some(voteValue[p]) {
+          for u in 1 .. N {
+            if contains(quorum, u) && contains(voteNodes[p], u) {
+              propv := the(voteValue[p]);
+            }
+          }
+        }
+      }
+      voteValue[r] := some(propv);
+      for nd in 1 .. N {
+        async Vote(r, nd, propv);
+      }
+      async Conclude(r, propv);
+      propv := 0;
+    }
+  }
+}
+
+// Acceptor nd accepts the proposal unless it promised a higher round.
+action Vote(r: int, nd: int, v: int) {
+  choose deliver in coin;
+  if deliver && lastJoined[nd] <= r && is_some(voteValue[r]) {
+    lastJoined[nd] := r;
+    voteNodes[r] := insert(voteNodes[r], nd);
+  }
+}
+
+// Decide v once a vote quorum materialized; may also fail.
+action Conclude(r: int, v: int) {
+  choose deliver in coin;
+  if deliver && is_some(voteValue[r]) && the(voteValue[r]) == v {
+    if 2 * size(voteNodes[r]) > N {
+      decision[r] := some(v);
+    }
+  }
+}
+
+// --- Fig. 4(c): left-mover abstractions. Gates assert that nothing at
+// lower rounds (and nothing same-round that this action races with) is
+// still pending — facts that hold along the round-by-round schedule.
+
+action JoinAbs(r: int, nd: int) {
+  assert pending_le(StartRound, r - 1) == 0;
+  assert pending_le(Propose, r - 1) == 0;
+  assert pending_le_at(Join, r - 1, nd) == 0;
+  assert pending_le_at(Vote, r - 1, nd) == 0;
+  choose deliver in coin;
+  if deliver && lastJoined[nd] < r {
+    lastJoined[nd] := r;
+    joinedNodes[r] := insert(joinedNodes[r], nd);
+  }
+}
+
+action ProposeAbs(r: int) {
+  assert pending_le(StartRound, r) == 0;
+  assert pending_le(Join, r) == 0;
+  assert !is_some(voteValue[r]);
+  choose act in coin;
+  if act {
+    choose quorum in subsets(joinedNodes[r]);
+    if 2 * size(quorum) > N {
+      propv := r;
+      for p in 1 .. r - 1 {
+        if is_some(voteValue[p]) {
+          for u in 1 .. N {
+            if contains(quorum, u) && contains(voteNodes[p], u) {
+              propv := the(voteValue[p]);
+            }
+          }
+        }
+      }
+      voteValue[r] := some(propv);
+      for nd in 1 .. N {
+        async Vote(r, nd, propv);
+      }
+      async Conclude(r, propv);
+      propv := 0;
+    }
+  }
+}
+
+action VoteAbs(r: int, nd: int, v: int) {
+  assert pending_le(StartRound, r) == 0;
+  assert pending_le(Propose, r - 1) == 0;
+  assert pending_le_at(Join, r, nd) == 0;
+  assert pending_le_at(Vote, r - 1, nd) == 0;
+  choose deliver in coin;
+  if deliver && lastJoined[nd] <= r && is_some(voteValue[r]) {
+    lastJoined[nd] := r;
+    voteNodes[r] := insert(voteNodes[r], nd);
+  }
+}
+
+action ConcludeAbs(r: int, v: int) {
+  assert pending_le(Vote, r) == pending_le(Vote, r - 1);
+  choose deliver in coin;
+  if deliver && is_some(voteValue[r]) && the(voteValue[r]) == v {
+    if 2 * size(voteNodes[r]) > N {
+      decision[r] := some(v);
+    }
+  }
+}

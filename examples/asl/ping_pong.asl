@@ -1,0 +1,75 @@
+// Ping-Pong (§5.3 of "Inductive Sequentialization of Asynchronous
+// Programs", PLDI 2020): Ping sends increasing numbers, Pong acknowledges
+// each one. Assertions check that Pong sees increasing numbers and Ping
+// sees correct acknowledgments.
+//
+// Verify with:
+//   isq-verify ping_pong.asl --const T=3 --eliminate Ping,Pong \
+//              --abstract Ping=PingAbs --abstract Pong=PongAbs --arg-major
+
+const T: int;
+
+var chPing: bag<int> := {};   // acknowledgments, Pong -> Ping
+var chPong: bag<int> := {};   // numbers, Ping -> Pong
+var done: int := 0;
+
+action Main() {
+  async Ping(1);
+  async Pong(1);
+}
+
+action Ping(k: int) {
+  if k > 1 {
+    await size(chPing) >= 1;
+    choose a in chPing;
+    chPing := erase(chPing, a);
+    assert a == k - 1;          // correct acknowledgment
+  }
+  if k <= T {
+    chPong := insert(chPong, k);
+    async Ping(k + 1);
+  } else {
+    done := done + 1;
+  }
+}
+
+action Pong(k: int) {
+  await size(chPong) >= 1;
+  choose v in chPong;
+  chPong := erase(chPong, v);
+  assert v == k;                // increasing numbers
+  chPing := insert(chPing, k);
+  if k < T {
+    async Pong(k + 1);
+  }
+}
+
+// Left-mover abstractions: gates assert message availability, which holds
+// in the alternating sequential schedule.
+action PingAbs(k: int) {
+  assert k == 1 || size(chPing) >= 1;
+  if k > 1 {
+    await size(chPing) >= 1;
+    choose a in chPing;
+    chPing := erase(chPing, a);
+    assert a == k - 1;
+  }
+  if k <= T {
+    chPong := insert(chPong, k);
+    async Ping(k + 1);
+  } else {
+    done := done + 1;
+  }
+}
+
+action PongAbs(k: int) {
+  assert size(chPong) >= 1;
+  await size(chPong) >= 1;
+  choose v in chPong;
+  chPong := erase(chPong, v);
+  assert v == k;
+  chPing := insert(chPing, k);
+  if k < T {
+    async Pong(k + 1);
+  }
+}

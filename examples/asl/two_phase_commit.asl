@@ -1,0 +1,104 @@
+// Two-phase commit with early abort (§5.3 of "Inductive Sequentialization
+// of Asynchronous Programs", PLDI 2020), in ASL.
+//
+// The coordinator broadcasts vote requests; participants vote yes or no;
+// the coordinator commits on unanimous yes, or aborts as soon as ONE
+// negative vote arrives — without waiting for the rest, whose votes stay
+// in flight forever. Participants may finalize the decision before
+// processing their own request.
+//
+// Verify with:
+//   isq-verify two_phase_commit.asl --const n=3 \
+//       --eliminate RequestVotes,Vote,Decide,Finalize \
+//       --abstract Decide=DecideAbs \
+//       --weight RequestVotes=8 --weight Decide=4
+
+const n: int;
+
+var coin: set<bool> := insert(insert({}, true), false);
+var reqCh: map<int, bag<int>> := map i in 1 .. n : {};
+var yesVotes: bag<int> := {};
+var noVotes: bag<int> := {};
+var decCh: map<int, bag<bool>> := map i in 1 .. n : {};
+var voted: map<int, option<bool>> := map i in 1 .. n : none;
+var decision: option<bool> := none;
+var finalized: map<int, option<bool>> := map i in 1 .. n : none;
+
+action Main() {
+  async RequestVotes();
+}
+
+action RequestVotes() {
+  for i in 1 .. n {
+    reqCh[i] := insert(reqCh[i], 1);
+    async Vote(i);
+  }
+  async Decide();
+}
+
+action Vote(i: int) {
+  await size(reqCh[i]) >= 1;
+  reqCh[i] := erase(reqCh[i], 1);
+  choose v in coin;
+  voted[i] := some(v);
+  if v {
+    yesVotes := insert(yesVotes, i);
+  } else {
+    noVotes := insert(noVotes, i);
+  }
+}
+
+action Decide() {
+  if size(noVotes) >= 1 {
+    // Early abort: consume one negative vote and decide immediately; the
+    // remaining votes are never read.
+    choose p in noVotes;
+    noVotes := erase(noVotes, p);
+    decision := some(false);
+    for i in 1 .. n {
+      decCh[i] := insert(decCh[i], false);
+      async Finalize(i);
+    }
+  } else {
+    await size(yesVotes) == n;
+    assert size(noVotes) == 0;
+    decision := some(true);
+    for i in 1 .. n {
+      decCh[i] := insert(decCh[i], true);
+      async Finalize(i);
+    }
+  }
+}
+
+action Finalize(i: int) {
+  await size(decCh[i]) >= 1;
+  choose d in decCh[i];
+  decCh[i] := erase(decCh[i], d);
+  finalized[i] := some(d);
+  // Agreement, checked in place: the finalized value is the decision.
+  assert is_some(decision) && the(decision) == d;
+}
+
+// The left-mover abstraction for the coordinator's decision: in the
+// sequential context all n votes have arrived, which removes both the
+// blocking and the read-write conflict with in-flight votes.
+action DecideAbs() {
+  assert size(yesVotes) + size(noVotes) == n;
+  if size(noVotes) >= 1 {
+    choose p in noVotes;
+    noVotes := erase(noVotes, p);
+    decision := some(false);
+    for i in 1 .. n {
+      decCh[i] := insert(decCh[i], false);
+      async Finalize(i);
+    }
+  } else {
+    await size(yesVotes) == n;
+    assert size(noVotes) == 0;
+    decision := some(true);
+    for i in 1 .. n {
+      decCh[i] := insert(decCh[i], true);
+      async Finalize(i);
+    }
+  }
+}

@@ -1,0 +1,153 @@
+//===- driver/VerifyDriver.cpp - End-to-end ASL verification -----------------------===//
+
+#include "driver/VerifyDriver.h"
+
+#include "explorer/Explorer.h"
+#include "is/Sequentialize.h"
+#include "protocols/ScheduleInvariant.h"
+#include "refine/Refinement.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace isq;
+using namespace isq::driver;
+
+VerifyResult driver::verifyModule(const VerifyOptions &Options) {
+  VerifyResult Result;
+  Timer Total;
+
+  auto Fail = [&](const std::string &Message) {
+    Result.Diags.push_back({Message, 0, 0});
+    Result.Summary += "error: " + Message + "\n";
+    return Result;
+  };
+
+  // 1. Compile the module.
+  std::optional<asl::CompiledModule> Compiled =
+      asl::compileModule(Options.Source, Options.Consts, Result.Diags);
+  if (!Compiled) {
+    Result.Summary = "compilation failed:\n";
+    for (const asl::Diagnostic &D : Result.Diags)
+      Result.Summary += "  " + D.str() + "\n";
+    return Result;
+  }
+  Result.CompileOk = true;
+
+  // 2. Validate the request against the module.
+  if (!Compiled->P.hasAction(Options.RewriteAction))
+    return Fail("rewrite action '" + Options.RewriteAction +
+                "' is not declared");
+  if (Options.Eliminate.empty())
+    return Fail("no eliminated actions given");
+  for (const std::string &Name : Options.Eliminate)
+    if (!Compiled->P.hasAction(Name))
+      return Fail("eliminated action '" + Name + "' is not declared");
+  for (const auto &[Target, AbsName] : Options.Abstractions) {
+    if (std::find(Options.Eliminate.begin(), Options.Eliminate.end(),
+                  Target) == Options.Eliminate.end())
+      return Fail("abstraction given for '" + Target +
+                  "', which is not eliminated");
+    if (!Compiled->P.hasAction(AbsName))
+      return Fail("abstraction action '" + AbsName + "' is not declared");
+    if (Compiled->P.action(AbsName).arity() !=
+        Compiled->P.action(Target).arity())
+      return Fail("abstraction '" + AbsName + "' has different arity than '" +
+                  Target + "'");
+  }
+
+  // 3. Derive the IS artifacts from the declared sequentialization order.
+  std::vector<Symbol> Order;
+  for (const std::string &Name : Options.Eliminate)
+    Order.push_back(Symbol::get(Name));
+  bool ArgMajor = Options.Order == VerifyOptions::RankOrder::ArgMajor;
+  protocols::RankFn Rank =
+      [Order, ArgMajor](const PendingAsync &PA)
+      -> std::optional<std::vector<int64_t>> {
+    for (size_t I = 0; I < Order.size(); ++I) {
+      if (PA.Action != Order[I])
+        continue;
+      std::vector<int64_t> R;
+      if (ArgMajor && !PA.Args.empty() &&
+          PA.Args[0].kind() == ValueKind::Int)
+        R.push_back(PA.Args[0].getInt());
+      R.push_back(static_cast<int64_t>(I));
+      for (const Value &Arg : PA.Args)
+        if (Arg.kind() == ValueKind::Int)
+          R.push_back(Arg.getInt());
+      return R;
+    }
+    return std::nullopt;
+  };
+
+  ISApplication App;
+  App.P = Compiled->P;
+  App.M = Symbol::get(Options.RewriteAction);
+  App.E = Order;
+  App.Invariant = protocols::makeScheduleInvariant(
+      Options.RewriteAction + "Inv", App.P, App.M, Rank);
+  App.Choice = protocols::chooseMinRank(Rank);
+  for (const auto &[Target, AbsName] : Options.Abstractions)
+    App.Abstractions.emplace(Symbol::get(Target),
+                             Compiled->P.action(AbsName));
+  std::map<std::string, uint64_t> Weights = Options.Weights;
+  App.WfMeasure = Measure(
+      "(Σ weighted |Ω|, Σ rank-remaining-work)",
+      [Weights, Rank](const Configuration &C) {
+        if (C.isFailure())
+          return std::vector<uint64_t>{0, 0};
+        // First component: weighted PA count — strict decrease for
+        // phases that consume more weight than they spawn. Second
+        // component: remaining schedule work — a chain re-creating its
+        // successor keeps the count but strictly advances its rank.
+        constexpr uint64_t Base = 1 << 14;
+        constexpr size_t MaxComponents = 4;
+        uint64_t Counts = 0, Work = 0;
+        for (const auto &[PA, Count] : C.pendingAsyncs().entries()) {
+          auto It = Weights.find(PA.Action.str());
+          Counts += (It != Weights.end() ? It->second : 1) * Count;
+          std::optional<std::vector<int64_t>> R = Rank(PA);
+          if (!R)
+            continue;
+          uint64_t Scalar = 0;
+          for (size_t I = 0; I < MaxComponents; ++I) {
+            int64_t Component = I < R->size() ? (*R)[I] : 0;
+            uint64_t Clamped = Component < 0
+                                   ? 0
+                                   : std::min<uint64_t>(
+                                         static_cast<uint64_t>(Component),
+                                         Base - 1);
+            Scalar = Scalar * Base + Clamped;
+          }
+          uint64_t MaxScalar = Base * Base * Base * Base;
+          Work += (MaxScalar - Scalar) * Count;
+        }
+        return std::vector<uint64_t>{Counts, Work};
+      });
+
+  // 4. Discharge the IS conditions.
+  InitialCondition Init{Compiled->InitialStore, {}};
+  ISCheckReport Report = checkIS(App, {Init});
+  Result.Report = Report;
+  Result.Accepted = Report.ok();
+  Result.Summary += Report.str();
+
+  // 5. Cross-check the conclusion on the instance.
+  if (Report.ok() && Options.CrossCheck) {
+    Program PPrime = applyIS(App);
+    ExploreResult RP =
+        explore(Compiled->P, initialConfiguration(Init.Global));
+    ExploreResult RS = explore(PPrime, initialConfiguration(Init.Global));
+    Result.Summary +=
+        "sequential reduction: " + std::to_string(RP.Stats.NumConfigurations) +
+        " configurations -> " + std::to_string(RS.Stats.NumConfigurations) +
+        "\n";
+    CheckResult Refines =
+        checkProgramRefinement(Compiled->P, PPrime, {Init});
+    Result.Summary += "P ≼ P' (empirical): " + Refines.str() + "\n";
+    Result.Accepted = Result.Accepted && Refines.ok();
+  }
+  Result.Summary +=
+      "total time: " + std::to_string(Total.elapsed()) + "s\n";
+  return Result;
+}

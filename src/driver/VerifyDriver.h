@@ -1,0 +1,85 @@
+//===- driver/VerifyDriver.h - End-to-end ASL verification ---------*- C++ -*-===//
+///
+/// \file
+/// The push-button pipeline behind the `isq-verify` tool: compile an ASL
+/// module, derive the IS artifacts from a declared sequentialization
+/// order (schedule invariant + minimum-rank choice function), attach
+/// ASL-declared abstractions, check every IS condition, and — on
+/// acceptance — summarize the sequential reduction and empirically
+/// cross-check P ≼ P'.
+///
+/// This mirrors the paper's CIVL integration (§5.1): the user supplies
+/// the program and the proof artifacts; the tool compiles the rule's
+/// conditions to discharged obligations and produces targeted error
+/// messages per condition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_DRIVER_VERIFYDRIVER_H
+#define ISQ_DRIVER_VERIFYDRIVER_H
+
+#include "is/ISCheck.h"
+#include "lang/Compile.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace isq {
+namespace driver {
+
+/// One verification request.
+struct VerifyOptions {
+  /// ASL module text.
+  std::string Source;
+  /// Bindings for the module's integer constants.
+  std::map<std::string, int64_t> Consts;
+  /// The action to rewrite (defaults to Main).
+  std::string RewriteAction = "Main";
+  /// The eliminated actions in sequentialization order. This determines
+  /// the schedule invariant and choice function.
+  std::vector<std::string> Eliminate;
+  /// How pending asyncs are ranked within the schedule:
+  ///  - ActionMajor (default): all PAs of the first eliminated action run
+  ///    before any of the second, ...; ties order by argument tuple.
+  ///    Fits phase-structured protocols (broadcast: all Broadcasts, then
+  ///    all Collects).
+  ///  - ArgMajor: PAs order by their first integer argument first, then
+  ///    by elimination position. Fits alternating protocols
+  ///    (Ping(1), Pong(1), Ping(2), ...).
+  enum class RankOrder { ActionMajor, ArgMajor };
+  RankOrder Order = RankOrder::ActionMajor;
+  /// Optional left-mover abstractions: eliminated action name → name of
+  /// an action declared in the same module (e.g. using pending()-gates).
+  std::map<std::string, std::string> Abstractions;
+  /// Optional cooperation weights per action name (default 1 each). The
+  /// measure is the lexicographic pair (weighted pending-async count,
+  /// remaining schedule work), so a task chain that re-creates its
+  /// successor (constant count) still decreases via the second component,
+  /// while fan-out phases need weights that dominate what they spawn.
+  std::map<std::string, uint64_t> Weights;
+  /// Also explore P' and cross-check refinement when the proof is
+  /// accepted.
+  bool CrossCheck = true;
+};
+
+/// The verification verdict.
+struct VerifyResult {
+  bool CompileOk = false;
+  bool Accepted = false;
+  /// Per-condition report (valid when CompileOk).
+  ISCheckReport Report;
+  /// Human-readable summary of the whole run.
+  std::string Summary;
+  /// Compiler/driver diagnostics.
+  std::vector<asl::Diagnostic> Diags;
+};
+
+/// Runs the pipeline.
+VerifyResult verifyModule(const VerifyOptions &Options);
+
+} // namespace driver
+} // namespace isq
+
+#endif // ISQ_DRIVER_VERIFYDRIVER_H

@@ -1,0 +1,83 @@
+//===- explorer/Explorer.h - Explicit-state exploration ----------*- C++ -*-===//
+///
+/// \file
+/// Breadth-first exploration of a program's configuration graph. Computes
+/// the reachable configurations, whether the failure configuration is
+/// reachable (the complement of Good(P) for the given initial store), the
+/// terminal stores (the Trans(P) image), deadlocks, and counterexample
+/// traces. This is the finite-instance substitute for the paper's SMT
+/// discharge (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_EXPLORER_EXPLORER_H
+#define ISQ_EXPLORER_EXPLORER_H
+
+#include "explorer/Trace.h"
+#include "semantics/Program.h"
+
+#include <optional>
+#include <vector>
+
+namespace isq {
+
+/// Knobs for explore().
+struct ExploreOptions {
+  /// Hard cap on distinct configurations; exploration reports truncation
+  /// when hit.
+  size_t MaxConfigurations = 2'000'000;
+  /// Stop as soon as a failure is found (cheaper counterexamples).
+  bool StopAtFirstFailure = false;
+  /// Keep parent pointers for counterexample extraction.
+  bool RecordParents = true;
+};
+
+/// Exploration statistics.
+struct ExploreStats {
+  size_t NumConfigurations = 0;
+  size_t NumTransitions = 0;
+  bool Truncated = false;
+};
+
+/// Result of explore().
+struct ExploreResult {
+  /// All distinct reachable non-failure configurations (BFS order).
+  std::vector<Configuration> Reachable;
+  /// Whether the failure configuration is reachable.
+  bool FailureReachable = false;
+  /// Distinct final stores of terminating executions (g' with Ω = ∅).
+  std::vector<Store> TerminalStores;
+  /// Reachable non-terminating configurations with no successor (every PA
+  /// blocked).
+  std::vector<Configuration> Deadlocks;
+  /// A shortest failing execution, if failures are reachable and parents
+  /// were recorded.
+  std::optional<Execution> FailureTrace;
+  ExploreStats Stats;
+
+  /// True iff the program can fail from the explored initial
+  /// configuration: ¬Good.
+  bool canFail() const { return FailureReachable; }
+};
+
+/// Explores all configurations reachable from \p Init under \p P.
+ExploreResult explore(const Program &P, const Configuration &Init,
+                      const ExploreOptions &Opts = ExploreOptions());
+
+/// Explores from multiple initial configurations, merging results.
+ExploreResult exploreAll(const Program &P,
+                         const std::vector<Configuration> &Inits,
+                         const ExploreOptions &Opts = ExploreOptions());
+
+/// Computes the pair (Good, Trans) of Definition 3.2 restricted to the
+/// initialized configuration with global store \p Init and Main arguments
+/// \p MainArgs: .first is "cannot fail", .second the set of terminal
+/// stores.
+std::pair<bool, std::vector<Store>>
+summarize(const Program &P, const Store &Init,
+          std::vector<Value> MainArgs = {},
+          const ExploreOptions &Opts = ExploreOptions());
+
+} // namespace isq
+
+#endif // ISQ_EXPLORER_EXPLORER_H

@@ -1,0 +1,111 @@
+//===- explorer/Trace.cpp - Executions and traces ---------------------------===//
+
+#include "explorer/Trace.h"
+
+#include <functional>
+
+using namespace isq;
+
+bool Execution::isValid(const Program &P) const {
+  Configuration Current = Initial;
+  for (const ExecStep &Step : Steps) {
+    if (Current.isFailure())
+      return false; // nothing executes after failure
+    if (!Current.pendingAsyncs().contains(Step.Executed))
+      return false;
+    std::vector<Configuration> Succs =
+        stepPendingAsync(P, Current, Step.Executed);
+    bool Found = false;
+    for (const Configuration &S : Succs)
+      if (S == Step.Successor) {
+        Found = true;
+        break;
+      }
+    if (!Found)
+      return false;
+    Current = Step.Successor;
+  }
+  return true;
+}
+
+std::string Execution::scheduleStr() const {
+  std::string Out;
+  for (size_t I = 0; I < Steps.size(); ++I) {
+    if (I)
+      Out += "; ";
+    Out += Steps[I].Executed.str();
+  }
+  return Out;
+}
+
+std::string Execution::str() const {
+  std::string Out = Initial.str() + "\n";
+  for (const ExecStep &Step : Steps)
+    Out += "  --[" + Step.Executed.str() + "]--> " + Step.Successor.str() +
+           "\n";
+  return Out;
+}
+
+std::vector<Execution> isq::enumerateExecutions(const Program &P,
+                                                const Configuration &Init,
+                                                size_t MaxExecutions,
+                                                size_t MaxDepth) {
+  std::vector<Execution> Result;
+  Execution Current;
+  Current.Initial = Init;
+
+  // Explicit DFS over schedules.
+  std::function<void(const Configuration &)> Go =
+      [&](const Configuration &C) {
+        if (Result.size() >= MaxExecutions)
+          return;
+        if (C.isFailure() || C.isTerminating() ||
+            Current.Steps.size() >= MaxDepth) {
+          Result.push_back(Current);
+          return;
+        }
+        bool AnyStep = false;
+        for (const auto &[PA, Count] : C.pendingAsyncs().entries()) {
+          (void)Count;
+          std::vector<Configuration> Succs = stepPendingAsync(P, C, PA);
+          for (const Configuration &S : Succs) {
+            AnyStep = true;
+            Current.Steps.push_back({PA, S});
+            Go(S);
+            Current.Steps.pop_back();
+            if (Result.size() >= MaxExecutions)
+              return;
+          }
+        }
+        // Deadlock: every PA blocked. Record as a maximal execution.
+        if (!AnyStep)
+          Result.push_back(Current);
+      };
+  Go(Init);
+  return Result;
+}
+
+std::optional<Execution> isq::sampleExecution(const Program &P,
+                                              const Configuration &Init,
+                                              Rng &R, size_t MaxDepth) {
+  Execution E;
+  E.Initial = Init;
+  Configuration Current = Init;
+  while (!Current.isFailure() && !Current.isTerminating()) {
+    if (E.Steps.size() >= MaxDepth)
+      return std::nullopt;
+    // Collect all (PA, successor) moves.
+    std::vector<std::pair<PendingAsync, Configuration>> Moves;
+    for (const auto &[PA, Count] : Current.pendingAsyncs().entries()) {
+      (void)Count;
+      for (Configuration &S : stepPendingAsync(P, Current, PA))
+        Moves.emplace_back(PA, std::move(S));
+    }
+    if (Moves.empty())
+      return std::nullopt; // deadlock: not a terminating execution
+    auto &[PA, Next] = Moves[R.below(Moves.size())];
+    E.Steps.push_back({PA, Next});
+    Current = Next;
+  }
+  return E;
+}

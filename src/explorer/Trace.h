@@ -1,0 +1,67 @@
+//===- explorer/Trace.h - Executions and traces ------------------*- C++ -*-===//
+///
+/// \file
+/// Executions π = c0 → c1 → ... of §3, recorded with the pending async
+/// scheduled at each step. Used for counterexample reporting and as the
+/// input/output representation of the execution rewriter that implements
+/// the soundness construction of Lemmas 4.2/4.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_EXPLORER_TRACE_H
+#define ISQ_EXPLORER_TRACE_H
+
+#include "semantics/Program.h"
+#include "support/Random.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isq {
+
+/// One transition of an execution: which PA was scheduled and the resulting
+/// configuration.
+struct ExecStep {
+  PendingAsync Executed;
+  Configuration Successor;
+};
+
+/// A finite execution. Steps[i].Successor follows from the previous
+/// configuration by executing Steps[i].Executed.
+struct Execution {
+  Configuration Initial;
+  std::vector<ExecStep> Steps;
+
+  const Configuration &finalConfiguration() const {
+    return Steps.empty() ? Initial : Steps.back().Successor;
+  }
+  bool isFailing() const { return finalConfiguration().isFailure(); }
+  bool isTerminating() const { return finalConfiguration().isTerminating(); }
+  size_t length() const { return Steps.size(); }
+
+  /// Checks that every step is justified by \p P's semantics.
+  bool isValid(const Program &P) const;
+
+  /// Renders the schedule, e.g. "Main; Broadcast(1); Collect(1)".
+  std::string scheduleStr() const;
+  /// Renders the full configuration sequence (verbose).
+  std::string str() const;
+};
+
+/// Enumerates maximal executions (terminating, failing, or reaching
+/// MaxDepth/deadlock) from \p Init by DFS, up to \p MaxExecutions.
+std::vector<Execution> enumerateExecutions(const Program &P,
+                                           const Configuration &Init,
+                                           size_t MaxExecutions,
+                                           size_t MaxDepth);
+
+/// Samples one maximal execution with uniformly random scheduling and
+/// branch choices. Returns std::nullopt if MaxDepth is exceeded.
+std::optional<Execution> sampleExecution(const Program &P,
+                                         const Configuration &Init, Rng &R,
+                                         size_t MaxDepth);
+
+} // namespace isq
+
+#endif // ISQ_EXPLORER_TRACE_H

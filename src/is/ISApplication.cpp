@@ -1,0 +1,46 @@
+//===- is/ISApplication.cpp - IS proof-rule instances --------------------------===//
+
+#include "is/ISApplication.h"
+
+#include <algorithm>
+
+using namespace isq;
+
+bool ISApplication::eliminates(Symbol Name) const {
+  return std::find(E.begin(), E.end(), Name) != E.end();
+}
+
+const Action &ISApplication::abstraction(Symbol Name) const {
+  assert(eliminates(Name) && "abstraction queried for non-eliminated action");
+  auto It = Abstractions.find(Name);
+  if (It != Abstractions.end())
+    return It->second;
+  return P.action(Name);
+}
+
+PaMultiset ISApplication::pasToE(const Transition &T) const {
+  PaMultiset Result;
+  for (const PendingAsync &PA : T.Created)
+    if (eliminates(PA.Action))
+      Result.insert(PA);
+  return Result;
+}
+
+ChoiceFn ISApplication::chooseInOrder(std::vector<Symbol> Order) {
+  return [Order = std::move(Order)](const Store &, const std::vector<Value> &,
+                                    const Transition &T) {
+    const PendingAsync *Best = nullptr;
+    size_t BestRank = SIZE_MAX;
+    for (const PendingAsync &PA : T.Created) {
+      auto It = std::find(Order.begin(), Order.end(), PA.Action);
+      if (It == Order.end())
+        continue;
+      size_t Rank = static_cast<size_t>(It - Order.begin());
+      if (Rank < BestRank ||
+          (Rank == BestRank && Best && PA.Args < Best->Args))
+        Best = &PA, BestRank = Rank;
+    }
+    assert(Best && "choice function called on transition without PAs to E");
+    return *Best;
+  };
+}

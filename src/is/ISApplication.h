@@ -1,0 +1,73 @@
+//===- is/ISApplication.h - IS proof-rule instances --------------*- C++ -*-===//
+///
+/// \file
+/// An instance of the Inductive Sequentialization proof rule (Fig. 3 of the
+/// paper): the given context (program P, action name M, eliminated action
+/// names E) together with the artifacts the user invents — the invariant
+/// action I, the choice function f, the abstraction function α, and the
+/// well-founded order ≫.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_IS_ISAPPLICATION_H
+#define ISQ_IS_ISAPPLICATION_H
+
+#include "is/Measure.h"
+#include "semantics/Program.h"
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace isq {
+
+/// The choice function f: maps a transition t of the invariant action with
+/// PAE(t) ≠ ∅ to the pending async to E to eliminate next. Receives the
+/// pre-store and invariant arguments for context. The returned PA must be
+/// one of t's created PAs to E (checked as a side condition).
+using ChoiceFn = std::function<PendingAsync(
+    const Store &Pre, const std::vector<Value> &Args, const Transition &T)>;
+
+/// One application of the IS rule.
+struct ISApplication {
+  /// The program under transformation.
+  Program P;
+  /// The action name to rewrite (often, but not necessarily, Main).
+  Symbol M;
+  /// The action names whose PAs are eliminated.
+  std::vector<Symbol> E;
+  /// The invariant action I (same arity as M), summarizing all prefixes of
+  /// the sequentialization.
+  Action Invariant;
+  /// The choice function f.
+  ChoiceFn Choice;
+  /// Abstractions α(A) for A ∈ E. Absent entries default to P(A) itself
+  /// (the paper's α(A) = P(A) case).
+  std::unordered_map<Symbol, Action> Abstractions;
+  /// The well-founded order ≫ for the cooperation condition.
+  Measure WfMeasure;
+  /// Optional user-supplied M'. When absent, M' is derived from I by
+  /// erasing every transition that creates PAs to E (the construction used
+  /// in the paper's condition (I2)).
+  std::optional<Action> SeqAction;
+
+  /// True if \p Name is in E.
+  bool eliminates(Symbol Name) const;
+
+  /// The abstraction α(A): the registered abstraction or P(A).
+  const Action &abstraction(Symbol Name) const;
+
+  /// The PAs to E among \p T's created PAs: PAE(t) of §3.
+  PaMultiset pasToE(const Transition &T) const;
+
+  /// A choice function selecting, among the created PAs to E, the one with
+  /// the smallest action name in \p Order, breaking ties by smallest
+  /// argument tuple. This realizes the "smallest parameter first" choice
+  /// functions of the paper's examples.
+  static ChoiceFn chooseInOrder(std::vector<Symbol> Order);
+};
+
+} // namespace isq
+
+#endif // ISQ_IS_ISAPPLICATION_H

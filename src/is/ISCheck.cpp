@@ -1,0 +1,267 @@
+//===- is/ISCheck.cpp - IS verification conditions ------------------------------===//
+
+#include "is/ISCheck.h"
+
+#include "is/Sequentialize.h"
+#include "movers/MoverCheck.h"
+#include "semantics/ActionCache.h"
+
+#include <unordered_set>
+
+using namespace isq;
+
+ISUniverse ISUniverse::build(const ISApplication &App,
+                             const std::vector<InitialCondition> &Inits,
+                             const ExploreOptions &Opts) {
+  ISUniverse U;
+  std::unordered_set<Configuration> Seen;
+  auto Absorb = [&](const Program &P) {
+    for (const InitialCondition &Init : Inits) {
+      ExploreResult R =
+          explore(P, initialConfiguration(Init.Global, Init.MainArgs), Opts);
+      for (Configuration &C : R.Reachable)
+        if (Seen.insert(C).second)
+          U.Configs.push_back(std::move(C));
+    }
+  };
+  Absorb(App.P);
+  // The partial sequentializations: P with M replaced by the invariant.
+  Absorb(App.P.withAction(App.Invariant.withName(App.M.str())));
+  U.MCalls = collectContexts(U.Configs, App.M);
+  return U;
+}
+
+namespace {
+
+std::string describeCall(const ActionContext &Ctx) {
+  std::string Out = "store=" + Ctx.Global.str() + " args=(";
+  for (size_t I = 0; I < Ctx.Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Ctx.Args[I].str();
+  }
+  return Out + ")";
+}
+
+/// Constant-time membership tests for a transition set: indexes the
+/// invariant's transitions by (global store, created multiset).
+class TransitionSet {
+public:
+  explicit TransitionSet(const std::vector<Transition> &Transitions) {
+    for (const Transition &T : Transitions)
+      Index.insert(keyOf(T.Global, T.createdMultiset()));
+  }
+
+  bool contains(const Store &Global, const PaMultiset &Created) const {
+    return Index.count(keyOf(Global, Created)) > 0;
+  }
+
+private:
+  struct Key {
+    Store Global;
+    PaMultiset Created;
+    bool operator==(const Key &O) const {
+      return Global == O.Global && Created == O.Created;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      size_t Seed = K.Global.hash();
+      hashCombine(Seed, K.Created.hash());
+      return Seed;
+    }
+  };
+  static Key keyOf(const Store &Global, const PaMultiset &Created) {
+    return Key{Global, Created};
+  }
+
+  std::unordered_set<Key, KeyHash> Index;
+};
+
+} // namespace
+
+ISCheckReport isq::checkIS(const ISApplication &App,
+                           const ISUniverse &Universe) {
+  ISCheckReport Report;
+  const Program &P = App.P;
+
+  // --- Side conditions --------------------------------------------------
+  Report.SideConditions.countObligation();
+  if (!P.hasAction(App.M))
+    Report.SideConditions.fail("M = " + App.M.str() + " not in dom(P)");
+  for (Symbol A : App.E) {
+    Report.SideConditions.countObligation();
+    if (!P.hasAction(A))
+      Report.SideConditions.fail("E member " + A.str() + " not in dom(P)");
+  }
+  Report.SideConditions.countObligation();
+  if (P.hasAction(App.M) &&
+      App.Invariant.arity() != P.action(App.M).arity())
+    Report.SideConditions.fail("invariant arity differs from M's arity");
+  for (const auto &[Name, Abs] : App.Abstractions) {
+    Report.SideConditions.countObligation();
+    if (!App.eliminates(Name))
+      Report.SideConditions.fail("abstraction for " + Name.str() +
+                                 " which is not in E");
+    else if (Abs.arity() != P.action(Name).arity())
+      Report.SideConditions.fail("abstraction arity mismatch for " +
+                                 Name.str());
+  }
+  Report.SideConditions.countObligation();
+  if (!App.WfMeasure.isValid())
+    Report.SideConditions.fail("no well-founded measure supplied");
+  Report.SideConditions.countObligation();
+  if (!App.Choice)
+    Report.SideConditions.fail("no choice function supplied");
+  if (!Report.SideConditions.ok())
+    return Report;
+
+  // --- P(A) ≼ α(A) for A ∈ E ---------------------------------------------
+  for (Symbol A : App.E) {
+    if (!App.Abstractions.count(A))
+      continue; // α(A) = P(A): refinement is reflexive
+    ContextUniverse Ctxs = collectContexts(Universe.Configs, A);
+    CheckResult R =
+        checkActionRefinement(P.action(A), App.abstraction(A), Ctxs);
+    if (!R.ok())
+      Report.AbstractionRefinement.fail("P(" + A.str() + ") ⋠ α(" +
+                                        A.str() + ")");
+    Report.AbstractionRefinement.merge(R);
+  }
+
+  // --- (I1) base case: P(M) ≼ I --------------------------------------------
+  Report.BaseCase =
+      checkActionRefinement(P.action(App.M), App.Invariant, Universe.MCalls);
+
+  // --- (I2) conclusion: (ρI, {t ∈ τI | PAE(t) = ∅}) ≼ M' --------------------
+  {
+    Action Restricted = restrictInvariant(App);
+    Action SeqM = sequentializedAction(App);
+    Report.Conclusion =
+        checkActionRefinement(Restricted, SeqM, Universe.MCalls);
+  }
+
+  // --- (I3) inductive step ---------------------------------------------------
+  for (const ActionContext &Call : Universe.MCalls) {
+    if (!App.Invariant.evalGate(Call.Global, Call.Args, Call.Omega))
+      continue; // t ∈ ρI ∘ τI only constrains gate-satisfying stores
+    // Ω after I's step: the executing M PA is consumed.
+    PendingAsync MPa(App.M, Call.Args);
+    std::vector<Transition> InvTransitions =
+        App.Invariant.transitions(Call.Global, Call.Args);
+    TransitionSet InvSet(InvTransitions);
+    TransitionCache AbsCache;
+    for (const Transition &T : InvTransitions) {
+      PaMultiset ToE = App.pasToE(T);
+      if (ToE.empty())
+        continue;
+      PendingAsync Chosen = App.Choice(Call.Global, Call.Args, T);
+      Report.SideConditions.countObligation();
+      if (!ToE.contains(Chosen)) {
+        Report.SideConditions.fail(
+            "choice function selected " + Chosen.str() +
+            " which is not a created PA to E at " + describeCall(Call));
+        continue;
+      }
+      const Action &Abs = App.abstraction(Chosen.Action);
+
+      PaMultiset OmegaAfter = Call.Omega;
+      OmegaAfter.erase(MPa);
+      for (const PendingAsync &New : T.Created)
+        OmegaAfter.insert(New);
+
+      // Gate of the abstraction must hold right after I's transition.
+      Report.InductiveStep.countObligation();
+      if (!Abs.evalGate(T.Global, Chosen.Args, OmegaAfter)) {
+        Report.InductiveStep.fail("gate of α(" + Chosen.Action.str() +
+                                  ") fails after invariant transition at " +
+                                  describeCall(Call) + " transition " +
+                                  T.str());
+        continue;
+      }
+      // Composing I's transition with the abstraction's transition must
+      // again be a transition of I.
+      PaMultiset Remaining = T.createdMultiset();
+      Remaining.erase(Chosen);
+      for (const Transition &TA : AbsCache.get(Abs, T.Global, Chosen.Args)) {
+        Report.InductiveStep.countObligation();
+        PaMultiset Composed = Remaining;
+        for (const PendingAsync &New : TA.Created)
+          Composed.insert(New);
+        if (!InvSet.contains(TA.Global, Composed))
+          Report.InductiveStep.fail(
+              "invariant not inductive: composing with α(" +
+              Chosen.Action.str() + ") leaves τI at " + describeCall(Call));
+      }
+    }
+  }
+
+  // --- (LM) left movers --------------------------------------------------------
+  for (Symbol A : App.E) {
+    CheckResult R =
+        checkLeftMover(A, App.abstraction(A), P, Universe.Configs);
+    if (!R.ok())
+      Report.LeftMovers.fail("α(" + A.str() + ") is not a left mover");
+    Report.LeftMovers.merge(R);
+  }
+
+  // --- (CO) cooperation ----------------------------------------------------------
+  TransitionCache CoCache;
+  for (Symbol A : App.E) {
+    const Action &Abs = App.abstraction(A);
+    for (const Configuration &C : Universe.Configs) {
+      if (C.isFailure())
+        continue;
+      for (const auto &[PA, Count] : C.pendingAsyncs().entries()) {
+        (void)Count;
+        if (PA.Action != A)
+          continue;
+        if (!Abs.evalGate(C.global(), PA.Args, C.pendingAsyncs()))
+          continue;
+        Report.Cooperation.countObligation();
+        bool Decreases = false;
+        PaMultiset Rest = C.pendingAsyncs();
+        Rest.erase(PA);
+        for (const Transition &TA :
+             CoCache.get(Abs, C.global(), PA.Args)) {
+          PaMultiset Omega = Rest;
+          for (const PendingAsync &New : TA.Created)
+            Omega.insert(New);
+          Configuration Next(TA.Global, std::move(Omega));
+          if (App.WfMeasure.decreases(C, Next)) {
+            Decreases = true;
+            break;
+          }
+        }
+        if (!Decreases)
+          Report.Cooperation.fail("no measure-decreasing transition of α(" +
+                                  A.str() + ") for " + PA.str() + " in " +
+                                  C.str());
+      }
+    }
+  }
+
+  return Report;
+}
+
+ISCheckReport isq::checkIS(const ISApplication &App,
+                           const std::vector<InitialCondition> &Inits,
+                           const ExploreOptions &Opts) {
+  return checkIS(App, ISUniverse::build(App, Inits, Opts));
+}
+
+std::string ISCheckReport::str() const {
+  auto Line = [](const char *Name, const CheckResult &R) {
+    return std::string("  ") + Name + ": " + R.str() + "\n";
+  };
+  std::string Out = "IS check report:\n";
+  Out += Line("side conditions", SideConditions);
+  Out += Line("P(A) ≼ α(A)   ", AbstractionRefinement);
+  Out += Line("(I1) base case ", BaseCase);
+  Out += Line("(I2) conclusion", Conclusion);
+  Out += Line("(I3) induction ", InductiveStep);
+  Out += Line("(LM) left mover", LeftMovers);
+  Out += Line("(CO) cooperation", Cooperation);
+  Out += ok() ? "  => ACCEPTED\n" : "  => REJECTED\n";
+  return Out;
+}

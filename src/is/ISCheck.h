@@ -1,0 +1,79 @@
+//===- is/ISCheck.h - IS verification conditions ------------------*- C++ -*-===//
+///
+/// \file
+/// The verification conditions of the Inductive Sequentialization rule
+/// (Fig. 3): the side conditions on f and α, the abstraction refinements
+/// P(A) ≼ α(A), the base case (I1), the conclusion (I2), the inductive
+/// step (I3), the left-mover condition (LM), and the cooperation condition
+/// (CO). Mirroring CIVL's fine-grained decomposition (§5.1), every
+/// condition is checked separately and reports targeted diagnostics.
+///
+/// Quantifier domains: conditions are universally quantified over stores;
+/// we evaluate them over the *IS universe* — the configurations reachable
+/// in P and in P[M ↦ I] (the partial sequentializations), which covers
+/// every configuration manipulated by the soundness construction of §4.1
+/// for the explored instances (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_IS_ISCHECK_H
+#define ISQ_IS_ISCHECK_H
+
+#include "is/ISApplication.h"
+#include "refine/Refinement.h"
+
+#include <string>
+
+namespace isq {
+
+/// The quantifier domain for the IS conditions.
+struct ISUniverse {
+  /// Configurations of P ∪ configurations of P[M ↦ I].
+  std::vector<Configuration> Configs;
+  /// Contexts in which an M pending async executes (inputs to I).
+  ContextUniverse MCalls;
+
+  /// Builds the universe by exploring P and P[M ↦ I] from \p Inits.
+  static ISUniverse build(const ISApplication &App,
+                          const std::vector<InitialCondition> &Inits,
+                          const ExploreOptions &Opts = ExploreOptions());
+};
+
+/// Per-condition results of one IS application.
+struct ISCheckReport {
+  CheckResult SideConditions;
+  CheckResult AbstractionRefinement; ///< P(A) ≼ α(A) for A ∈ E
+  CheckResult BaseCase;              ///< (I1)
+  CheckResult Conclusion;            ///< (I2)
+  CheckResult InductiveStep;         ///< (I3)
+  CheckResult LeftMovers;            ///< (LM)
+  CheckResult Cooperation;           ///< (CO)
+
+  bool ok() const {
+    return SideConditions.ok() && AbstractionRefinement.ok() &&
+           BaseCase.ok() && Conclusion.ok() && InductiveStep.ok() &&
+           LeftMovers.ok() && Cooperation.ok();
+  }
+
+  size_t totalObligations() const {
+    return SideConditions.obligations() +
+           AbstractionRefinement.obligations() + BaseCase.obligations() +
+           Conclusion.obligations() + InductiveStep.obligations() +
+           LeftMovers.obligations() + Cooperation.obligations();
+  }
+
+  /// Renders a per-condition summary.
+  std::string str() const;
+};
+
+/// Checks every condition of the IS rule for \p App over \p Universe.
+ISCheckReport checkIS(const ISApplication &App, const ISUniverse &Universe);
+
+/// Convenience: builds the universe from \p Inits and checks.
+ISCheckReport checkIS(const ISApplication &App,
+                      const std::vector<InitialCondition> &Inits,
+                      const ExploreOptions &Opts = ExploreOptions());
+
+} // namespace isq
+
+#endif // ISQ_IS_ISCHECK_H

@@ -1,0 +1,61 @@
+//===- is/Measure.h - Well-founded measures ----------------------*- C++ -*-===//
+///
+/// \file
+/// Well-founded orders over configurations for the cooperation condition
+/// (CO) of the IS rule. We implement the paper's "checking cooperation is
+/// easy" pattern (§4): a measure maps a configuration to a tuple of
+/// natural numbers — channel sizes and PA counts — compared
+/// lexicographically. Such measures are well-founded and monotonic under
+/// multiset union by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_IS_MEASURE_H
+#define ISQ_IS_MEASURE_H
+
+#include "semantics/Configuration.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace isq {
+
+/// A lexicographic measure over configurations. decreases(A, B) is the
+/// well-founded order A ≫ B.
+class Measure {
+public:
+  using Fn = std::function<std::vector<uint64_t>(const Configuration &)>;
+
+  Measure() = default;
+  Measure(std::string Name, Fn Eval)
+      : Name(std::move(Name)), Eval(std::move(Eval)) {}
+
+  bool isValid() const { return static_cast<bool>(Eval); }
+  const std::string &name() const { return Name; }
+
+  std::vector<uint64_t> eval(const Configuration &C) const {
+    assert(Eval && "evaluating invalid measure");
+    return Eval(C);
+  }
+
+  /// True iff eval(A) > eval(B) lexicographically (A ≫ B).
+  bool decreases(const Configuration &A, const Configuration &B) const;
+
+  /// The paper's generic pattern instantiated with the total PA count:
+  /// c ≫ c' iff c has more pending asyncs than c'. Sufficient whenever
+  /// eliminated actions do not create new PAs to E.
+  static Measure pendingAsyncCount();
+
+  /// A measure that sums the sizes of all bag/seq-valued variables in
+  /// \p ChannelVars and then counts PAs (lexicographic).
+  static Measure channelsThenPas(std::vector<Symbol> ChannelVars);
+
+private:
+  std::string Name;
+  Fn Eval;
+};
+
+} // namespace isq
+
+#endif // ISQ_IS_MEASURE_H

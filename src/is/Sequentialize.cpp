@@ -1,0 +1,47 @@
+//===- is/Sequentialize.cpp - Deriving and applying M' -------------------------===//
+
+#include "is/Sequentialize.h"
+
+using namespace isq;
+
+Action isq::restrictInvariant(const ISApplication &App) {
+  // Capture only what is needed: the invariant and the set E.
+  Action Invariant = App.Invariant;
+  std::vector<Symbol> E = App.E;
+  auto IsToE = [E](const PendingAsync &PA) {
+    for (Symbol Name : E)
+      if (PA.Action == Name)
+        return true;
+    return false;
+  };
+  Action::GateFn Gate = [Invariant](const GateContext &Ctx) {
+    return Invariant.evalGate(Ctx.Global, Ctx.Args, Ctx.Omega);
+  };
+  Action::TransitionsFn Transitions =
+      [Invariant, IsToE](const Store &G, const std::vector<Value> &Args) {
+        std::vector<Transition> Out;
+        for (Transition &T : Invariant.transitions(G, Args)) {
+          bool HasE = false;
+          for (const PendingAsync &PA : T.Created)
+            if (IsToE(PA)) {
+              HasE = true;
+              break;
+            }
+          if (!HasE)
+            Out.push_back(std::move(T));
+        }
+        return Out;
+      };
+  return Action(App.M.str(), App.Invariant.arity(), std::move(Gate),
+                std::move(Transitions), App.Invariant.gateReadsOmega());
+}
+
+Action isq::sequentializedAction(const ISApplication &App) {
+  if (App.SeqAction)
+    return App.SeqAction->withName(App.M.str());
+  return restrictInvariant(App);
+}
+
+Program isq::applyIS(const ISApplication &App) {
+  return App.P.withAction(sequentializedAction(App));
+}

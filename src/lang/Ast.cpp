@@ -1,0 +1,28 @@
+//===- lang/Ast.cpp - ASL abstract syntax --------------------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace isq;
+using namespace isq::asl;
+
+std::string TypeRef::str() const {
+  switch (K) {
+  case Kind::Invalid:
+    return "<invalid>";
+  case Kind::Int:
+    return "int";
+  case Kind::Bool:
+    return "bool";
+  case Kind::Option:
+    return "option<" + Params[0].str() + ">";
+  case Kind::Set:
+    return "set<" + Params[0].str() + ">";
+  case Kind::Bag:
+    return "bag<" + Params[0].str() + ">";
+  case Kind::Map:
+    return "map<" + Params[0].str() + ", " + Params[1].str() + ">";
+  case Kind::Seq:
+    return "seq<" + Params[0].str() + ">";
+  }
+  return "<invalid>";
+}

@@ -1,0 +1,129 @@
+//===- lang/Compile.cpp - ASL to semantic objects ----------------------------------===//
+
+#include "lang/Compile.h"
+
+#include "lang/Eval.h"
+#include "lang/TypeCheck.h"
+
+#include <memory>
+
+using namespace isq;
+using namespace isq::asl;
+
+namespace {
+
+bool exprUsesPending(const Expr &E) {
+  if (E.Kind == ExprKind::Call &&
+      (E.Name == "pending" || E.Name == "pending_le" ||
+       E.Name == "pending_le_at"))
+    return true;
+  for (const ExprPtr &C : E.Children)
+    if (exprUsesPending(*C))
+      return true;
+  return false;
+}
+
+bool stmtsUsePending(const std::vector<StmtPtr> &Stmts) {
+  for (const StmtPtr &S : Stmts) {
+    for (const ExprPtr &E : S->Exprs)
+      if (exprUsesPending(*E))
+        return true;
+    if (stmtsUsePending(S->Body) || stmtsUsePending(S->ElseBody))
+      return true;
+  }
+  return false;
+}
+
+/// True if the action's gate may observe Ω through pending().
+bool actionUsesPending(const ActionDecl &A) {
+  return stmtsUsePending(A.Body);
+}
+
+} // namespace
+
+std::optional<CompiledModule>
+asl::compileModule(const std::string &Source,
+                   const std::map<std::string, int64_t> &ConstBindings,
+                   std::vector<Diagnostic> &Diags) {
+  std::optional<Module> Parsed = parseModule(Source, Diags);
+  if (!Parsed)
+    return std::nullopt;
+  if (!typeCheck(*Parsed, Diags))
+    return std::nullopt;
+
+  // Validate the constant bindings.
+  for (const ConstDecl &C : Parsed->Consts)
+    if (!ConstBindings.count(C.Name))
+      Diags.push_back(
+          {"no binding supplied for constant '" + C.Name + "'", C.Line, 0});
+  for (const auto &[Name, V] : ConstBindings) {
+    (void)V;
+    bool Known = false;
+    for (const ConstDecl &C : Parsed->Consts)
+      Known = Known || C.Name == Name;
+    if (!Known)
+      Diags.push_back({"binding for undeclared constant '" + Name + "'",
+                       0, 0});
+  }
+  if (!Diags.empty())
+    return std::nullopt;
+
+  // The compiled actions share ownership of the module AST.
+  auto Shared = std::make_shared<Module>(std::move(*Parsed));
+
+  // Constants become pre-bound locals of every evaluation.
+  Locals ConstLocals;
+  for (const auto &[Name, V] : ConstBindings)
+    ConstLocals[Name] = Value::integer(V);
+
+  // Initial store: evaluate initializers in declaration order; later
+  // initializers may read earlier variables.
+  Store Init;
+  for (const VarDecl &V : Shared->Vars)
+    Init = Init.set(V.Name, evalExpr(*V.Init, Init, ConstLocals));
+
+  // Compile the actions.
+  CompiledModule Result;
+  Result.InitialStore = Init;
+  for (const ActionDecl &A : Shared->Actions) {
+    size_t Arity = A.Params.size();
+    const ActionDecl *Decl = &A;
+    bool UsesPending = actionUsesPending(A);
+    auto BindLocals = [Shared, Decl,
+                       ConstLocals](const std::vector<Value> &Args) {
+      Locals L = ConstLocals;
+      for (size_t I = 0; I < Decl->Params.size(); ++I)
+        L[Decl->Params[I].Name] = Args[I];
+      return L;
+    };
+    Action::GateFn Gate = [Shared, Decl, BindLocals,
+                           UsesPending](const GateContext &Ctx) {
+      Locals L = BindLocals(Ctx.Args);
+      if (UsesPending) {
+        // Expose Ω to the pending builtins: a bag of
+        // (action-symbol index, args...) tuples.
+        Value Mirror = Value::bag({});
+        for (const auto &[PA, Count] : Ctx.Omega.entries()) {
+          std::vector<Value> Tuple;
+          Tuple.push_back(Value::integer(
+              static_cast<int64_t>(PA.Action.index())));
+          for (const Value &Arg : PA.Args)
+            Tuple.push_back(Arg);
+          Mirror = Mirror.bagInsert(Value::tuple(std::move(Tuple)),
+                                    Count);
+        }
+        L["__pending"] = std::move(Mirror);
+      }
+      // The gate is false iff some path can violate an assert.
+      return !runBody(Decl->Body, Ctx.Global, L).CanFail;
+    };
+    Action::TransitionsFn Transitions =
+        [Shared, Decl, BindLocals](const Store &G,
+                                   const std::vector<Value> &Args) {
+          return runBody(Decl->Body, G, BindLocals(Args)).Transitions;
+        };
+    Result.P.addAction(Action(A.Name, Arity, std::move(Gate),
+                              std::move(Transitions), UsesPending));
+  }
+  return Result;
+}

@@ -1,0 +1,44 @@
+//===- lang/Compile.h - ASL to semantic objects -------------------*- C++ -*-===//
+///
+/// \file
+/// Compiles a type-checked ASL module into the semantic framework: one
+/// gated atomic Action per action declaration (gate = no path reaches a
+/// violated assert; transitions = all complete paths) and the initial
+/// store from the variable initializers. Integer constants (e.g. the
+/// instance size n) are bound by the host at compile time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_COMPILE_H
+#define ISQ_LANG_COMPILE_H
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "semantics/Program.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace isq {
+namespace asl {
+
+/// A compiled module: the program and its initial store.
+struct CompiledModule {
+  Program P;
+  Store InitialStore;
+};
+
+/// Parses, type-checks and compiles \p Source, binding the module's
+/// constants from \p ConstBindings. Missing or extra bindings are
+/// diagnosed. Returns std::nullopt on any error.
+std::optional<CompiledModule>
+compileModule(const std::string &Source,
+              const std::map<std::string, int64_t> &ConstBindings,
+              std::vector<Diagnostic> &Diags);
+
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_COMPILE_H

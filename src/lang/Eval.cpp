@@ -1,0 +1,419 @@
+//===- lang/Eval.cpp - ASL evaluator ---------------------------------------------===//
+
+#include "lang/Eval.h"
+
+#include "support/Symbol.h"
+
+#include <functional>
+#include <optional>
+
+using namespace isq;
+using namespace isq::asl;
+
+namespace {
+
+using TK = TypeRef::Kind;
+
+/// Builds the empty value of ASL type \p T.
+Value emptyValueOf(const TypeRef &T) {
+  switch (T.K) {
+  case TK::Int:
+    return Value::integer(0);
+  case TK::Bool:
+    return Value::boolean(false);
+  case TK::Option:
+    return Value::none();
+  case TK::Set:
+    return Value::set({});
+  case TK::Bag:
+    return Value::bag({});
+  case TK::Map:
+    return Value::map({});
+  case TK::Seq:
+    return Value::seq({});
+  case TK::Invalid:
+    break;
+  }
+  assert(false && "empty value of invalid type");
+  return Value::unit();
+}
+
+Value evalCall(const Expr &E, const Store &G, const Locals &L) {
+  auto Arg = [&](size_t I) { return evalExpr(*E.Children[I], G, L); };
+
+  if (E.Name == "pending" || E.Name == "pending_le" ||
+      E.Name == "pending_le_at") {
+    // The pending-async mirror is provided by the compiler under the
+    // reserved local "__pending": a bag of tuples (action-symbol index,
+    // args...). Absent when evaluating transition relations, where all
+    // pending counts are 0.
+    auto It = L.find("__pending");
+    if (It == L.end())
+      return Value::integer(0);
+    int64_t WantIdx = static_cast<int64_t>(
+        Symbol::get(E.Children[0]->Name).index());
+    std::optional<int64_t> MaxFirst, ExactSecond;
+    if (E.Children.size() >= 2)
+      MaxFirst = evalExpr(*E.Children[1], G, L).getInt();
+    if (E.Children.size() >= 3)
+      ExactSecond = evalExpr(*E.Children[2], G, L).getInt();
+    int64_t Total = 0;
+    for (const auto &[PaTuple, Count] : It->second.bagEntries()) {
+      if (PaTuple.elem(0).getInt() != WantIdx)
+        continue;
+      if (MaxFirst &&
+          (PaTuple.size() < 2 || PaTuple.elem(1).getInt() > *MaxFirst))
+        continue;
+      if (ExactSecond &&
+          (PaTuple.size() < 3 || PaTuple.elem(2).getInt() != *ExactSecond))
+        continue;
+      Total += Count.getInt();
+    }
+    return Value::integer(Total);
+  }
+
+  if (E.Name == "size") {
+    Value C = Arg(0);
+    switch (C.kind()) {
+    case ValueKind::Set:
+      return Value::integer(static_cast<int64_t>(C.setSize()));
+    case ValueKind::Bag:
+      return Value::integer(static_cast<int64_t>(C.bagSize()));
+    case ValueKind::Seq:
+      return Value::integer(static_cast<int64_t>(C.seqSize()));
+    case ValueKind::Map:
+      return Value::integer(static_cast<int64_t>(C.mapSize()));
+    default:
+      assert(false && "size() on non-collection");
+      return Value::integer(0);
+    }
+  }
+  if (E.Name == "contains") {
+    Value C = Arg(0), Elem = Arg(1);
+    if (C.kind() == ValueKind::Set)
+      return Value::boolean(C.setContains(Elem));
+    return Value::boolean(C.bagCount(Elem) > 0);
+  }
+  if (E.Name == "has_key")
+    return Value::boolean(Arg(0).mapContains(Arg(1)));
+  if (E.Name == "insert") {
+    Value C = Arg(0), Elem = Arg(1);
+    return C.kind() == ValueKind::Set ? C.setInsert(Elem)
+                                      : C.bagInsert(Elem);
+  }
+  if (E.Name == "erase") {
+    Value C = Arg(0), Elem = Arg(1);
+    return C.kind() == ValueKind::Set ? C.setErase(Elem)
+                                      : C.bagErase(Elem);
+  }
+  if (E.Name == "is_some")
+    return Value::boolean(Arg(0).isSome());
+  if (E.Name == "the")
+    return Arg(0).getSome();
+  if (E.Name == "max" || E.Name == "min") {
+    Value C = Arg(0);
+    std::vector<Value> Elems = C.kind() == ValueKind::Set
+                                   ? C.elems()
+                                   : C.bagFlatten();
+    assert(!Elems.empty() && "max/min of empty collection");
+    int64_t Best = Elems[0].getInt();
+    for (const Value &V : Elems)
+      Best = E.Name == "max" ? std::max(Best, V.getInt())
+                             : std::min(Best, V.getInt());
+    return Value::integer(Best);
+  }
+  if (E.Name == "front")
+    return Arg(0).seqFront();
+  if (E.Name == "push_back")
+    return Arg(0).seqPushBack(Arg(1));
+  if (E.Name == "pop_front")
+    return Arg(0).seqPopFront();
+  if (E.Name == "sub_bags") {
+    Value C = Arg(0);
+    int64_t K = Arg(1).getInt();
+    assert(K >= 0 && "sub_bags with negative size");
+    return Value::set(C.bagSubBagsOfSize(static_cast<uint64_t>(K)));
+  }
+  if (E.Name == "subsets") {
+    const Value C = Arg(0);
+    const std::vector<Value> &Elems = C.elems();
+    assert(Elems.size() <= 16 && "subsets() limited to 16 elements");
+    std::vector<Value> Out;
+    for (uint64_t Mask = 0; Mask < (uint64_t(1) << Elems.size()); ++Mask) {
+      std::vector<Value> Sub;
+      for (size_t I = 0; I < Elems.size(); ++I)
+        if (Mask & (uint64_t(1) << I))
+          Sub.push_back(Elems[I]);
+      Out.push_back(Value::set(std::move(Sub)));
+    }
+    return Value::set(std::move(Out));
+  }
+  if (E.Name == "diff") {
+    Value A = Arg(0), B = Arg(1);
+    if (A.kind() == ValueKind::Set) {
+      for (const Value &Elem : B.elems())
+        A = A.setErase(Elem);
+      return A;
+    }
+    for (const auto &[Elem, Count] : B.bagEntries())
+      A = A.bagErase(Elem, static_cast<uint64_t>(Count.getInt()));
+    return A;
+  }
+  if (E.Name == "keys")
+    return Value::set(Arg(0).mapKeys());
+  assert(false && "unknown builtin survived type checking");
+  return Value::unit();
+}
+
+} // namespace
+
+Value asl::evalExpr(const Expr &E, const Store &G, const Locals &L) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return Value::integer(E.IntValue);
+  case ExprKind::BoolLit:
+    return Value::boolean(E.IntValue != 0);
+  case ExprKind::NoneLit:
+    return Value::none();
+  case ExprKind::EmptyLit:
+    return emptyValueOf(E.Type);
+  case ExprKind::VarRef: {
+    auto It = L.find(E.Name);
+    if (It != L.end())
+      return It->second;
+    return G.get(E.Name);
+  }
+  case ExprKind::Index: {
+    Value Base = evalExpr(*E.Children[0], G, L);
+    Value Key = evalExpr(*E.Children[1], G, L);
+    return Base.mapAt(Key);
+  }
+  case ExprKind::Unary: {
+    Value V = evalExpr(*E.Children[0], G, L);
+    if (E.Op == "-")
+      return Value::integer(-V.getInt());
+    return Value::boolean(!V.getBool());
+  }
+  case ExprKind::Binary: {
+    // Short-circuit booleans first.
+    if (E.Op == "&&") {
+      if (!evalExpr(*E.Children[0], G, L).getBool())
+        return Value::boolean(false);
+      return evalExpr(*E.Children[1], G, L);
+    }
+    if (E.Op == "||") {
+      if (evalExpr(*E.Children[0], G, L).getBool())
+        return Value::boolean(true);
+      return evalExpr(*E.Children[1], G, L);
+    }
+    Value A = evalExpr(*E.Children[0], G, L);
+    Value B = evalExpr(*E.Children[1], G, L);
+    if (E.Op == "==")
+      return Value::boolean(A == B);
+    if (E.Op == "!=")
+      return Value::boolean(A != B);
+    if (E.Op == "<")
+      return Value::boolean(A.getInt() < B.getInt());
+    if (E.Op == "<=")
+      return Value::boolean(A.getInt() <= B.getInt());
+    if (E.Op == ">")
+      return Value::boolean(A.getInt() > B.getInt());
+    if (E.Op == ">=")
+      return Value::boolean(A.getInt() >= B.getInt());
+    if (E.Op == "+")
+      return Value::integer(A.getInt() + B.getInt());
+    if (E.Op == "-")
+      return Value::integer(A.getInt() - B.getInt());
+    if (E.Op == "*")
+      return Value::integer(A.getInt() * B.getInt());
+    if (E.Op == "/") {
+      assert(B.getInt() != 0 && "division by zero");
+      return Value::integer(A.getInt() / B.getInt());
+    }
+    assert(E.Op == "%" && "unknown binary operator");
+    assert(B.getInt() != 0 && "modulo by zero");
+    return Value::integer(A.getInt() % B.getInt());
+  }
+  case ExprKind::Call:
+    return evalCall(E, G, L);
+  case ExprKind::SomeExpr:
+    return Value::some(evalExpr(*E.Children[0], G, L));
+  case ExprKind::MapCompr: {
+    int64_t Lo = evalExpr(*E.Children[0], G, L).getInt();
+    int64_t Hi = evalExpr(*E.Children[1], G, L).getInt();
+    std::vector<std::pair<Value, Value>> Pairs;
+    Locals Inner = L;
+    for (int64_t I = Lo; I <= Hi; ++I) {
+      Inner[E.Name] = Value::integer(I);
+      Pairs.push_back({Value::integer(I), evalExpr(*E.Children[2], G,
+                                                   Inner)});
+    }
+    return Value::map(std::move(Pairs));
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return Value::unit();
+}
+
+namespace {
+
+/// One control path being executed.
+struct PathState {
+  Store G;
+  Locals L;
+  std::vector<PendingAsync> Created;
+};
+
+/// Path enumeration engine (continuation-passing over statement lists).
+struct Runner {
+  BodyOutcome Outcome;
+
+  /// Writes \p Rhs through the index chain of an assignment.
+  static Value updateNested(const Value &Base,
+                            const std::vector<Value> &Indices, size_t Depth,
+                            const Value &Rhs) {
+    if (Depth == Indices.size())
+      return Rhs;
+    return Base.mapSet(
+        Indices[Depth],
+        updateNested(Base.mapAt(Indices[Depth]), Indices, Depth + 1, Rhs));
+  }
+
+  void runList(const std::vector<StmtPtr> &Stmts, size_t Index,
+               PathState State) {
+    if (Index == Stmts.size()) {
+      Outcome.Transitions.emplace_back(std::move(State.G),
+                                       std::move(State.Created));
+      return;
+    }
+    const Stmt &S = *Stmts[Index];
+    switch (S.Kind) {
+    case StmtKind::Skip:
+      runList(Stmts, Index + 1, std::move(State));
+      return;
+    case StmtKind::Assert:
+      if (!evalExpr(*S.Exprs[0], State.G, State.L).getBool()) {
+        Outcome.CanFail = true;
+        return; // the path fails; no transition
+      }
+      runList(Stmts, Index + 1, std::move(State));
+      return;
+    case StmtKind::Await:
+      if (!evalExpr(*S.Exprs[0], State.G, State.L).getBool())
+        return; // the path blocks; no transition, no failure
+      runList(Stmts, Index + 1, std::move(State));
+      return;
+    case StmtKind::Assign: {
+      std::vector<Value> Indices;
+      for (size_t I = 0; I + 1 < S.Exprs.size(); ++I)
+        Indices.push_back(evalExpr(*S.Exprs[I], State.G, State.L));
+      Value Rhs = evalExpr(*S.Exprs.back(), State.G, State.L);
+      Value NewValue =
+          Indices.empty()
+              ? Rhs
+              : updateNested(State.G.get(S.Name), Indices, 0, Rhs);
+      State.G = State.G.set(S.Name, std::move(NewValue));
+      runList(Stmts, Index + 1, std::move(State));
+      return;
+    }
+    case StmtKind::Async: {
+      std::vector<Value> Args;
+      for (const ExprPtr &E : S.Exprs)
+        Args.push_back(evalExpr(*E, State.G, State.L));
+      State.Created.emplace_back(S.Name, std::move(Args));
+      runList(Stmts, Index + 1, std::move(State));
+      return;
+    }
+    case StmtKind::If: {
+      bool Cond = evalExpr(*S.Exprs[0], State.G, State.L).getBool();
+      const std::vector<StmtPtr> &Branch = Cond ? S.Body : S.ElseBody;
+      // Run the branch, then continue with the remaining statements.
+      runNested(Branch, std::move(State), Stmts, Index + 1);
+      return;
+    }
+    case StmtKind::For: {
+      int64_t Lo = evalExpr(*S.Exprs[0], State.G, State.L).getInt();
+      int64_t Hi = evalExpr(*S.Exprs[1], State.G, State.L).getInt();
+      runForIteration(S, Lo, Hi, std::move(State), Stmts, Index + 1);
+      return;
+    }
+    case StmtKind::Choose: {
+      Value C = evalExpr(*S.Exprs[0], State.G, State.L);
+      std::vector<Value> Elems;
+      switch (C.kind()) {
+      case ValueKind::Set:
+      case ValueKind::Seq:
+        Elems = C.elems();
+        break;
+      case ValueKind::Bag:
+        for (const auto &[Elem, Count] : C.bagEntries()) {
+          (void)Count;
+          Elems.push_back(Elem);
+        }
+        break;
+      default:
+        assert(false && "choose over non-collection");
+      }
+      // An empty collection blocks the path (no choice possible).
+      for (const Value &Elem : Elems) {
+        PathState Branch = State;
+        Branch.L[S.Name] = Elem;
+        runList(Stmts, Index + 1, std::move(Branch));
+      }
+      return;
+    }
+    }
+  }
+
+private:
+  /// Runs \p Inner to completion, then resumes (\p Outer, \p OuterIndex).
+  void runNested(const std::vector<StmtPtr> &Inner, PathState State,
+                 const std::vector<StmtPtr> &Outer, size_t OuterIndex) {
+    // Collect the inner block's endpoints by recursing with a sub-runner,
+    // then continue each endpoint in the outer list. Locals flowing out of
+    // the block (choose bindings) are intentionally block-scoped: restore
+    // the outer locals.
+    Runner Sub;
+    Locals OuterLocals = State.L;
+    Sub.runList(Inner, 0, std::move(State));
+    Outcome.CanFail = Outcome.CanFail || Sub.Outcome.CanFail;
+    for (Transition &T : Sub.Outcome.Transitions) {
+      PathState Resumed;
+      Resumed.G = std::move(T.Global);
+      Resumed.L = OuterLocals;
+      Resumed.Created = std::move(T.Created);
+      runList(Outer, OuterIndex, std::move(Resumed));
+    }
+  }
+
+  void runForIteration(const Stmt &S, int64_t I, int64_t Hi,
+                       PathState State, const std::vector<StmtPtr> &Outer,
+                       size_t OuterIndex) {
+    if (I > Hi) {
+      runList(Outer, OuterIndex, std::move(State));
+      return;
+    }
+    // Bind the loop variable and run the body, then iterate.
+    Runner Sub;
+    Locals SavedLocals = State.L;
+    State.L[S.Name] = Value::integer(I);
+    Sub.runList(S.Body, 0, std::move(State));
+    Outcome.CanFail = Outcome.CanFail || Sub.Outcome.CanFail;
+    for (Transition &T : Sub.Outcome.Transitions) {
+      PathState Next;
+      Next.G = std::move(T.Global);
+      Next.L = SavedLocals;
+      Next.Created = std::move(T.Created);
+      runForIteration(S, I + 1, Hi, std::move(Next), Outer, OuterIndex);
+    }
+  }
+};
+
+} // namespace
+
+BodyOutcome asl::runBody(const std::vector<StmtPtr> &Body, const Store &G,
+                         const Locals &L) {
+  Runner R;
+  R.runList(Body, 0, PathState{G, L, {}});
+  return std::move(R.Outcome);
+}

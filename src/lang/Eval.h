@@ -1,0 +1,51 @@
+//===- lang/Eval.h - ASL evaluator --------------------------------*- C++ -*-===//
+///
+/// \file
+/// Concrete evaluation of ASL expressions and action bodies over the
+/// semantic framework's values and stores. Running a body enumerates all
+/// control paths (choose/if branching, await blocking) and yields
+///
+///  - CanFail: some path reaches a violated assert — the gate ρ of the
+///    compiled action is the negation;
+///  - Transitions: the (store, created PAs) endpoint of every complete
+///    path — the transition relation τ.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_EVAL_H
+#define ISQ_LANG_EVAL_H
+
+#include "lang/Ast.h"
+#include "semantics/Action.h"
+#include "semantics/Store.h"
+
+#include <map>
+#include <string>
+
+namespace isq {
+namespace asl {
+
+/// Local bindings: parameters, constants, loop and choose variables.
+using Locals = std::map<std::string, Value>;
+
+/// Evaluates \p E under global store \p G and \p L. Expression evaluation
+/// is total for type-correct programs except for partial builtins
+/// (the(none), front([]), max({}), missing map keys), which assert.
+Value evalExpr(const Expr &E, const Store &G, const Locals &L);
+
+/// The result of running an action body from one (store, locals) point.
+struct BodyOutcome {
+  /// Some path violated an assert: the action's gate is false here.
+  bool CanFail = false;
+  /// Endpoints of all complete paths.
+  std::vector<Transition> Transitions;
+};
+
+/// Runs \p Body (an action's statement list) from (\p G, \p L).
+BodyOutcome runBody(const std::vector<StmtPtr> &Body, const Store &G,
+                    const Locals &L);
+
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_EVAL_H

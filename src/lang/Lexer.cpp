@@ -1,0 +1,297 @@
+//===- lang/Lexer.cpp - ASL lexer --------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace isq;
+using namespace isq::asl;
+
+const char *asl::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwAction:
+    return "'action'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwAsync:
+    return "'async'";
+  case TokenKind::KwAssert:
+    return "'assert'";
+  case TokenKind::KwAwait:
+    return "'await'";
+  case TokenKind::KwChoose:
+    return "'choose'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwNone:
+    return "'none'";
+  case TokenKind::KwSome:
+    return "'some'";
+  case TokenKind::KwMap:
+    return "'map'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwOption:
+    return "'option'";
+  case TokenKind::KwSet:
+    return "'set'";
+  case TokenKind::KwBag:
+    return "'bag'";
+  case TokenKind::KwSeq:
+    return "'seq'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::DotDot:
+    return "'..'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::BangEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Eof:
+    return "end of input";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind> &keywords() {
+  static const std::unordered_map<std::string, TokenKind> Map = {
+      {"const", TokenKind::KwConst},   {"var", TokenKind::KwVar},
+      {"action", TokenKind::KwAction}, {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},     {"for", TokenKind::KwFor},
+      {"in", TokenKind::KwIn},         {"async", TokenKind::KwAsync},
+      {"assert", TokenKind::KwAssert}, {"await", TokenKind::KwAwait},
+      {"choose", TokenKind::KwChoose}, {"skip", TokenKind::KwSkip},
+      {"true", TokenKind::KwTrue},     {"false", TokenKind::KwFalse},
+      {"none", TokenKind::KwNone},     {"some", TokenKind::KwSome},
+      {"map", TokenKind::KwMap},       {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},     {"option", TokenKind::KwOption},
+      {"set", TokenKind::KwSet},       {"bag", TokenKind::KwBag},
+      {"seq", TokenKind::KwSeq},
+  };
+  return Map;
+}
+
+} // namespace
+
+std::vector<Token> asl::lex(const std::string &Source,
+                            std::vector<Diagnostic> &Diags) {
+  std::vector<Token> Tokens;
+  size_t I = 0;
+  unsigned Line = 1, Column = 1;
+
+  auto Advance = [&]() {
+    if (I < Source.size() && Source[I] == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    ++I;
+  };
+  auto Peek = [&](size_t Ahead = 0) -> char {
+    return I + Ahead < Source.size() ? Source[I + Ahead] : '\0';
+  };
+  auto Emit = [&](TokenKind Kind, std::string Text, unsigned L, unsigned C) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Line = L;
+    T.Column = C;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < Source.size()) {
+    char Ch = Peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(Ch))) {
+      Advance();
+      continue;
+    }
+    // Line comments.
+    if (Ch == '/' && Peek(1) == '/') {
+      while (I < Source.size() && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    unsigned StartLine = Line, StartColumn = Column;
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_') {
+      std::string Text;
+      while (I < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Peek())) ||
+              Peek() == '_')) {
+        Text += Peek();
+        Advance();
+      }
+      auto It = keywords().find(Text);
+      Emit(It != keywords().end() ? It->second : TokenKind::Identifier,
+           Text, StartLine, StartColumn);
+      continue;
+    }
+    // Integer literals.
+    if (std::isdigit(static_cast<unsigned char>(Ch))) {
+      std::string Text;
+      while (I < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Text += Peek();
+        Advance();
+      }
+      Token T;
+      T.Kind = TokenKind::IntLiteral;
+      T.Text = Text;
+      T.IntValue = std::stoll(Text);
+      T.Line = StartLine;
+      T.Column = StartColumn;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    // Operators and punctuation.
+    auto Two = [&](char A, char B, TokenKind Kind) {
+      if (Ch == A && Peek(1) == B) {
+        Advance();
+        Advance();
+        Emit(Kind, std::string{A, B}, StartLine, StartColumn);
+        return true;
+      }
+      return false;
+    };
+    if (Two(':', '=', TokenKind::Assign) ||
+        Two('.', '.', TokenKind::DotDot) ||
+        Two('=', '=', TokenKind::EqEq) ||
+        Two('!', '=', TokenKind::BangEq) ||
+        Two('<', '=', TokenKind::LessEq) ||
+        Two('>', '=', TokenKind::GreaterEq) ||
+        Two('&', '&', TokenKind::AmpAmp) ||
+        Two('|', '|', TokenKind::PipePipe))
+      continue;
+
+    TokenKind Kind;
+    switch (Ch) {
+    case '(':
+      Kind = TokenKind::LParen;
+      break;
+    case ')':
+      Kind = TokenKind::RParen;
+      break;
+    case '{':
+      Kind = TokenKind::LBrace;
+      break;
+    case '}':
+      Kind = TokenKind::RBrace;
+      break;
+    case '[':
+      Kind = TokenKind::LBracket;
+      break;
+    case ']':
+      Kind = TokenKind::RBracket;
+      break;
+    case ',':
+      Kind = TokenKind::Comma;
+      break;
+    case ';':
+      Kind = TokenKind::Semicolon;
+      break;
+    case ':':
+      Kind = TokenKind::Colon;
+      break;
+    case '+':
+      Kind = TokenKind::Plus;
+      break;
+    case '-':
+      Kind = TokenKind::Minus;
+      break;
+    case '*':
+      Kind = TokenKind::Star;
+      break;
+    case '/':
+      Kind = TokenKind::Slash;
+      break;
+    case '%':
+      Kind = TokenKind::Percent;
+      break;
+    case '<':
+      Kind = TokenKind::Less;
+      break;
+    case '>':
+      Kind = TokenKind::Greater;
+      break;
+    case '!':
+      Kind = TokenKind::Bang;
+      break;
+    default:
+      Diags.push_back({std::string("unexpected character '") + Ch + "'",
+                       StartLine, StartColumn});
+      Advance();
+      continue;
+    }
+    Advance();
+    Emit(Kind, std::string(1, Ch), StartLine, StartColumn);
+  }
+  Emit(TokenKind::Eof, "", Line, Column);
+  return Tokens;
+}

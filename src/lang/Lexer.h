@@ -1,0 +1,41 @@
+//===- lang/Lexer.h - ASL lexer -----------------------------------*- C++ -*-===//
+///
+/// \file
+/// Hand-written lexer for ASL. Supports `//` line comments, decimal
+/// integer literals, and the keyword/operator set of Token.h. Errors are
+/// reported through a diagnostic list (no exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_LEXER_H
+#define ISQ_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace isq {
+namespace asl {
+
+/// A source-located diagnostic message.
+struct Diagnostic {
+  std::string Message;
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  std::string str() const {
+    return "line " + std::to_string(Line) + ":" + std::to_string(Column) +
+           ": " + Message;
+  }
+};
+
+/// Tokenizes \p Source completely. On errors, diagnostics are appended to
+/// \p Diags and lexing continues past the offending character.
+std::vector<Token> lex(const std::string &Source,
+                       std::vector<Diagnostic> &Diags);
+
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_LEXER_H

@@ -1,0 +1,28 @@
+//===- lang/Parser.h - ASL parser ---------------------------------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser for ASL with operator-precedence expression
+/// parsing. Produces a Module or diagnostics; never throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_PARSER_H
+#define ISQ_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+
+#include <optional>
+
+namespace isq {
+namespace asl {
+
+/// Parses \p Source into a module. Returns std::nullopt (with diagnostics
+/// in \p Diags) on any lexical or syntactic error.
+std::optional<Module> parseModule(const std::string &Source,
+                                  std::vector<Diagnostic> &Diags);
+
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_PARSER_H

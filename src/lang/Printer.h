@@ -1,0 +1,34 @@
+//===- lang/Printer.h - ASL pretty-printer ------------------------*- C++ -*-===//
+///
+/// \file
+/// Renders ASL abstract syntax back to concrete syntax. The output
+/// round-trips: parsing the printed text yields a module that prints
+/// identically (tested), which makes the printer usable for program
+/// transformations that rewrite the AST and emit ASL again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_PRINTER_H
+#define ISQ_LANG_PRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace isq {
+namespace asl {
+
+/// Renders a whole module.
+std::string printModule(const Module &M);
+
+/// Renders one expression (minimal parentheses, per operator precedence).
+std::string printExpr(const Expr &E);
+
+/// Renders one statement at the given indentation depth (two spaces per
+/// level), including the trailing newline.
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_PRINTER_H

@@ -1,0 +1,93 @@
+//===- lang/Token.h - ASL tokens ----------------------------------*- C++ -*-===//
+///
+/// \file
+/// Token definitions for ASL, the atomic-action specification language —
+/// this project's textual frontend for defining programs of gated atomic
+/// actions (the analogue of CIVL's input language for the IS rule).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_TOKEN_H
+#define ISQ_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace isq {
+namespace asl {
+
+enum class TokenKind : uint8_t {
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwConst,
+  KwVar,
+  KwAction,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwIn,
+  KwAsync,
+  KwAssert,
+  KwAwait,
+  KwChoose,
+  KwSkip,
+  KwTrue,
+  KwFalse,
+  KwNone,
+  KwSome,
+  KwMap,
+  KwInt,
+  KwBool,
+  KwOption,
+  KwSet,
+  KwBag,
+  KwSeq,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Assign,    // :=
+  DotDot,    // ..
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  BangEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Eof,
+};
+
+/// Printable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+/// A lexed token with its source location (1-based line/column).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_TOKEN_H

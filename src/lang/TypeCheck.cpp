@@ -1,0 +1,531 @@
+//===- lang/TypeCheck.cpp - ASL type checker -------------------------------------===//
+
+#include "lang/TypeCheck.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace isq;
+using namespace isq::asl;
+
+namespace {
+
+using TK = TypeRef::Kind;
+
+class Checker {
+public:
+  Checker(Module &M, std::vector<Diagnostic> &Diags) : M(M), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void error(const Expr &At, const std::string &Message) {
+    Diags.push_back({Message, At.Line, At.Column});
+  }
+  void error(const Stmt &At, const std::string &Message) {
+    Diags.push_back({Message, At.Line, At.Column});
+  }
+  void error(unsigned Line, const std::string &Message) {
+    Diags.push_back({Message, Line, 0});
+  }
+
+  /// Infers the type of \p E (optionally against an expected type, which
+  /// resolves empty literals). Returns an invalid type on error.
+  TypeRef infer(Expr &E, const TypeRef *Expected = nullptr);
+  /// Checks \p E against \p Expected.
+  void check(Expr &E, const TypeRef &Expected);
+  void checkStmts(std::vector<StmtPtr> &Stmts, size_t Begin,
+                  std::map<std::string, TypeRef> &Locals);
+  void checkStmt(Stmt &S, std::map<std::string, TypeRef> &Locals,
+                 std::vector<StmtPtr> &Siblings, size_t MyIndex);
+
+  TypeRef inferCall(Expr &E, const TypeRef *Expected);
+
+  Module &M;
+  std::vector<Diagnostic> &Diags;
+  std::map<std::string, TypeRef> Globals;
+  std::set<std::string> Consts;
+  /// Locals of the action currently being checked (flow-scoped).
+  std::map<std::string, TypeRef> *CurrentLocals = nullptr;
+};
+
+TypeRef Checker::inferCall(Expr &E, const TypeRef *Expected) {
+  auto Arg = [&](size_t I) -> Expr & { return *E.Children[I]; };
+  auto Arity = [&](size_t N) {
+    if (E.Children.size() == N)
+      return true;
+    error(E, "builtin '" + E.Name + "' expects " + std::to_string(N) +
+                 " argument(s), got " + std::to_string(E.Children.size()));
+    return false;
+  };
+
+  if (E.Name == "pending" || E.Name == "pending_le" ||
+      E.Name == "pending_le_at") {
+    // The CIVL pendingAsyncs mirror (Fig. 4(b)):
+    //   pending(A)            — number of pending asyncs to A;
+    //   pending_le(A, k)      — those whose first argument is ≤ k;
+    //   pending_le_at(A, k, x)— additionally second argument == x.
+    // The round-indexed forms express the Fig. 4(c) abstraction gates
+    // ("{StartRound(r') ∈ pendingAsyncs | r' ≤ r} = ∅").
+    size_t Expected =
+        E.Name == "pending" ? 1 : E.Name == "pending_le" ? 2 : 3;
+    if (!Arity(Expected))
+      return TypeRef::invalid();
+    Expr &ArgE = Arg(0);
+    if (ArgE.Kind != ExprKind::VarRef || !M.findAction(ArgE.Name))
+      error(E, E.Name + "() expects an action name");
+    ArgE.Type = TypeRef::intTy(); // marker; not a real variable reference
+    for (size_t I = 1; I < Expected; ++I)
+      check(Arg(I), TypeRef::intTy());
+    return TypeRef::intTy();
+  }
+  if (E.Name == "size") {
+    if (!Arity(1))
+      return TypeRef::invalid();
+    TypeRef T = infer(Arg(0));
+    if (T.isValid() && T.K != TK::Set && T.K != TK::Bag &&
+        T.K != TK::Seq && T.K != TK::Map)
+      error(E, "size() requires a collection, got " + T.str());
+    return TypeRef::intTy();
+  }
+  if (E.Name == "contains") {
+    if (!Arity(2))
+      return TypeRef::invalid();
+    TypeRef C = infer(Arg(0));
+    if (C.isValid() && C.K != TK::Set && C.K != TK::Bag) {
+      error(E, "contains() requires a set or bag, got " + C.str());
+      return TypeRef::boolTy();
+    }
+    if (C.isValid())
+      check(Arg(1), C.Params[0]);
+    return TypeRef::boolTy();
+  }
+  if (E.Name == "has_key") {
+    if (!Arity(2))
+      return TypeRef::invalid();
+    TypeRef C = infer(Arg(0));
+    if (C.isValid() && C.K != TK::Map) {
+      error(E, "has_key() requires a map, got " + C.str());
+      return TypeRef::boolTy();
+    }
+    if (C.isValid())
+      check(Arg(1), C.Params[0]);
+    return TypeRef::boolTy();
+  }
+  if (E.Name == "insert" || E.Name == "erase") {
+    if (!Arity(2))
+      return TypeRef::invalid();
+    // These return their collection argument's type: propagate the
+    // expected type inward so empty literals resolve.
+    TypeRef C = infer(Arg(0), Expected);
+    if (C.isValid() && C.K != TK::Set && C.K != TK::Bag) {
+      error(E, E.Name + "() requires a set or bag, got " + C.str());
+      return C;
+    }
+    if (C.isValid())
+      check(Arg(1), C.Params[0]);
+    return C;
+  }
+  if (E.Name == "is_some") {
+    if (!Arity(1))
+      return TypeRef::invalid();
+    TypeRef T = infer(Arg(0));
+    if (T.isValid() && T.K != TK::Option)
+      error(E, "is_some() requires an option, got " + T.str());
+    return TypeRef::boolTy();
+  }
+  if (E.Name == "the") {
+    if (!Arity(1))
+      return TypeRef::invalid();
+    TypeRef T = infer(Arg(0));
+    if (!T.isValid())
+      return TypeRef::invalid();
+    if (T.K != TK::Option) {
+      error(E, "the() requires an option, got " + T.str());
+      return TypeRef::invalid();
+    }
+    return T.Params[0];
+  }
+  if (E.Name == "max" || E.Name == "min") {
+    if (!Arity(1))
+      return TypeRef::invalid();
+    TypeRef T = infer(Arg(0));
+    if (T.isValid() &&
+        !((T.K == TK::Set || T.K == TK::Bag) &&
+          T.Params[0] == TypeRef::intTy()))
+      error(E, E.Name + "() requires set<int> or bag<int>, got " + T.str());
+    return TypeRef::intTy();
+  }
+  if (E.Name == "front") {
+    if (!Arity(1))
+      return TypeRef::invalid();
+    TypeRef T = infer(Arg(0));
+    if (!T.isValid())
+      return TypeRef::invalid();
+    if (T.K != TK::Seq) {
+      error(E, "front() requires a seq, got " + T.str());
+      return TypeRef::invalid();
+    }
+    return T.Params[0];
+  }
+  if (E.Name == "push_back") {
+    if (!Arity(2))
+      return TypeRef::invalid();
+    TypeRef T = infer(Arg(0), Expected);
+    if (T.isValid() && T.K != TK::Seq) {
+      error(E, "push_back() requires a seq, got " + T.str());
+      return T;
+    }
+    if (T.isValid())
+      check(Arg(1), T.Params[0]);
+    return T;
+  }
+  if (E.Name == "pop_front") {
+    if (!Arity(1))
+      return TypeRef::invalid();
+    TypeRef T = infer(Arg(0), Expected);
+    if (T.isValid() && T.K != TK::Seq)
+      error(E, "pop_front() requires a seq, got " + T.str());
+    return T;
+  }
+  if (E.Name == "sub_bags") {
+    if (!Arity(2))
+      return TypeRef::invalid();
+    TypeRef T = infer(Arg(0));
+    check(Arg(1), TypeRef::intTy());
+    if (!T.isValid())
+      return TypeRef::invalid();
+    if (T.K != TK::Bag) {
+      error(E, "sub_bags() requires a bag, got " + T.str());
+      return TypeRef::invalid();
+    }
+    return TypeRef::setTy(T);
+  }
+  if (E.Name == "subsets") {
+    if (!Arity(1))
+      return TypeRef::invalid();
+    TypeRef T = infer(Arg(0));
+    if (!T.isValid())
+      return TypeRef::invalid();
+    if (T.K != TK::Set) {
+      error(E, "subsets() requires a set, got " + T.str());
+      return TypeRef::invalid();
+    }
+    return TypeRef::setTy(T);
+  }
+  if (E.Name == "diff") {
+    if (!Arity(2))
+      return TypeRef::invalid();
+    TypeRef A = infer(Arg(0), Expected);
+    if (A.isValid() && A.K != TK::Set && A.K != TK::Bag) {
+      error(E, "diff() requires sets or bags, got " + A.str());
+      return A;
+    }
+    if (A.isValid())
+      check(Arg(1), A);
+    return A;
+  }
+  if (E.Name == "keys") {
+    if (!Arity(1))
+      return TypeRef::invalid();
+    TypeRef T = infer(Arg(0));
+    if (!T.isValid())
+      return TypeRef::invalid();
+    if (T.K != TK::Map) {
+      error(E, "keys() requires a map, got " + T.str());
+      return TypeRef::invalid();
+    }
+    return TypeRef::setTy(T.Params[0]);
+  }
+  error(E, "unknown builtin '" + E.Name + "'");
+  return TypeRef::invalid();
+}
+
+TypeRef Checker::infer(Expr &E, const TypeRef *Expected) {
+  TypeRef Result = TypeRef::invalid();
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    Result = TypeRef::intTy();
+    break;
+  case ExprKind::BoolLit:
+    Result = TypeRef::boolTy();
+    break;
+  case ExprKind::NoneLit:
+    if (Expected && Expected->K == TK::Option)
+      Result = *Expected;
+    else if (Expected)
+      error(E, "'none' used where " + Expected->str() + " is expected");
+    else
+      error(E, "cannot infer the type of 'none' in this context");
+    break;
+  case ExprKind::EmptyLit:
+    if (Expected && (Expected->K == TK::Set || Expected->K == TK::Bag ||
+                     Expected->K == TK::Map || Expected->K == TK::Seq))
+      Result = *Expected;
+    else
+      error(E, "cannot infer the type of an empty collection literal "
+               "in this context");
+    break;
+  case ExprKind::VarRef: {
+    if (CurrentLocals) {
+      auto It = CurrentLocals->find(E.Name);
+      if (It != CurrentLocals->end()) {
+        Result = It->second;
+        break;
+      }
+    }
+    if (Consts.count(E.Name)) {
+      Result = TypeRef::intTy();
+      break;
+    }
+    auto It = Globals.find(E.Name);
+    if (It != Globals.end()) {
+      Result = It->second;
+      break;
+    }
+    error(E, "unknown variable '" + E.Name + "'");
+    break;
+  }
+  case ExprKind::Index: {
+    TypeRef Base = infer(*E.Children[0]);
+    if (!Base.isValid())
+      break;
+    if (Base.K != TK::Map) {
+      error(E, "indexing requires a map, got " + Base.str());
+      break;
+    }
+    check(*E.Children[1], Base.Params[0]);
+    Result = Base.Params[1];
+    break;
+  }
+  case ExprKind::Unary: {
+    if (E.Op == "-") {
+      check(*E.Children[0], TypeRef::intTy());
+      Result = TypeRef::intTy();
+    } else {
+      check(*E.Children[0], TypeRef::boolTy());
+      Result = TypeRef::boolTy();
+    }
+    break;
+  }
+  case ExprKind::Binary: {
+    if (E.Op == "+" || E.Op == "-" || E.Op == "*" || E.Op == "/" ||
+        E.Op == "%") {
+      check(*E.Children[0], TypeRef::intTy());
+      check(*E.Children[1], TypeRef::intTy());
+      Result = TypeRef::intTy();
+    } else if (E.Op == "<" || E.Op == "<=" || E.Op == ">" ||
+               E.Op == ">=") {
+      check(*E.Children[0], TypeRef::intTy());
+      check(*E.Children[1], TypeRef::intTy());
+      Result = TypeRef::boolTy();
+    } else if (E.Op == "&&" || E.Op == "||") {
+      check(*E.Children[0], TypeRef::boolTy());
+      check(*E.Children[1], TypeRef::boolTy());
+      Result = TypeRef::boolTy();
+    } else { // == and !=
+      TypeRef L = infer(*E.Children[0]);
+      if (L.isValid())
+        check(*E.Children[1], L);
+      else
+        infer(*E.Children[1]);
+      Result = TypeRef::boolTy();
+    }
+    break;
+  }
+  case ExprKind::Call:
+    Result = inferCall(E, Expected);
+    break;
+  case ExprKind::SomeExpr: {
+    if (Expected && Expected->K == TK::Option) {
+      check(*E.Children[0], Expected->Params[0]);
+      Result = *Expected;
+    } else {
+      TypeRef Inner = infer(*E.Children[0]);
+      if (Inner.isValid())
+        Result = TypeRef::optionTy(Inner);
+    }
+    break;
+  }
+  case ExprKind::MapCompr: {
+    check(*E.Children[0], TypeRef::intTy());
+    check(*E.Children[1], TypeRef::intTy());
+    assert(CurrentLocals && "comprehension outside checking context");
+    auto Saved = CurrentLocals->find(E.Name);
+    bool HadBinding = Saved != CurrentLocals->end();
+    TypeRef Old = HadBinding ? Saved->second : TypeRef::invalid();
+    (*CurrentLocals)[E.Name] = TypeRef::intTy();
+    TypeRef BodyTy;
+    if (Expected && Expected->K == TK::Map &&
+        Expected->Params[0] == TypeRef::intTy()) {
+      check(*E.Children[2], Expected->Params[1]);
+      BodyTy = Expected->Params[1];
+    } else {
+      BodyTy = infer(*E.Children[2]);
+    }
+    if (HadBinding)
+      (*CurrentLocals)[E.Name] = Old;
+    else
+      CurrentLocals->erase(E.Name);
+    if (BodyTy.isValid())
+      Result = TypeRef::mapTy(TypeRef::intTy(), BodyTy);
+    break;
+  }
+  }
+  E.Type = Result;
+  return Result;
+}
+
+void Checker::check(Expr &E, const TypeRef &Expected) {
+  TypeRef Actual = infer(E, &Expected);
+  if (Actual.isValid() && Actual != Expected)
+    error(E, "expected " + Expected.str() + ", got " + Actual.str());
+}
+
+void Checker::checkStmt(Stmt &S, std::map<std::string, TypeRef> &Locals,
+                        std::vector<StmtPtr> &Siblings, size_t MyIndex) {
+  switch (S.Kind) {
+  case StmtKind::Skip:
+    return;
+  case StmtKind::Assert:
+  case StmtKind::Await:
+    check(*S.Exprs[0], TypeRef::boolTy());
+    return;
+  case StmtKind::Assign: {
+    if (Locals.count(S.Name)) {
+      error(S, "locals are immutable; cannot assign '" + S.Name + "'");
+      return;
+    }
+    auto It = Globals.find(S.Name);
+    if (It == Globals.end()) {
+      error(S, "unknown variable '" + S.Name + "'");
+      return;
+    }
+    // Peel map layers per index.
+    TypeRef Target = It->second;
+    for (size_t I = 0; I + 1 < S.Exprs.size(); ++I) {
+      if (Target.K != TK::Map) {
+        error(S, "too many indices on '" + S.Name + "'");
+        return;
+      }
+      check(*S.Exprs[I], Target.Params[0]);
+      Target = Target.Params[1];
+    }
+    check(*S.Exprs.back(), Target);
+    return;
+  }
+  case StmtKind::If: {
+    check(*S.Exprs[0], TypeRef::boolTy());
+    checkStmts(S.Body, 0, Locals);
+    checkStmts(S.ElseBody, 0, Locals);
+    return;
+  }
+  case StmtKind::For: {
+    check(*S.Exprs[0], TypeRef::intTy());
+    check(*S.Exprs[1], TypeRef::intTy());
+    auto Saved = Locals.find(S.Name);
+    bool Had = Saved != Locals.end();
+    TypeRef Old = Had ? Saved->second : TypeRef::invalid();
+    Locals[S.Name] = TypeRef::intTy();
+    checkStmts(S.Body, 0, Locals);
+    if (Had)
+      Locals[S.Name] = Old;
+    else
+      Locals.erase(S.Name);
+    return;
+  }
+  case StmtKind::Async: {
+    const ActionDecl *Target = M.findAction(S.Name);
+    if (!Target) {
+      error(S, "async call to unknown action '" + S.Name + "'");
+      return;
+    }
+    if (Target->Params.size() != S.Exprs.size()) {
+      error(S, "async call to '" + S.Name + "' with " +
+                   std::to_string(S.Exprs.size()) + " argument(s); " +
+                   std::to_string(Target->Params.size()) + " expected");
+      return;
+    }
+    for (size_t I = 0; I < S.Exprs.size(); ++I)
+      check(*S.Exprs[I], Target->Params[I].Type);
+    return;
+  }
+  case StmtKind::Choose: {
+    TypeRef C = infer(*S.Exprs[0]);
+    TypeRef ElemTy = TypeRef::invalid();
+    if (C.isValid()) {
+      if (C.K == TK::Set || C.K == TK::Bag || C.K == TK::Seq)
+        ElemTy = C.Params[0];
+      else
+        error(S, "choose requires a set, bag, or seq, got " + C.str());
+    }
+    if (Locals.count(S.Name) || Globals.count(S.Name) ||
+        Consts.count(S.Name)) {
+      error(S, "choose variable '" + S.Name + "' shadows an existing name");
+      return;
+    }
+    // The chosen variable scopes over the remaining statements.
+    Locals[S.Name] = ElemTy;
+    checkStmts(Siblings, MyIndex + 1, Locals);
+    Locals.erase(S.Name);
+    // Mark the rest as handled by truncating the caller's loop: the caller
+    // checks this via the return convention below (handled in checkStmts).
+    return;
+  }
+  }
+}
+
+void Checker::checkStmts(std::vector<StmtPtr> &Stmts, size_t Begin,
+                         std::map<std::string, TypeRef> &Locals) {
+  for (size_t I = Begin; I < Stmts.size(); ++I) {
+    checkStmt(*Stmts[I], Locals, Stmts, I);
+    // A choose statement checks its own continuation (it introduces a
+    // binding over the remaining statements).
+    if (Stmts[I]->Kind == StmtKind::Choose)
+      return;
+  }
+}
+
+bool Checker::run() {
+  size_t Before = Diags.size();
+  // Declarations first.
+  for (const ConstDecl &C : M.Consts) {
+    if (!Consts.insert(C.Name).second)
+      error(C.Line, "duplicate constant '" + C.Name + "'");
+  }
+  for (VarDecl &V : M.Vars) {
+    if (Consts.count(V.Name) || !Globals.emplace(V.Name, V.Type).second)
+      error(V.Line, "duplicate variable '" + V.Name + "'");
+  }
+  // Initializers (may reference constants and earlier globals; checked
+  // with an empty locals scope plus the comprehension machinery).
+  for (VarDecl &V : M.Vars) {
+    std::map<std::string, TypeRef> NoLocals;
+    CurrentLocals = &NoLocals;
+    check(*V.Init, V.Type);
+    CurrentLocals = nullptr;
+  }
+  // Action bodies.
+  std::set<std::string> ActionNames;
+  for (ActionDecl &A : M.Actions) {
+    if (!ActionNames.insert(A.Name).second)
+      error(A.Line, "duplicate action '" + A.Name + "'");
+    std::map<std::string, TypeRef> Locals;
+    for (const ParamDecl &P : A.Params) {
+      if (!Locals.emplace(P.Name, P.Type).second)
+        error(A.Line, "duplicate parameter '" + P.Name + "' in action '" +
+                          A.Name + "'");
+    }
+    CurrentLocals = &Locals;
+    checkStmts(A.Body, 0, Locals);
+    CurrentLocals = nullptr;
+  }
+  return Diags.size() == Before;
+}
+
+} // namespace
+
+bool asl::typeCheck(Module &M, std::vector<Diagnostic> &Diags) {
+  return Checker(M, Diags).run();
+}

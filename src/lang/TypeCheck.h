@@ -1,0 +1,28 @@
+//===- lang/TypeCheck.h - ASL type checker ------------------------*- C++ -*-===//
+///
+/// \file
+/// Bidirectional type checker for ASL modules. Annotates every expression
+/// with its resolved type (Expr::Type); empty collection literals `{}` /
+/// `[]` receive their type from context (variable initializers and
+/// assignment right-hand sides). Locals (parameters, loop and choose
+/// variables) are immutable; only globals are assignable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_TYPECHECK_H
+#define ISQ_LANG_TYPECHECK_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+
+namespace isq {
+namespace asl {
+
+/// Type-checks \p M in place (filling Expr::Type). Returns true when no
+/// diagnostics were produced.
+bool typeCheck(Module &M, std::vector<Diagnostic> &Diags);
+
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_TYPECHECK_H

@@ -1,0 +1,262 @@
+//===- movers/MoverCheck.cpp - Mover-type engine ------------------------------===//
+
+#include "movers/MoverCheck.h"
+
+#include "semantics/ActionCache.h"
+
+#include <unordered_set>
+
+using namespace isq;
+
+const char *isq::moverTypeName(MoverType M) {
+  switch (M) {
+  case MoverType::Both:
+    return "both";
+  case MoverType::Left:
+    return "left";
+  case MoverType::Right:
+    return "right";
+  case MoverType::None:
+    return "none";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+/// Looks for a transition in \p Set with global store \p Global and created
+/// multiset \p Created.
+bool hasTransition(const std::vector<Transition> &Set, const Store &Global,
+                   const PaMultiset &Created) {
+  for (const Transition &T : Set)
+    if (T.Global == Global && T.createdMultiset() == Created)
+      return true;
+  return false;
+}
+
+std::string describePair(const Configuration &C, const PendingAsync &Subject,
+                         const PendingAsync &Other) {
+  return "subject=" + Subject.str() + " other=" + Other.str() + " in " +
+         C.str();
+}
+
+/// Invokes \p Body for every ordered pair of distinct PA occurrences
+/// (SubjectPa, OtherPa) in \p C where SubjectPa has action \p Subject.
+template <typename Fn>
+void forEachPair(const Configuration &C, Symbol Subject, Fn Body) {
+  const PaMultiset &Omega = C.pendingAsyncs();
+  for (const auto &[SubjectPa, SubjectCount] : Omega.entries()) {
+    if (SubjectPa.Action != Subject)
+      continue;
+    for (const auto &[OtherPa, OtherCount] : Omega.entries()) {
+      (void)OtherCount;
+      if (OtherPa == SubjectPa && SubjectCount < 2)
+        continue; // the same single occurrence cannot pair with itself
+      Body(SubjectPa, OtherPa);
+    }
+  }
+}
+
+/// Dedup key for obligations that do not depend on Ω: the store plus the
+/// participating PA instances.
+struct StorePaKey {
+  Store G;
+  PendingAsync A;
+  PendingAsync B;
+
+  bool operator==(const StorePaKey &O) const {
+    return G == O.G && A == O.A && B == O.B;
+  }
+};
+struct StorePaKeyHash {
+  size_t operator()(const StorePaKey &K) const {
+    size_t Seed = K.G.hash();
+    hashCombine(Seed, K.A.hash());
+    hashCombine(Seed, K.B.hash());
+    return Seed;
+  }
+};
+
+/// Shared engine for both directions. Direction == true checks left-mover
+/// commutation (other-then-subject reorders to subject-then-other);
+/// false checks the mirrored right-mover commutation.
+CheckResult checkMover(Symbol Subject, const Action &SubjectAction,
+                       const Program &P,
+                       const std::vector<Configuration> &Universe,
+                       bool LeftDirection, bool RequireNonBlocking) {
+  CheckResult Result;
+  TransitionCache Cache;
+  // Commutation and non-blocking do not read Ω: check each distinct
+  // (store, subject, other) point once across the universe.
+  std::unordered_set<StorePaKey, StorePaKeyHash> CommuteDone;
+  std::unordered_set<StorePaKey, StorePaKeyHash> NonBlockDone;
+  std::unordered_set<StorePaKey, StorePaKeyHash> ForwardDone;
+  std::unordered_set<StorePaKey, StorePaKeyHash> BackwardDone;
+  for (const Configuration &C : Universe) {
+    if (C.isFailure())
+      continue;
+    const Store &G = C.global();
+    const PaMultiset &Omega = C.pendingAsyncs();
+
+    // (4) Non-blocking, checked once per subject occurrence.
+    if (RequireNonBlocking) {
+      for (const auto &[SubjectPa, Count] : Omega.entries()) {
+        (void)Count;
+        if (SubjectPa.Action != Subject)
+          continue;
+        if (!SubjectAction.evalGate(G, SubjectPa.Args, Omega))
+          continue;
+        if (!NonBlockDone.insert({G, SubjectPa, SubjectPa}).second)
+          continue;
+        Result.countObligation();
+        if (Cache.get(SubjectAction, G, SubjectPa.Args).empty())
+          Result.fail("non-blocking violated: " + SubjectPa.str() +
+                      " enabled but has no transition in " + C.str());
+      }
+    }
+
+    forEachPair(C, Subject, [&](const PendingAsync &SubjectPa,
+                                const PendingAsync &OtherPa) {
+      const Action &Other = P.action(OtherPa.Action);
+      bool SubjectGate = SubjectAction.evalGate(G, SubjectPa.Args, Omega);
+      bool OtherGate = Other.evalGate(G, OtherPa.Args, Omega);
+
+      // (1) Gate of the subject is forward-preserved by the other action.
+      // When the subject's gate does not read Ω, the obligation only
+      // depends on the store point and is deduplicated across Ω's.
+      if (SubjectGate && OtherGate &&
+          (SubjectAction.gateReadsOmega() ||
+           ForwardDone.insert({G, SubjectPa, OtherPa}).second)) {
+        for (const Transition &TO : Cache.get(Other, G, OtherPa.Args)) {
+          Result.countObligation();
+          bool Preserved;
+          if (SubjectAction.gateReadsOmega()) {
+            PaMultiset OmegaAfter = Omega;
+            OmegaAfter.erase(OtherPa);
+            for (const PendingAsync &New : TO.Created)
+              OmegaAfter.insert(New);
+            Preserved =
+                SubjectAction.evalGate(TO.Global, SubjectPa.Args, OmegaAfter);
+          } else {
+            Preserved =
+                SubjectAction.evalGate(TO.Global, SubjectPa.Args, Omega);
+          }
+          if (!Preserved)
+            Result.fail("gate not forward-preserved: " +
+                        describePair(C, SubjectPa, OtherPa));
+        }
+      }
+
+      // (2) Gate of the other action is backward-preserved by the subject.
+      if (SubjectGate &&
+          (Other.gateReadsOmega() ||
+           BackwardDone.insert({G, SubjectPa, OtherPa}).second)) {
+        for (const Transition &TS :
+             Cache.get(SubjectAction, G, SubjectPa.Args)) {
+          Result.countObligation();
+          bool GateAfter;
+          if (Other.gateReadsOmega()) {
+            PaMultiset OmegaAfter = Omega;
+            OmegaAfter.erase(SubjectPa);
+            for (const PendingAsync &New : TS.Created)
+              OmegaAfter.insert(New);
+            GateAfter = Other.evalGate(TS.Global, OtherPa.Args, OmegaAfter);
+          } else {
+            GateAfter = Other.evalGate(TS.Global, OtherPa.Args, Omega);
+          }
+          if (GateAfter && !OtherGate)
+            Result.fail("gate not backward-preserved: " +
+                        describePair(C, SubjectPa, OtherPa));
+        }
+      }
+
+      // (3) Commutation (Ω-independent: deduplicated across Ω's).
+      if (SubjectGate && OtherGate &&
+          CommuteDone.insert({G, SubjectPa, OtherPa}).second) {
+        if (LeftDirection) {
+          // other;subject must be reorderable to subject;other.
+          for (const Transition &TO : Cache.get(Other, G, OtherPa.Args)) {
+            PaMultiset CreatedO = TO.createdMultiset();
+            for (const Transition &TS : Cache.get(
+                     SubjectAction, TO.Global, SubjectPa.Args)) {
+              Result.countObligation();
+              PaMultiset CreatedS = TS.createdMultiset();
+              bool Found = false;
+              for (const Transition &TS2 :
+                   Cache.get(SubjectAction, G, SubjectPa.Args)) {
+                if (TS2.createdMultiset() != CreatedS)
+                  continue;
+                if (hasTransition(
+                        Cache.get(Other, TS2.Global, OtherPa.Args),
+                        TS.Global, CreatedO)) {
+                  Found = true;
+                  break;
+                }
+              }
+              if (!Found)
+                Result.fail("does not commute left: " +
+                            describePair(C, SubjectPa, OtherPa));
+            }
+          }
+        } else {
+          // subject;other must be reorderable to other;subject.
+          for (const Transition &TS :
+               Cache.get(SubjectAction, G, SubjectPa.Args)) {
+            PaMultiset CreatedS = TS.createdMultiset();
+            for (const Transition &TO :
+                 Cache.get(Other, TS.Global, OtherPa.Args)) {
+              Result.countObligation();
+              PaMultiset CreatedO = TO.createdMultiset();
+              bool Found = false;
+              for (const Transition &TO2 :
+                   Cache.get(Other, G, OtherPa.Args)) {
+                if (TO2.createdMultiset() != CreatedO)
+                  continue;
+                if (hasTransition(
+                        Cache.get(SubjectAction, TO2.Global, SubjectPa.Args),
+                        TO.Global, CreatedS)) {
+                  Found = true;
+                  break;
+                }
+              }
+              if (!Found)
+                Result.fail("does not commute right: " +
+                            describePair(C, SubjectPa, OtherPa));
+            }
+          }
+        }
+      }
+    });
+  }
+  return Result;
+}
+
+} // namespace
+
+CheckResult isq::checkLeftMover(Symbol Subject, const Action &LAction,
+                                const Program &P,
+                                const std::vector<Configuration> &Universe) {
+  return checkMover(Subject, LAction, P, Universe, /*LeftDirection=*/true,
+                    /*RequireNonBlocking=*/true);
+}
+
+CheckResult isq::checkRightMover(Symbol Subject, const Action &RAction,
+                                 const Program &P,
+                                 const std::vector<Configuration> &Universe) {
+  return checkMover(Subject, RAction, P, Universe, /*LeftDirection=*/false,
+                    /*RequireNonBlocking=*/false);
+}
+
+MoverType isq::classifyMover(Symbol Subject, const Program &P,
+                             const std::vector<Configuration> &Universe) {
+  const Action &A = P.action(Subject);
+  bool Left = checkLeftMover(Subject, A, P, Universe).ok();
+  bool Right = checkRightMover(Subject, A, P, Universe).ok();
+  if (Left && Right)
+    return MoverType::Both;
+  if (Left)
+    return MoverType::Left;
+  if (Right)
+    return MoverType::Right;
+  return MoverType::None;
+}

@@ -1,0 +1,59 @@
+//===- movers/MoverCheck.h - Mover-type engine -------------------*- C++ -*-===//
+///
+/// \file
+/// The mover-type engine (§3 "Left movers" and Lipton's reduction theory).
+/// An action l is a *left mover* w.r.t. an action x if
+///   (1) the gate of l is forward-preserved by x,
+///   (2) the gate of x is backward-preserved by l,
+///   (3) l commutes to the left of x (preserving created-PA multisets), and
+///   (4) l is non-blocking.
+/// Right movers satisfy the mirrored commutation/gate conditions (without
+/// non-blocking); they are used by the reduction module.
+///
+/// All conditions are universally quantified over stores; we evaluate them
+/// over pairs of co-pending PAs in a finite configuration universe,
+/// which covers exactly the commuting steps performed by the soundness
+/// construction of §4.1 for the explored instances (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_MOVERS_MOVERCHECK_H
+#define ISQ_MOVERS_MOVERCHECK_H
+
+#include "refine/Refinement.h"
+#include "semantics/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace isq {
+
+/// Lipton mover types for annotated primitive operations.
+enum class MoverType : uint8_t { Both, Left, Right, None };
+
+const char *moverTypeName(MoverType M);
+
+/// Checks that PAs named \p Subject, when executed with behavior
+/// \p LAction (the identity or an abstraction α(A)), are left movers with
+/// respect to every co-pending PA in \p Universe executed with \p P's
+/// original actions. This is LeftMover(α(A), P) of §3 evaluated over the
+/// universe.
+CheckResult checkLeftMover(Symbol Subject, const Action &LAction,
+                           const Program &P,
+                           const std::vector<Configuration> &Universe);
+
+/// Mirrored check: PAs named \p Subject are right movers w.r.t. every
+/// co-pending PA (commute to the right; gates preserved in the mirrored
+/// directions). Non-blocking is not required of right movers.
+CheckResult checkRightMover(Symbol Subject, const Action &RAction,
+                            const Program &P,
+                            const std::vector<Configuration> &Universe);
+
+/// Classifies \p Subject (executed with its own program action) over
+/// \p Universe as Both/Left/Right/None by running both directed checks.
+MoverType classifyMover(Symbol Subject, const Program &P,
+                        const std::vector<Configuration> &Universe);
+
+} // namespace isq
+
+#endif // ISQ_MOVERS_MOVERCHECK_H

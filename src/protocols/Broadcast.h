@@ -1,0 +1,75 @@
+//===- protocols/Broadcast.h - Broadcast consensus (Fig. 1) -------*- C++ -*-===//
+///
+/// \file
+/// The paper's running example (Fig. 1): n nodes broadcast their input
+/// values over bag channels and each node decides the maximum of the n
+/// values it receives. The correctness property is agreement:
+/// ∀ i, j. decision[i] = decision[j] (property (1) of §2).
+///
+/// Provided artifacts:
+///  - the atomic-action program of Fig. 1-② (Main, Broadcast, Collect);
+///  - the one-shot IS application of Example 4.1 with invariant Inv
+///    (Fig. 1-⑤), abstraction CollectAbs (Fig. 1-④), the smallest-index
+///    choice function, and the |Ω| measure;
+///  - the iterated two-stage proof of §5.3 (first eliminate Broadcast,
+///    then Collect, where CollectAbs no longer needs the
+///    no-pending-Broadcast gate);
+///  - the sequential specification Main' of Fig. 1-③ and the agreement
+///    spec predicate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_PROTOCOLS_BROADCAST_H
+#define ISQ_PROTOCOLS_BROADCAST_H
+
+#include "is/ISApplication.h"
+#include "semantics/Program.h"
+
+#include <vector>
+
+namespace isq {
+namespace protocols {
+
+/// Instance parameters: nodes 1..NumNodes with input Values[i-1].
+struct BroadcastParams {
+  int64_t NumNodes = 3;
+  std::vector<int64_t> Values; ///< size NumNodes; defaults to i when empty
+
+  int64_t value(int64_t Node) const {
+    return Values.empty() ? Node : Values[static_cast<size_t>(Node - 1)];
+  }
+};
+
+/// The program of Fig. 1-②: Main, Broadcast(i), Collect(i).
+Program makeBroadcastProgram(const BroadcastParams &Params);
+
+/// Initial store: value map, undecided decisions, empty channels.
+Store makeBroadcastInitialStore(const BroadcastParams &Params);
+
+/// The one-shot IS application of Example 4.1:
+/// M = Main, E = {Broadcast, Collect}, I = Inv (Fig. 1-⑤),
+/// α(Collect) = CollectAbs (Fig. 1-④), ≫ = |Ω|.
+ISApplication makeBroadcastIS(const BroadcastParams &Params);
+
+/// Stage 1 of the iterated proof of §5.3: E = {Broadcast} only.
+ISApplication makeBroadcastStage1IS(const BroadcastParams &Params);
+
+/// Stage 2: applied to applyIS(stage 1); E = {Collect}, with an
+/// abstraction that only needs the channel-fullness gate (the
+/// no-pending-Broadcast conjunct of Fig. 1-④ line 33 is unnecessary
+/// because Broadcast is already eliminated).
+ISApplication makeBroadcastStage2IS(const BroadcastParams &Params,
+                                    const Program &AfterStage1);
+
+/// The explicit sequential summary Main' of Fig. 1-③ (equivalent to the
+/// derived M'; used to cross-check condition (I2)).
+Action makeBroadcastSeqSpec(const BroadcastParams &Params);
+
+/// Property (1): every node decided, and all decisions equal the maximum
+/// input value.
+bool checkBroadcastSpec(const Store &Final, const BroadcastParams &Params);
+
+} // namespace protocols
+} // namespace isq
+
+#endif // ISQ_PROTOCOLS_BROADCAST_H

@@ -1,0 +1,72 @@
+//===- protocols/ChangRoberts.h - Chang-Roberts leader election ----*- C++ -*-===//
+///
+/// \file
+/// The Chang-Roberts leader election protocol [Chang & Roberts 1979] on a
+/// unidirectional ring of n nodes with unique IDs. Every node sends its ID
+/// to its successor; a node forwards incoming IDs greater than its own,
+/// drops smaller ones, and declares itself leader upon receiving its own
+/// ID. We verify that exactly one node — the one with the maximum ID —
+/// becomes leader.
+///
+/// Messages are modeled as pending asyncs (Handle(node, id)), following
+/// the paper's asynchronous-procedure-call style. The sequentialization
+/// follows §5.3: nodes run to completion starting with the successor of
+/// the maximum-ID node m, going around the ring, and finally m's own ID
+/// traverses the full ring. Table 1 row "Chang-Roberts": 2 IS
+/// applications (first eliminate Init, then Handle); a one-shot variant is
+/// also provided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_PROTOCOLS_CHANGROBERTS_H
+#define ISQ_PROTOCOLS_CHANGROBERTS_H
+
+#include "is/ISApplication.h"
+#include "semantics/Program.h"
+
+#include <vector>
+
+namespace isq {
+namespace protocols {
+
+/// Ring instance: node i (1-based) has identifier Ids[i-1]; IDs must be
+/// distinct. Defaults to the identity permutation when empty.
+struct ChangRobertsParams {
+  int64_t NumNodes = 3;
+  std::vector<int64_t> Ids;
+
+  int64_t id(int64_t Node) const {
+    return Ids.empty() ? Node : Ids[static_cast<size_t>(Node - 1)];
+  }
+  /// The node holding the maximum ID.
+  int64_t maxNode() const;
+  /// Ring successor.
+  int64_t next(int64_t Node) const {
+    return Node % NumNodes + 1;
+  }
+};
+
+/// Actions Main, Init(i), Handle(i, v).
+Program makeChangRobertsProgram(const ChangRobertsParams &Params);
+
+/// Initial store: the ID assignment and no leaders.
+Store makeChangRobertsInitialStore(const ChangRobertsParams &Params);
+
+/// Stage 1 of the iterated proof: eliminate the Init fan-out.
+ISApplication makeChangRobertsStage1IS(const ChangRobertsParams &Params);
+
+/// Stage 2: eliminate the message handlers from the stage-1 result.
+ISApplication makeChangRobertsStage2IS(const ChangRobertsParams &Params,
+                                       const Program &AfterStage1);
+
+/// One-shot variant eliminating both Init and Handle at once.
+ISApplication makeChangRobertsOneShotIS(const ChangRobertsParams &Params);
+
+/// Spec: exactly one leader, and it is the maximum-ID node.
+bool checkChangRobertsSpec(const Store &Final,
+                           const ChangRobertsParams &Params);
+
+} // namespace protocols
+} // namespace isq
+
+#endif // ISQ_PROTOCOLS_CHANGROBERTS_H

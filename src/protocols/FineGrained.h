@@ -1,0 +1,59 @@
+//===- protocols/FineGrained.h - Low-level broadcast layer (§5.2) ---*- C++ -*-===//
+///
+/// \file
+/// The paper's verification methodology starts from a *low-level*
+/// concurrent program P1 that only uses primitive atomic actions — one
+/// send or receive per step (§5.2 "Implementation"). An existing CIVL
+/// transformation (reduction) summarizes the loops into the atomic
+/// actions of P2, and only then is IS applied.
+///
+/// This module provides that bottom layer for broadcast consensus:
+///
+///  - `makeFineBroadcastProgram`: Main spawns, per node, a chain of
+///    per-message send steps (BSend(i, j) sends value[i] to CH[j] and
+///    continues with BSend(i, j+1)) and a chain of per-message receive
+///    steps (CRecv(i, j, acc) receives one value, folds the maximum into
+///    the accumulator carried in the PA arguments, and finally writes
+///    decision[i]);
+///  - `makeReducedBroadcastProgram`: the same program with each chain
+///    fused into one atomic action by the reduction module (Lipton
+///    pattern: the sends are left movers, the receives right movers),
+///    using a scratch accumulator variable that is reset before the
+///    action completes so terminal stores stay comparable;
+///  - the store layout matches `makeBroadcastProgram`, so P1, the fused
+///    P2, and the hand-written atomic P2 can be cross-checked by
+///    terminal-store equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_PROTOCOLS_FINEGRAINED_H
+#define ISQ_PROTOCOLS_FINEGRAINED_H
+
+#include "protocols/Broadcast.h"
+#include "refine/Refinement.h"
+#include "semantics/Program.h"
+
+namespace isq {
+namespace protocols {
+
+/// The low-level program P1: Main, BSend(i, j), CRecv(i, j, acc).
+Program makeFineBroadcastProgram(const BroadcastParams &Params);
+
+/// Initial store for both layers: the Broadcast layout plus the scratch
+/// accumulator map used by the fused receive loops (all zero, and reset
+/// to zero by every fused action, so terminal stores coincide).
+Store makeFineBroadcastInitialStore(const BroadcastParams &Params);
+
+/// P2 by reduction: Main plus the fused per-node Broadcast/Collect
+/// actions produced by fuseSequence over the primitive steps.
+Program makeReducedBroadcastProgram(const BroadcastParams &Params);
+
+/// Verifies the mover annotations that justify the fusion (sends are
+/// left movers; the one-message receives are right movers) over P1's
+/// reachable configurations.
+CheckResult checkFineBroadcastMoverAnnotations(const BroadcastParams &Params);
+
+} // namespace protocols
+} // namespace isq
+
+#endif // ISQ_PROTOCOLS_FINEGRAINED_H

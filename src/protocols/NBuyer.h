@@ -1,0 +1,66 @@
+//===- protocols/NBuyer.h - N-Buyer coordination (§5.3) -----------*- C++ -*-===//
+///
+/// \file
+/// The paper's N-Buyer example (adapted from the session-types literature):
+/// n buyer processes coordinate the purchase of an item from a seller.
+/// Buyer 1 requests a quote; the seller broadcasts the price to all
+/// buyers; every buyer nondeterministically promises a contribution and
+/// reports it; an aggregator places the order iff the contributions cover
+/// the price. The functional specification: if an order is placed, its
+/// amount equals the sum of the promised contributions.
+///
+/// Table 1 row "N-Buyer": 4 IS applications, each stage eliminating one
+/// protocol phase (Request, Quote, Contribute, Place) and enlarging the
+/// sequentialized prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_PROTOCOLS_NBUYER_H
+#define ISQ_PROTOCOLS_NBUYER_H
+
+#include "is/ISApplication.h"
+#include "semantics/Program.h"
+
+#include <vector>
+
+namespace isq {
+namespace protocols {
+
+/// Instance: NumBuyers buyers, item price, and the contribution amounts
+/// each buyer may nondeterministically promise.
+struct NBuyerParams {
+  int64_t NumBuyers = 3;
+  int64_t Price = 2;
+  std::vector<int64_t> ContributionChoices = {0, 1};
+};
+
+/// Actions Main, Request, Quote, Contribute(i), Place.
+Program makeNBuyerProgram(const NBuyerParams &Params);
+
+/// Initial store: empty channels, no promises, no order.
+Store makeNBuyerInitialStore(const NBuyerParams &Params);
+
+/// The four IS applications of the iterated proof, in order. Stage k
+/// applies to the program produced by stage k-1 (stage 0 receives the
+/// original program).
+ISApplication makeNBuyerStageIS(const NBuyerParams &Params, size_t Stage,
+                                const Program &Current);
+
+/// Number of stages (4, matching the paper's #IS).
+constexpr size_t kNBuyerStages = 4;
+
+/// A one-shot variant eliminating all four phases at once. Unlike the
+/// staged proof — where each fused Main pre-feeds the next receive, making
+/// every eliminated action non-blocking — the one-shot proof has Place
+/// genuinely co-pending with the Contributes, so it *requires* the
+/// channel-fullness abstraction (used by the negative tests).
+ISApplication makeNBuyerOneShotIS(const NBuyerParams &Params);
+
+/// Spec: promises recorded for every buyer; the order is placed iff the
+/// promised sum covers the price, and its amount equals that sum.
+bool checkNBuyerSpec(const Store &Final, const NBuyerParams &Params);
+
+} // namespace protocols
+} // namespace isq
+
+#endif // ISQ_PROTOCOLS_NBUYER_H

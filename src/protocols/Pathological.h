@@ -1,0 +1,41 @@
+//===- protocols/Pathological.h - Cooperation counterexample ------*- C++ -*-===//
+///
+/// \file
+/// The §4 "cooperation is necessary" program:
+///
+///     action Main: async Rec; async Fail
+///     action Rec:  async Rec
+///     action Fail: assert false
+///
+/// The program can fail in two steps (Main; Fail), yet without the
+/// cooperation condition an IS application with M = Main, E = {Rec} and
+/// I = Main would erase every transition of M' (all of Main's transitions
+/// create a Rec PA), producing an unsoundly failure-free P'. The IS
+/// checker must *reject* this application: Rec can never decrease any
+/// well-founded measure because it reproduces itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_PROTOCOLS_PATHOLOGICAL_H
+#define ISQ_PROTOCOLS_PATHOLOGICAL_H
+
+#include "is/ISApplication.h"
+#include "semantics/Program.h"
+
+namespace isq {
+namespace protocols {
+
+/// The three-action program above.
+Program makeCooperationCounterexampleProgram();
+
+/// Its (unsound) IS application: all conditions except (CO) hold.
+ISApplication makeCooperationCounterexampleIS();
+
+/// An initial store for the program (it has no variables; a dummy marker
+/// variable keeps stores distinguishable).
+Store makeCooperationCounterexampleStore();
+
+} // namespace protocols
+} // namespace isq
+
+#endif // ISQ_PROTOCOLS_PATHOLOGICAL_H

@@ -1,0 +1,68 @@
+//===- protocols/Paxos.h - Single-decree Paxos (§5.2, Fig. 4) -----*- C++ -*-===//
+///
+/// \file
+/// Single-decree Paxos [Lamport 1998], modeled after the paper's most
+/// significant case study (§5.2, Fig. 4). The protocol runs R rounds over
+/// N acceptors. Round r's proposer first collects a *join* quorum (phase
+/// 1), then proposes a value — either learned from the highest visible
+/// earlier vote or its own — and collects a *vote* quorum (phase 2) to
+/// decide. Acceptors abandon lower rounds when they hear about higher
+/// ones. Following §5.2, the effect of overlapping rounds and
+/// out-of-order delivery is modeled by acceptors and the proposer
+/// nondeterministically dropping messages (the `if (*)` branches of
+/// Fig. 4(b)), so every round may fail but safety is unconditional:
+///
+///     no two rounds decide different values.
+///
+/// The sequentialization executes rounds one at a time, in increasing
+/// order, with the fixed phase order of §5.2:
+///     S(1) J(1,1..N) P(1) V(1,1..N) C(1) | S(2) J(2,1..N) ...
+///
+/// Table 1 row "Paxos": one IS application, with the Fig. 4(c)-style
+/// left-mover abstractions whose gates assert that nothing at lower
+/// rounds is still pending.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_PROTOCOLS_PAXOS_H
+#define ISQ_PROTOCOLS_PAXOS_H
+
+#include "is/ISApplication.h"
+#include "semantics/Program.h"
+
+namespace isq {
+namespace protocols {
+
+/// Instance: rounds 1..NumRounds, acceptors 1..NumNodes. Round r proposes
+/// its own value r when it has not learned an earlier one, so conflicting
+/// proposals exist whenever NumRounds > 1.
+struct PaxosParams {
+  int64_t NumRounds = 2;
+  int64_t NumNodes = 3;
+};
+
+/// Actions Main (= Paxos), StartRound(r), Join(r, n), Propose(r),
+/// Vote(r, n, v), Conclude(r, v) over the abstract state of Fig. 4(b):
+/// lastJoined, joinedNodes, voteInfo, decision.
+Program makePaxosProgram(const PaxosParams &Params);
+
+/// Initial store: nothing joined, voted, or decided.
+Store makePaxosInitialStore(const PaxosParams &Params);
+
+/// The single IS application of Fig. 4(c): round-by-round rank, the
+/// schedule-derived invariant (PaxosInv), abstractions StartRound/Join/
+/// Propose/Vote/Conclude with lower-round-free gates, and a phase-weight
+/// measure.
+ISApplication makePaxosIS(const PaxosParams &Params);
+
+/// The explicit specification action Paxos' of Fig. 4(c): decisions are
+/// consistent. Used as documentation and for spec-level tests.
+bool checkPaxosSpec(const Store &Final, const PaxosParams &Params);
+
+/// True if some round decided in \p Final.
+bool paxosDecided(const Store &Final);
+
+} // namespace protocols
+} // namespace isq
+
+#endif // ISQ_PROTOCOLS_PAXOS_H

@@ -1,0 +1,51 @@
+//===- protocols/PingPong.h - Ping-Pong protocol (§5.3) -----------*- C++ -*-===//
+///
+/// \file
+/// The paper's Ping-Pong example: a Ping process sends increasing numbers
+/// 1..T to a Pong process over a bag channel, and Pong acknowledges each
+/// number back. The verified assertions state that Pong receives
+/// increasing numbers and Ping receives correct acknowledgments; both are
+/// encoded as action gates (a wrong in-flight message fails the gate).
+/// The sequentialization makes the alternation Ping(1); Pong(1); Ping(2);
+/// ... explicit. One IS application (Table 1 row "Ping-Pong", #IS = 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_PROTOCOLS_PINGPONG_H
+#define ISQ_PROTOCOLS_PINGPONG_H
+
+#include "is/ISApplication.h"
+#include "semantics/Program.h"
+
+namespace isq {
+namespace protocols {
+
+/// Instance parameter: number of round trips.
+struct PingPongParams {
+  int64_t NumRounds = 3;
+};
+
+/// Actions Main, Ping(k), Pong(k) over channels chPing (acks) and chPong
+/// (numbers), with progress counters pingAcked / pongSeen.
+Program makePingPongProgram(const PingPongParams &Params);
+
+/// Initial store: empty channels, zeroed counters.
+Store makePingPongInitialStore(const PingPongParams &Params);
+
+/// The single IS application: E = {Ping, Pong}, schedule-derived
+/// invariant with rank Ping(k) < Pong(k) < Ping(k+1), abstractions that
+/// strengthen gates with channel non-emptiness, and a remaining-work
+/// measure.
+ISApplication makePingPongIS(const PingPongParams &Params);
+
+/// A faulty variant for negative testing: Pong acknowledges k+1 instead
+/// of k, so Ping's assertion gate fails.
+Program makeBuggyPingPongProgram(const PingPongParams &Params);
+
+/// Spec: both processes completed all T rounds and the channels drained.
+bool checkPingPongSpec(const Store &Final, const PingPongParams &Params);
+
+} // namespace protocols
+} // namespace isq
+
+#endif // ISQ_PROTOCOLS_PINGPONG_H

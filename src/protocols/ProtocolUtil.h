@@ -1,0 +1,48 @@
+//===- protocols/ProtocolUtil.h - Shared protocol helpers ---------*- C++ -*-===//
+///
+/// \file
+/// Small helpers shared by the protocol builders: integer-value shorthand,
+/// range-indexed maps, and argument-vector construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_PROTOCOLS_PROTOCOLUTIL_H
+#define ISQ_PROTOCOLS_PROTOCOLUTIL_H
+
+#include "semantics/Value.h"
+
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+namespace isq {
+namespace protocols {
+
+inline Value intV(int64_t N) { return Value::integer(N); }
+inline Value boolV(bool B) { return Value::boolean(B); }
+
+/// Builds map{Lo -> F(Lo), ..., Hi -> F(Hi)} over integer keys.
+inline Value mapOfRange(int64_t Lo, int64_t Hi,
+                        const std::function<Value(int64_t)> &F) {
+  std::vector<std::pair<Value, Value>> Pairs;
+  for (int64_t I = Lo; I <= Hi; ++I)
+    Pairs.push_back({intV(I), F(I)});
+  return Value::map(std::move(Pairs));
+}
+
+/// Integer argument vector shorthand.
+inline std::vector<Value> args(std::initializer_list<int64_t> Ns) {
+  std::vector<Value> Out;
+  for (int64_t N : Ns)
+    Out.push_back(intV(N));
+  return Out;
+}
+
+inline Value emptyBag() { return Value::bag({}); }
+inline Value emptySet() { return Value::set({}); }
+inline Value emptySeq() { return Value::seq({}); }
+
+} // namespace protocols
+} // namespace isq
+
+#endif // ISQ_PROTOCOLS_PROTOCOLUTIL_H

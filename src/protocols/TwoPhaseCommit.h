@@ -1,0 +1,65 @@
+//===- protocols/TwoPhaseCommit.h - 2PC with early abort ----------*- C++ -*-===//
+///
+/// \file
+/// The paper's optimized two-phase commit (§5.3): a coordinator broadcasts
+/// vote requests to n participants and collects their yes/no votes. The
+/// realistic optimizations that complicate verification are modeled
+/// faithfully:
+///
+///  - *early abort*: the coordinator decides "abort" as soon as one
+///    negative vote arrives, without waiting for the remaining votes
+///    (which stay in flight forever);
+///  - *concurrent request/decision processing*: a participant may receive
+///    and finalize the decision before it has processed the vote request.
+///
+/// Verified properties: all participants finalize the same decision as the
+/// coordinator, and commit happens only if every participant voted yes.
+///
+/// Table 1 row "Two-phase commit": 4 IS applications (RequestVotes, Vote,
+/// Decide, Finalize), each enlarging the sequentialized prefix; a one-shot
+/// variant exercises the Decide/Finalize abstractions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_PROTOCOLS_TWOPHASECOMMIT_H
+#define ISQ_PROTOCOLS_TWOPHASECOMMIT_H
+
+#include "is/ISApplication.h"
+#include "semantics/Program.h"
+
+namespace isq {
+namespace protocols {
+
+/// Instance: number of participants. Votes are chosen
+/// nondeterministically, so all 2^n vote combinations are covered.
+struct TwoPhaseCommitParams {
+  int64_t NumParticipants = 3;
+};
+
+/// Actions Main, RequestVotes, Vote(i), Decide, Finalize(i).
+Program makeTwoPhaseCommitProgram(const TwoPhaseCommitParams &Params);
+
+/// Initial store: empty channels, no votes, no decision.
+Store makeTwoPhaseCommitInitialStore(const TwoPhaseCommitParams &Params);
+
+/// The four IS applications of the iterated proof, in order; stage k
+/// applies to the program produced by stage k-1.
+ISApplication makeTwoPhaseCommitStageIS(const TwoPhaseCommitParams &Params,
+                                        size_t Stage,
+                                        const Program &Current);
+
+constexpr size_t kTwoPhaseCommitStages = 4;
+
+/// One-shot variant eliminating all phases at once (requires the
+/// Decide/Finalize abstractions).
+ISApplication makeTwoPhaseCommitOneShotIS(const TwoPhaseCommitParams &Params);
+
+/// Spec: a decision was reached; every participant finalized it; commit
+/// implies unanimous yes votes.
+bool checkTwoPhaseCommitSpec(const Store &Final,
+                             const TwoPhaseCommitParams &Params);
+
+} // namespace protocols
+} // namespace isq
+
+#endif // ISQ_PROTOCOLS_TWOPHASECOMMIT_H

@@ -1,0 +1,160 @@
+//===- refine/Refinement.cpp - Refinement checking ---------------------------===//
+
+#include "refine/Refinement.h"
+
+#include "semantics/ActionCache.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace isq;
+
+void CheckResult::fail(const std::string &Message) {
+  ++NumFailures;
+  if (Issues.size() < MaxIssues)
+    Issues.push_back(Message);
+}
+
+void CheckResult::merge(const CheckResult &Other) {
+  NumObligations += Other.NumObligations;
+  NumFailures += Other.NumFailures;
+  for (const std::string &Issue : Other.Issues)
+    if (Issues.size() < MaxIssues)
+      Issues.push_back(Issue);
+}
+
+std::string CheckResult::str() const {
+  if (ok())
+    return "OK (" + std::to_string(NumObligations) + " obligations)";
+  std::string Out = "FAILED (" + std::to_string(NumFailures) + "/" +
+                    std::to_string(NumObligations) + " obligations):";
+  for (const std::string &Issue : Issues)
+    Out += "\n  - " + Issue;
+  return Out;
+}
+
+ContextUniverse
+isq::collectContexts(const std::vector<Configuration> &Configs, Symbol Name) {
+  // Configurations are already distinct, so only PAs repeated within one
+  // configuration need deduplication — handled by iterating the canonical
+  // multiset entries (one context per distinct PA).
+  ContextUniverse Universe;
+  for (const Configuration &C : Configs) {
+    if (C.isFailure())
+      continue;
+    for (const auto &[PA, Count] : C.pendingAsyncs().entries()) {
+      (void)Count;
+      if (PA.Action != Name)
+        continue;
+      Universe.push_back({C.global(), PA.Args, C.pendingAsyncs()});
+    }
+  }
+  return Universe;
+}
+
+namespace {
+
+/// A (store, args) quantifier point with full-key equality, used to
+/// deduplicate Ω-independent obligations without hash-collision risk.
+struct StorePoint {
+  Store G;
+  std::vector<Value> Args;
+
+  bool operator==(const StorePoint &O) const {
+    return G == O.G && Args == O.Args;
+  }
+};
+struct StorePointHash {
+  size_t operator()(const StorePoint &P) const {
+    size_t Seed = P.G.hash();
+    for (const Value &V : P.Args)
+      hashCombine(Seed, V.hash());
+    return Seed;
+  }
+};
+
+/// Transition-set membership: is \p T contained in \p Set (comparing global
+/// store and created-PA multiset)?
+bool containsTransition(const std::vector<Transition> &Set,
+                        const Transition &T) {
+  PaMultiset Created = T.createdMultiset();
+  for (const Transition &Candidate : Set)
+    if (Candidate.Global == T.Global &&
+        Candidate.createdMultiset() == Created)
+      return true;
+  return false;
+}
+
+std::string describeContext(const ActionContext &Ctx) {
+  std::string Out = "store=" + Ctx.Global.str() + " args=(";
+  for (size_t I = 0; I < Ctx.Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Ctx.Args[I].str();
+  }
+  return Out + ")";
+}
+
+} // namespace
+
+CheckResult isq::checkActionRefinement(const Action &A1, const Action &A2,
+                                       const ContextUniverse &Universe) {
+  CheckResult Result;
+  assert(A1.arity() == A2.arity() && "refinement requires equal arity");
+  TransitionCache Cache;
+  // Condition (2) does not read Ω: check each (store, args) point once.
+  std::unordered_set<StorePoint, StorePointHash> SimulationDone;
+  for (const ActionContext &Ctx : Universe) {
+    bool Gate2 = A2.evalGate(Ctx.Global, Ctx.Args, Ctx.Omega);
+    // (1) ρ2 ⊆ ρ1: whenever the abstract gate holds, the concrete gate
+    // holds (the abstraction preserves failures of the concrete action).
+    Result.countObligation();
+    bool Gate1 = A1.evalGate(Ctx.Global, Ctx.Args, Ctx.Omega);
+    if (Gate2 && !Gate1)
+      Result.fail("gate inclusion violated (ρ2 ⊄ ρ1) at " +
+                  describeContext(Ctx));
+    if (!Gate2)
+      continue; // (2) only constrains stores in ρ2
+    if (!SimulationDone.insert({Ctx.Global, Ctx.Args}).second)
+      continue;
+    // (2) ρ2 ∘ τ1 ⊆ τ2: every concrete transition is an abstract one.
+    const std::vector<Transition> &Abstract =
+        Cache.get(A2, Ctx.Global, Ctx.Args);
+    for (const Transition &T : Cache.get(A1, Ctx.Global, Ctx.Args)) {
+      Result.countObligation();
+      if (!containsTransition(Abstract, T))
+        Result.fail("transition not simulated (ρ2 ∘ τ1 ⊄ τ2) at " +
+                    describeContext(Ctx) + " transition " + T.str());
+    }
+  }
+  return Result;
+}
+
+CheckResult
+isq::checkProgramRefinement(const Program &P1, const Program &P2,
+                            const std::vector<InitialCondition> &Inits,
+                            const ExploreOptions &Opts) {
+  CheckResult Result;
+  for (const InitialCondition &Init : Inits) {
+    auto [Good2, Trans2] = summarize(P2, Init.Global, Init.MainArgs, Opts);
+    Result.countObligation();
+    if (!Good2)
+      continue; // P2 fails from this initial store: both conditions vacuous
+    auto [Good1, Trans1] = summarize(P1, Init.Global, Init.MainArgs, Opts);
+    // (1) Good(P2) ⊆ Good(P1).
+    if (!Good1) {
+      Result.fail("P1 can fail where P2 cannot, from " + Init.Global.str());
+      continue;
+    }
+    // (2) Good(P2) ∘ Trans(P1) ⊆ Trans(P2).
+    std::unordered_set<Store> Allowed(Trans2.begin(), Trans2.end());
+    for (const Store &Final : Trans1) {
+      Result.countObligation();
+      if (!Allowed.count(Final))
+        Result.fail("terminal store of P1 unreachable in P2: " +
+                    Final.str() + " from " + Init.Global.str());
+    }
+  }
+  return Result;
+}

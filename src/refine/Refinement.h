@@ -1,0 +1,92 @@
+//===- refine/Refinement.h - Refinement checking -----------------*- C++ -*-===//
+///
+/// \file
+/// Refinement between actions (Definition 3.1) and between programs
+/// (Definition 3.2). Action refinement is a universally quantified
+/// condition over stores; we evaluate it over an explicit *context
+/// universe* — the finite-instance analogue of the paper's SMT discharge
+/// (see DESIGN.md). Program refinement compares Good/Trans summaries
+/// computed by the explorer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_REFINE_REFINEMENT_H
+#define ISQ_REFINE_REFINEMENT_H
+
+#include "explorer/Explorer.h"
+#include "semantics/Action.h"
+#include "semantics/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace isq {
+
+/// Outcome of a universally quantified check. Collects up to MaxIssues
+/// human-readable counterexamples and counts the obligations evaluated
+/// (the analogue of the number of SMT queries).
+class CheckResult {
+public:
+  bool ok() const { return NumFailures == 0; }
+  size_t obligations() const { return NumObligations; }
+  size_t failures() const { return NumFailures; }
+  const std::vector<std::string> &issues() const { return Issues; }
+
+  /// Records one evaluated obligation.
+  void countObligation() { ++NumObligations; }
+  /// Records a failed obligation with a diagnostic.
+  void fail(const std::string &Message);
+  /// Merges \p Other into this result.
+  void merge(const CheckResult &Other);
+
+  /// Renders "OK (n obligations)" or the list of issues.
+  std::string str() const;
+
+  /// Cap on retained diagnostics.
+  static constexpr size_t MaxIssues = 8;
+
+private:
+  size_t NumObligations = 0;
+  size_t NumFailures = 0;
+  std::vector<std::string> Issues;
+};
+
+/// One point of the quantifier domain for action-level checks: a global
+/// store, parameter values for the action under check, and the ambient
+/// pending-async multiset visible to Ω-observing gates.
+struct ActionContext {
+  Store Global;
+  std::vector<Value> Args;
+  PaMultiset Omega;
+};
+
+/// A finite quantifier domain.
+using ContextUniverse = std::vector<ActionContext>;
+
+/// Extracts contexts for action \p Name from explored configurations: one
+/// context per PA to \p Name per configuration.
+ContextUniverse collectContexts(const std::vector<Configuration> &Configs,
+                                Symbol Name);
+
+/// Checks Definition 3.1, a1 ≼ a2, over \p Universe:
+///  (1) ρ2 ⊆ ρ1 and (2) ρ2 ∘ τ1 ⊆ τ2.
+CheckResult checkActionRefinement(const Action &A1, const Action &A2,
+                                  const ContextUniverse &Universe);
+
+/// An initial condition for program-level checks: a global store plus
+/// arguments for Main.
+struct InitialCondition {
+  Store Global;
+  std::vector<Value> MainArgs;
+};
+
+/// Checks Definition 3.2, P1 ≼ P2, over the given initial conditions:
+///  (1) Good(P2) ⊆ Good(P1) and (2) Good(P2) ∘ Trans(P1) ⊆ Trans(P2).
+CheckResult checkProgramRefinement(const Program &P1, const Program &P2,
+                                   const std::vector<InitialCondition> &Inits,
+                                   const ExploreOptions &Opts =
+                                       ExploreOptions());
+
+} // namespace isq
+
+#endif // ISQ_REFINE_REFINEMENT_H

@@ -1,0 +1,15 @@
+//===- semantics/Action.cpp - Gated atomic actions --------------------------===//
+
+#include "semantics/Action.h"
+
+using namespace isq;
+
+std::string Transition::str() const {
+  std::string Out = "-> " + Global.str() + " creating {";
+  for (size_t I = 0; I < Created.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Created[I].str();
+  }
+  return Out + "}";
+}

@@ -1,0 +1,128 @@
+//===- semantics/Action.h - Gated atomic actions ----------------*- C++ -*-===//
+///
+/// \file
+/// A gated atomic action (ρ, τ) from §3 of the paper. The gate ρ is a
+/// predicate over the combined store (global store + action parameters);
+/// the transition relation τ is a *finitely branching* enumerator producing
+/// all possible (g', Ω') successors. Executing an action whose gate does
+/// not hold drives the program to the failure configuration; an action
+/// whose gate holds but which has no transitions from the current state is
+/// *blocked* (e.g. a receive on an empty channel).
+///
+/// Following CIVL's `pendingAsyncs` mirror variable (Fig. 4(b) of the
+/// paper), gates may additionally observe the configuration's pending-async
+/// multiset Ω (including the executing PA). Transition relations never
+/// read Ω, so the formal model is unchanged up to this encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SEMANTICS_ACTION_H
+#define ISQ_SEMANTICS_ACTION_H
+
+#include "semantics/PendingAsync.h"
+#include "semantics/Store.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace isq {
+
+/// One element of a transition relation: the successor global store and the
+/// pending asyncs created by the step.
+struct Transition {
+  Store Global;
+  std::vector<PendingAsync> Created;
+
+  Transition() = default;
+  Transition(Store Global, std::vector<PendingAsync> Created = {})
+      : Global(std::move(Global)), Created(std::move(Created)) {}
+
+  /// The created PAs as a canonical multiset Ω'.
+  PaMultiset createdMultiset() const {
+    return PaMultiset::fromSequence(Created);
+  }
+
+  friend bool operator==(const Transition &A, const Transition &B) {
+    return A.Global == B.Global &&
+           A.createdMultiset() == B.createdMultiset();
+  }
+
+  std::string str() const;
+};
+
+/// Everything a gate may observe: the global store, the action's parameter
+/// values, and the pending-async multiset of the current configuration
+/// (CIVL mirror convention: Omega includes the executing PA itself).
+struct GateContext {
+  const Store &Global;
+  const std::vector<Value> &Args;
+  const PaMultiset &Omega;
+};
+
+/// A gated atomic action.
+class Action {
+public:
+  /// ρ: returns true iff the action does not fail from this context.
+  using GateFn = std::function<bool(const GateContext &)>;
+  /// τ: enumerates every possible transition from (g, args). An empty
+  /// result means the action is blocked in this state.
+  using TransitionsFn = std::function<std::vector<Transition>(
+      const Store &, const std::vector<Value> &)>;
+
+  Action() = default;
+  /// \p GateReadsOmega declares whether the gate observes the pending-async
+  /// multiset; Ω-independent gates (the default) allow the checkers to
+  /// deduplicate obligations across configurations sharing a store.
+  /// Gates that DO read Ctx.Omega must pass true — the checkers would
+  /// otherwise be unsound.
+  Action(const std::string &Name, size_t Arity, GateFn Gate,
+         TransitionsFn Transitions, bool GateReadsOmega = false)
+      : Name(Symbol::get(Name)), Arity(Arity), Gate(std::move(Gate)),
+        Transitions(std::move(Transitions)),
+        GateReadsOmega(GateReadsOmega) {}
+
+  /// Whether the gate may observe Ω.
+  bool gateReadsOmega() const { return GateReadsOmega; }
+
+  Symbol name() const { return Name; }
+  size_t arity() const { return Arity; }
+  bool isValid() const { return Name.isValid(); }
+
+  /// Evaluates the gate ρ.
+  bool evalGate(const Store &Global, const std::vector<Value> &Args,
+                const PaMultiset &Omega) const {
+    assert(Args.size() == Arity && "gate arity mismatch");
+    GateContext Ctx{Global, Args, Omega};
+    return Gate(Ctx);
+  }
+
+  /// Enumerates the transition relation τ from (g, args).
+  std::vector<Transition> transitions(const Store &Global,
+                                      const std::vector<Value> &Args) const {
+    assert(Args.size() == Arity && "transition arity mismatch");
+    return Transitions(Global, Args);
+  }
+
+  /// The trivially true gate (total actions).
+  static GateFn alwaysEnabled() {
+    return [](const GateContext &) { return true; };
+  }
+
+  /// Returns a copy of this action registered under \p NewName. Used to
+  /// substitute an invariant or sequentialized action for M in P[M ↦ a].
+  Action withName(const std::string &NewName) const {
+    return Action(NewName, Arity, Gate, Transitions, GateReadsOmega);
+  }
+
+private:
+  Symbol Name;
+  size_t Arity = 0;
+  GateFn Gate;
+  TransitionsFn Transitions;
+  bool GateReadsOmega = false;
+};
+
+} // namespace isq
+
+#endif // ISQ_SEMANTICS_ACTION_H

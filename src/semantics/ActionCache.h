@@ -1,0 +1,65 @@
+//===- semantics/ActionCache.h - Transition memoization -----------*- C++ -*-===//
+///
+/// \file
+/// A memoization layer for transition enumeration. The finite-instance
+/// checkers evaluate the same action from the same (store, args) point
+/// many times — once per configuration containing a matching PA — so a
+/// per-check cache keyed by (action identity, store, args) removes the
+/// dominant cost. Transition relations never observe Ω, which is what
+/// makes this caching sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SEMANTICS_ACTIONCACHE_H
+#define ISQ_SEMANTICS_ACTIONCACHE_H
+
+#include "semantics/Action.h"
+#include "support/Hashing.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace isq {
+
+/// Memoizes Action::transitions per (action instance, store, args).
+/// Intended to live for the duration of one check; the referenced actions
+/// must outlive the cache.
+class TransitionCache {
+public:
+  /// Returns (and memoizes) \p A's transitions from (\p G, \p Args).
+  const std::vector<Transition> &get(const Action &A, const Store &G,
+                                     const std::vector<Value> &Args) {
+    Key K{&A, G, Args};
+    auto It = Map.find(K);
+    if (It != Map.end())
+      return It->second;
+    return Map.emplace(std::move(K), A.transitions(G, Args))
+        .first->second;
+  }
+
+private:
+  struct Key {
+    const void *ActionId;
+    Store G;
+    std::vector<Value> Args;
+
+    bool operator==(const Key &O) const {
+      return ActionId == O.ActionId && G == O.G && Args == O.Args;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      size_t Seed = reinterpret_cast<size_t>(K.ActionId);
+      hashCombine(Seed, K.G.hash());
+      for (const Value &V : K.Args)
+        hashCombine(Seed, V.hash());
+      return Seed;
+    }
+  };
+
+  std::unordered_map<Key, std::vector<Transition>, KeyHash> Map;
+};
+
+} // namespace isq
+
+#endif // ISQ_SEMANTICS_ACTIONCACHE_H

@@ -1,0 +1,91 @@
+//===- semantics/Configuration.h - Program configurations -------*- C++ -*-===//
+///
+/// \file
+/// A configuration is a pair (g, Ω) of a global store and a finite multiset
+/// of pending asyncs, or the unique failure configuration ↯ (§3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SEMANTICS_CONFIGURATION_H
+#define ISQ_SEMANTICS_CONFIGURATION_H
+
+#include "semantics/PendingAsync.h"
+#include "semantics/Store.h"
+
+#include <string>
+
+namespace isq {
+
+/// A (g, Ω) pair or the failure configuration.
+class Configuration {
+public:
+  Configuration() = default;
+  Configuration(Store Global, PaMultiset Pas)
+      : Global(std::move(Global)), Pas(std::move(Pas)) {}
+
+  /// The unique failure configuration.
+  static Configuration failure() {
+    Configuration C;
+    C.IsFailure = true;
+    return C;
+  }
+
+  bool isFailure() const { return IsFailure; }
+
+  const Store &global() const {
+    assert(!IsFailure && "failure configuration has no store");
+    return Global;
+  }
+  const PaMultiset &pendingAsyncs() const {
+    assert(!IsFailure && "failure configuration has no PAs");
+    return Pas;
+  }
+
+  /// Terminating configurations have an empty PA multiset.
+  bool isTerminating() const { return !IsFailure && Pas.empty(); }
+
+  /// Returns a copy with the global store replaced.
+  Configuration withGlobal(Store G) const {
+    assert(!IsFailure && "cannot modify the failure configuration");
+    return Configuration(std::move(G), Pas);
+  }
+  /// Returns a copy with the PA multiset replaced.
+  Configuration withPendingAsyncs(PaMultiset Omega) const {
+    assert(!IsFailure && "cannot modify the failure configuration");
+    return Configuration(Global, std::move(Omega));
+  }
+
+  friend bool operator==(const Configuration &A, const Configuration &B) {
+    if (A.IsFailure != B.IsFailure)
+      return false;
+    if (A.IsFailure)
+      return true;
+    return A.Global == B.Global && A.Pas == B.Pas;
+  }
+  friend bool operator!=(const Configuration &A, const Configuration &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Configuration &A, const Configuration &B);
+
+  size_t hash() const;
+
+  /// Renders "(store, Ω)" or "FAIL".
+  std::string str() const;
+
+private:
+  Store Global;
+  PaMultiset Pas;
+  bool IsFailure = false;
+};
+
+} // namespace isq
+
+namespace std {
+template <> struct hash<isq::Configuration> {
+  size_t operator()(const isq::Configuration &C) const noexcept {
+    return C.hash();
+  }
+};
+} // namespace std
+
+#endif // ISQ_SEMANTICS_CONFIGURATION_H

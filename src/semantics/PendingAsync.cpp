@@ -1,0 +1,39 @@
+//===- semantics/PendingAsync.cpp - Pending asynchronous calls -------------===//
+
+#include "semantics/PendingAsync.h"
+
+#include "support/Hashing.h"
+
+using namespace isq;
+
+size_t PendingAsync::hash() const {
+  size_t Seed = Action.isValid() ? Action.index() + 0x9e3779b9ULL : 0;
+  for (const Value &V : Args)
+    hashCombine(Seed, V.hash());
+  return Seed;
+}
+
+std::string PendingAsync::str() const {
+  std::string Out = Action.isValid() ? Action.str() : "<invalid>";
+  Out += "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Args[I].str();
+  }
+  return Out + ")";
+}
+
+std::string isq::toString(const PaMultiset &Omega) {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[PA, Count] : Omega.entries()) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += PA.str();
+    if (Count != 1)
+      Out += ":x" + std::to_string(Count);
+  }
+  return Out + "}";
+}

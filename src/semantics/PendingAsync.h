@@ -1,0 +1,68 @@
+//===- semantics/PendingAsync.h - Pending asynchronous calls ----*- C++ -*-===//
+///
+/// \file
+/// A pending async (PA) is a pair (ℓ, A) of a local store ℓ and an action
+/// name A (§3). We represent the local store as a positional argument
+/// vector. Configurations carry finite multisets of PAs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SEMANTICS_PENDINGASYNC_H
+#define ISQ_SEMANTICS_PENDINGASYNC_H
+
+#include "semantics/Value.h"
+#include "support/Multiset.h"
+#include "support/Symbol.h"
+
+#include <string>
+#include <vector>
+
+namespace isq {
+
+/// An action name together with its parameter values: a not-yet-executed
+/// asynchronous call.
+struct PendingAsync {
+  Symbol Action;
+  std::vector<Value> Args;
+
+  PendingAsync() = default;
+  PendingAsync(Symbol Action, std::vector<Value> Args)
+      : Action(Action), Args(std::move(Args)) {}
+  PendingAsync(const std::string &Name, std::vector<Value> Args)
+      : Action(Symbol::get(Name)), Args(std::move(Args)) {}
+
+  friend bool operator==(const PendingAsync &A, const PendingAsync &B) {
+    return A.Action == B.Action && A.Args == B.Args;
+  }
+  friend bool operator!=(const PendingAsync &A, const PendingAsync &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const PendingAsync &A, const PendingAsync &B) {
+    if (A.Action != B.Action)
+      return A.Action < B.Action;
+    return A.Args < B.Args;
+  }
+
+  size_t hash() const;
+
+  /// Renders "Broadcast(2)" for diagnostics.
+  std::string str() const;
+};
+
+/// The multiset Ω of pending asyncs.
+using PaMultiset = Multiset<PendingAsync>;
+
+/// Renders "{Broadcast(1), Collect(1):x2}".
+std::string toString(const PaMultiset &Omega);
+
+} // namespace isq
+
+namespace std {
+template <> struct hash<isq::PendingAsync> {
+  size_t operator()(const isq::PendingAsync &PA) const noexcept {
+    return PA.hash();
+  }
+};
+} // namespace std
+
+#endif // ISQ_SEMANTICS_PENDINGASYNC_H

@@ -1,0 +1,88 @@
+//===- semantics/Store.cpp - Global stores ---------------------------------===//
+
+#include "semantics/Store.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace isq;
+
+Store Store::make(std::vector<std::pair<Symbol, Value>> Vars) {
+  std::sort(Vars.begin(), Vars.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+#ifndef NDEBUG
+  for (size_t I = 1; I < Vars.size(); ++I)
+    assert(Vars[I - 1].first != Vars[I].first && "duplicate store variables");
+#endif
+  Store S;
+  S.Vars = std::move(Vars);
+  return S;
+}
+
+bool Store::contains(Symbol Var) const {
+  auto It = std::lower_bound(
+      Vars.begin(), Vars.end(), Var,
+      [](const auto &E, Symbol V) { return E.first < V; });
+  return It != Vars.end() && It->first == Var;
+}
+
+const Value &Store::get(Symbol Var) const {
+  auto It = std::lower_bound(
+      Vars.begin(), Vars.end(), Var,
+      [](const auto &E, Symbol V) { return E.first < V; });
+  assert(It != Vars.end() && It->first == Var && "store variable missing");
+  return It->second;
+}
+
+Store Store::set(Symbol Var, Value V) const {
+  Store S = *this;
+  S.HashMemo = 0;
+  auto It = std::lower_bound(
+      S.Vars.begin(), S.Vars.end(), Var,
+      [](const auto &E, Symbol Sym) { return E.first < Sym; });
+  if (It != S.Vars.end() && It->first == Var)
+    It->second = std::move(V);
+  else
+    S.Vars.insert(It, {Var, std::move(V)});
+  return S;
+}
+
+namespace isq {
+bool operator<(const Store &A, const Store &B) {
+  size_t N = std::min(A.Vars.size(), B.Vars.size());
+  for (size_t I = 0; I < N; ++I) {
+    if (A.Vars[I].first != B.Vars[I].first)
+      return A.Vars[I].first < B.Vars[I].first;
+    if (A.Vars[I].second != B.Vars[I].second)
+      return A.Vars[I].second < B.Vars[I].second;
+  }
+  return A.Vars.size() < B.Vars.size();
+}
+} // namespace isq
+
+size_t Store::hash() const {
+  if (HashMemo != 0)
+    return HashMemo;
+  size_t Seed = 0x517cc1b727220a95ULL;
+  for (const auto &[Var, Val] : Vars) {
+    hashCombine(Seed, Var.index());
+    hashCombine(Seed, Val.hash());
+  }
+  // 0 is the "not computed" sentinel; remap it without losing bits.
+  HashMemo = Seed ? Seed : 0x9e3779b97f4a7c15ULL;
+  return HashMemo;
+}
+
+std::string Store::str() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Var, Val] : Vars) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += Var.str() + " = " + Val.str();
+  }
+  return Out + "}";
+}

@@ -1,0 +1,78 @@
+//===- semantics/Store.h - Global stores ------------------------*- C++ -*-===//
+///
+/// \file
+/// A store σ : V → D (§3 of the paper), mapping interned variable symbols to
+/// values. Stores are value types kept in canonical (sorted) order so they
+/// can be compared, hashed, and deduplicated during exploration. Local
+/// stores (action parameters) are represented separately as argument
+/// vectors; this class models the *global* store g.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SEMANTICS_STORE_H
+#define ISQ_SEMANTICS_STORE_H
+
+#include "semantics/Value.h"
+#include "support/Symbol.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace isq {
+
+/// A finite mapping from variable symbols to values.
+class Store {
+public:
+  Store() = default;
+
+  /// Builds a store from (name, value) pairs; names must be distinct.
+  static Store make(std::vector<std::pair<Symbol, Value>> Vars);
+
+  bool contains(Symbol Var) const;
+
+  /// Reads \p Var; asserts that the variable exists.
+  const Value &get(Symbol Var) const;
+  /// Convenience overload interning \p Name.
+  const Value &get(const std::string &Name) const {
+    return get(Symbol::get(Name));
+  }
+
+  /// Returns a new store with \p Var set to \p V (inserted if absent).
+  Store set(Symbol Var, Value V) const;
+  Store set(const std::string &Name, Value V) const {
+    return set(Symbol::get(Name), std::move(V));
+  }
+
+  size_t size() const { return Vars.size(); }
+  const std::vector<std::pair<Symbol, Value>> &entries() const {
+    return Vars;
+  }
+
+  friend bool operator==(const Store &A, const Store &B) {
+    return A.Vars == B.Vars;
+  }
+  friend bool operator!=(const Store &A, const Store &B) { return !(A == B); }
+  friend bool operator<(const Store &A, const Store &B);
+
+  size_t hash() const;
+
+  /// Renders "{x = 1, CH = map{...}}" for diagnostics.
+  std::string str() const;
+
+private:
+  // Sorted by symbol index.
+  std::vector<std::pair<Symbol, Value>> Vars;
+  /// Lazily memoized hash (0 = not yet computed); reset on mutation.
+  mutable size_t HashMemo = 0;
+};
+
+} // namespace isq
+
+namespace std {
+template <> struct hash<isq::Store> {
+  size_t operator()(const isq::Store &S) const noexcept { return S.hash(); }
+};
+} // namespace std
+
+#endif // ISQ_SEMANTICS_STORE_H

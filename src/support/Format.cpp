@@ -1,0 +1,63 @@
+//===- support/Format.cpp - Lightweight string formatting -----------------===//
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace isq;
+
+std::string isq::join(const std::vector<std::string> &Parts,
+                      const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string isq::padTo(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+std::string isq::formatSeconds(double Seconds) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Seconds);
+  return Buf;
+}
+
+std::string isq::formatTable(const std::vector<std::string> &Header,
+                             const std::vector<std::vector<std::string>> &Rows) {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size() && C < Widths.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t C = 0; C < Row.size(); ++C) {
+      Line += padTo(Row[C], Widths[C]);
+      if (C + 1 != Row.size())
+        Line += "  ";
+    }
+    // Trim trailing spaces from padding of the last column.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line + "\n";
+  };
+
+  std::string Out = renderRow(Header);
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    RuleWidth += Widths[C] + (C + 1 != Widths.size() ? 2 : 0);
+  Out += std::string(RuleWidth, '-') + "\n";
+  for (const auto &Row : Rows)
+    Out += renderRow(Row);
+  return Out;
+}

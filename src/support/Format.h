@@ -1,0 +1,36 @@
+//===- support/Format.h - Lightweight string formatting ---------*- C++ -*-===//
+///
+/// \file
+/// Small string-building helpers used for diagnostics, counterexample
+/// printing and the benchmark tables. Deliberately minimal: the library
+/// never throws and never uses <iostream>-style global state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SUPPORT_FORMAT_H
+#define ISQ_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace isq {
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Left-pads or truncates \p S to exactly \p Width columns.
+std::string padTo(const std::string &S, size_t Width);
+
+/// Renders a fixed-point seconds value like "1.234".
+std::string formatSeconds(double Seconds);
+
+/// Renders a simple aligned ASCII table. \p Header and every row must have
+/// the same number of columns.
+std::string formatTable(const std::vector<std::string> &Header,
+                        const std::vector<std::vector<std::string>> &Rows);
+
+} // namespace isq
+
+#endif // ISQ_SUPPORT_FORMAT_H

@@ -1,0 +1,171 @@
+//===- support/Multiset.h - Canonical multiset ------------------*- C++ -*-===//
+///
+/// \file
+/// A canonical (sorted, run-length encoded) multiset over an ordered element
+/// type. Pending-async multisets and bag-valued channels (§3 of the paper)
+/// are represented with this container; canonical form makes equality,
+/// ordering and hashing of configurations structural.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SUPPORT_MULTISET_H
+#define ISQ_SUPPORT_MULTISET_H
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace isq {
+
+/// A multiset stored as a sorted vector of (element, multiplicity) pairs
+/// with strictly positive multiplicities. Elements must define operator<
+/// and operator==.
+template <typename T> class Multiset {
+public:
+  using Entry = std::pair<T, uint64_t>;
+
+  Multiset() = default;
+
+  /// Builds a multiset from an arbitrary (unsorted, repeating) sequence.
+  static Multiset fromSequence(const std::vector<T> &Elems) {
+    Multiset M;
+    for (const T &E : Elems)
+      M.insert(E);
+    return M;
+  }
+
+  /// Number of distinct elements.
+  size_t distinctSize() const { return Entries.size(); }
+
+  /// Total number of elements counting multiplicity.
+  uint64_t size() const {
+    uint64_t N = 0;
+    for (const Entry &E : Entries)
+      N += E.second;
+    return N;
+  }
+
+  bool empty() const { return Entries.empty(); }
+
+  /// Multiplicity of \p Elem (0 if absent).
+  uint64_t count(const T &Elem) const {
+    auto It = lowerBound(Elem);
+    if (It != Entries.end() && It->first == Elem)
+      return It->second;
+    return 0;
+  }
+
+  bool contains(const T &Elem) const { return count(Elem) > 0; }
+
+  /// Inserts \p Count copies of \p Elem.
+  void insert(const T &Elem, uint64_t Count = 1) {
+    if (Count == 0)
+      return;
+    auto It = lowerBound(Elem);
+    if (It != Entries.end() && It->first == Elem) {
+      It->second += Count;
+      return;
+    }
+    Entries.insert(It, {Elem, Count});
+  }
+
+  /// Removes \p Count copies of \p Elem; asserts that enough copies exist.
+  void erase(const T &Elem, uint64_t Count = 1) {
+    auto It = lowerBound(Elem);
+    assert(It != Entries.end() && It->first == Elem && It->second >= Count &&
+           "erasing more copies than present");
+    It->second -= Count;
+    if (It->second == 0)
+      Entries.erase(It);
+  }
+
+  /// Removes up to \p Count copies; returns the number actually removed.
+  uint64_t eraseUpTo(const T &Elem, uint64_t Count) {
+    auto It = lowerBound(Elem);
+    if (It == Entries.end() || !(It->first == Elem))
+      return 0;
+    uint64_t Removed = std::min(Count, It->second);
+    It->second -= Removed;
+    if (It->second == 0)
+      Entries.erase(It);
+    return Removed;
+  }
+
+  /// Multiset union (sum of multiplicities), the ⊎ of the paper.
+  Multiset unionWith(const Multiset &Other) const {
+    Multiset Result = *this;
+    for (const Entry &E : Other.Entries)
+      Result.insert(E.first, E.second);
+    return Result;
+  }
+
+  /// Multiset difference; asserts Other ⊆ this.
+  Multiset differenceWith(const Multiset &Other) const {
+    Multiset Result = *this;
+    for (const Entry &E : Other.Entries)
+      Result.erase(E.first, E.second);
+    return Result;
+  }
+
+  /// Returns true if this is a sub-multiset of \p Other.
+  bool isSubsetOf(const Multiset &Other) const {
+    for (const Entry &E : Entries)
+      if (Other.count(E.first) < E.second)
+        return false;
+    return true;
+  }
+
+  /// Read-only access to the canonical entries (sorted by element).
+  const std::vector<Entry> &entries() const { return Entries; }
+
+  /// Flattens to a vector with elements repeated per multiplicity.
+  std::vector<T> flatten() const {
+    std::vector<T> Out;
+    Out.reserve(size());
+    for (const Entry &E : Entries)
+      for (uint64_t I = 0; I < E.second; ++I)
+        Out.push_back(E.first);
+    return Out;
+  }
+
+  friend bool operator==(const Multiset &A, const Multiset &B) {
+    return A.Entries == B.Entries;
+  }
+  friend bool operator!=(const Multiset &A, const Multiset &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Multiset &A, const Multiset &B) {
+    return A.Entries < B.Entries;
+  }
+
+  size_t hash() const {
+    size_t Seed = 0x811c9dc5;
+    for (const Entry &E : Entries) {
+      hashCombineValue(Seed, E.first);
+      hashCombine(Seed, static_cast<size_t>(E.second));
+    }
+    return Seed;
+  }
+
+private:
+  typename std::vector<Entry>::iterator lowerBound(const T &Elem) {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Elem,
+        [](const Entry &E, const T &V) { return E.first < V; });
+  }
+  typename std::vector<Entry>::const_iterator lowerBound(const T &Elem) const {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Elem,
+        [](const Entry &E, const T &V) { return E.first < V; });
+  }
+
+  std::vector<Entry> Entries;
+};
+
+} // namespace isq
+
+#endif // ISQ_SUPPORT_MULTISET_H

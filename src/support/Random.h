@@ -1,0 +1,43 @@
+//===- support/Random.h - Deterministic RNG ---------------------*- C++ -*-===//
+///
+/// \file
+/// A tiny deterministic xorshift RNG used for execution sampling in tests
+/// and benchmarks. Deliberately not std::mt19937 so results are stable
+/// across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SUPPORT_RANDOM_H
+#define ISQ_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace isq {
+
+/// xorshift64* generator with a fixed default seed.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x853c49e6748fea9bULL)
+      : State(Seed ? Seed : 1) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform value in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace isq
+
+#endif // ISQ_SUPPORT_RANDOM_H

@@ -1,0 +1,36 @@
+//===- support/Symbol.cpp - Interned identifiers --------------------------===//
+
+#include "support/Symbol.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace isq;
+
+namespace {
+struct SymbolTable {
+  std::unordered_map<std::string, uint32_t> Indices;
+  std::vector<std::string> Names;
+};
+
+SymbolTable &table() {
+  static SymbolTable Table;
+  return Table;
+}
+} // namespace
+
+Symbol Symbol::get(const std::string &Name) {
+  SymbolTable &T = table();
+  auto It = T.Indices.find(Name);
+  if (It != T.Indices.end())
+    return Symbol(It->second);
+  uint32_t Index = static_cast<uint32_t>(T.Names.size());
+  T.Names.push_back(Name);
+  T.Indices.emplace(Name, Index);
+  return Symbol(Index);
+}
+
+const std::string &Symbol::str() const {
+  assert(isValid() && "querying name of invalid symbol");
+  return table().Names[Index];
+}

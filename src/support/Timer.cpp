@@ -1,0 +1,4 @@
+//===- support/Timer.cpp - Wall-clock timing -------------------------------===//
+// Timer is header-only; this file anchors the translation unit.
+
+#include "support/Timer.h"

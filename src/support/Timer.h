@@ -1,0 +1,36 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+///
+/// \file
+/// A monotonic wall-clock stopwatch used by the verification pipeline and
+/// the benchmark harness to report per-check times (Table 1 column "Time").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SUPPORT_TIMER_H
+#define ISQ_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace isq {
+
+/// Starts on construction; elapsed() reports seconds since construction or
+/// the last reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace isq
+
+#endif // ISQ_SUPPORT_TIMER_H

@@ -1,0 +1,95 @@
+//===- tests/TestPrograms.h - Tiny programs shared by tests ------*- C++ -*-===//
+///
+/// \file
+/// Small hand-built programs used across the unit tests: an increment
+/// fan-out, a conditional failure, and the Fig. 2 M/X/Y/A/B program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_TESTS_TESTPROGRAMS_H
+#define ISQ_TESTS_TESTPROGRAMS_H
+
+#include "semantics/Program.h"
+
+namespace isq {
+namespace testing {
+
+inline Value iv(int64_t N) { return Value::integer(N); }
+
+/// Store {x = X}.
+inline Store xStore(int64_t X) {
+  return Store::make({{Symbol::get("x"), iv(X)}});
+}
+
+/// A deterministic action updating x := f(x) and creating no PAs.
+inline Action updateX(const std::string &Name,
+                      int64_t (*F)(int64_t)) {
+  return Action(Name, 0, Action::alwaysEnabled(),
+                [F](const Store &G, const std::vector<Value> &) {
+                  int64_t X = G.get("x").getInt();
+                  return std::vector<Transition>{
+                      Transition(G.set("x", iv(F(X))))};
+                });
+}
+
+/// Main spawns \p N Inc() tasks; each increments x. All interleavings end
+/// with x = x0 + N.
+inline Program makeIncrementProgram(int64_t N) {
+  Program P;
+  P.addAction(Action("Main", 0, Action::alwaysEnabled(),
+                     [N](const Store &G, const std::vector<Value> &) {
+                       Transition T(G);
+                       for (int64_t I = 0; I < N; ++I)
+                         T.Created.emplace_back("Inc",
+                                                std::vector<Value>{});
+                       return std::vector<Transition>{std::move(T)};
+                     }));
+  P.addAction(updateX("Inc", [](int64_t X) { return X + 1; }));
+  return P;
+}
+
+/// Main spawns Check(); Check's gate requires x == 0, so the program fails
+/// iff started with x != 0.
+inline Program makeConditionalFailProgram() {
+  Program P;
+  P.addAction(Action("Main", 0, Action::alwaysEnabled(),
+                     [](const Store &G, const std::vector<Value> &) {
+                       Transition T(G);
+                       T.Created.emplace_back("Check",
+                                              std::vector<Value>{});
+                       return std::vector<Transition>{std::move(T)};
+                     }));
+  P.addAction(Action("Check", 0,
+                     [](const GateContext &Ctx) {
+                       return Ctx.Global.get("x").getInt() == 0;
+                     },
+                     [](const Store &G, const std::vector<Value> &) {
+                       return std::vector<Transition>{Transition(G)};
+                     }));
+  return P;
+}
+
+/// A blocked action: Recv's transition relation is empty unless x > 0.
+inline Program makeBlockingProgram() {
+  Program P;
+  P.addAction(Action("Main", 0, Action::alwaysEnabled(),
+                     [](const Store &G, const std::vector<Value> &) {
+                       Transition T(G);
+                       T.Created.emplace_back("Recv",
+                                              std::vector<Value>{});
+                       return std::vector<Transition>{std::move(T)};
+                     }));
+  P.addAction(Action("Recv", 0, Action::alwaysEnabled(),
+                     [](const Store &G, const std::vector<Value> &) {
+                       std::vector<Transition> Out;
+                       if (G.get("x").getInt() > 0)
+                         Out.emplace_back(G.set("x", iv(0)));
+                       return Out;
+                     }));
+  return P;
+}
+
+} // namespace testing
+} // namespace isq
+
+#endif // ISQ_TESTS_TESTPROGRAMS_H

@@ -1,0 +1,105 @@
+//===- tests/lexer_test.cpp - ASL lexer tests --------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace isq::asl;
+
+namespace {
+std::vector<Token> lexOk(const std::string &Source) {
+  std::vector<Diagnostic> Diags;
+  std::vector<Token> Tokens = lex(Source, Diags);
+  EXPECT_TRUE(Diags.empty()) << (Diags.empty() ? "" : Diags[0].str());
+  return Tokens;
+}
+} // namespace
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto Tokens = lexOk("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Eof));
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Tokens = lexOk("action foo var choose chooser");
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::KwAction));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Identifier));
+  EXPECT_EQ(Tokens[1].Text, "foo");
+  EXPECT_TRUE(Tokens[2].is(TokenKind::KwVar));
+  EXPECT_TRUE(Tokens[3].is(TokenKind::KwChoose));
+  EXPECT_TRUE(Tokens[4].is(TokenKind::Identifier))
+      << "keyword prefix does not hijack an identifier";
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto Tokens = lexOk("0 42 1234567");
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 1234567);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto Tokens = lexOk(":= .. == != <= >= && ||");
+  TokenKind Expected[] = {TokenKind::Assign,    TokenKind::DotDot,
+                          TokenKind::EqEq,      TokenKind::BangEq,
+                          TokenKind::LessEq,    TokenKind::GreaterEq,
+                          TokenKind::AmpAmp,    TokenKind::PipePipe};
+  for (size_t I = 0; I < 8; ++I)
+    EXPECT_TRUE(Tokens[I].is(Expected[I])) << I;
+}
+
+TEST(LexerTest, SingleCharOperators) {
+  auto Tokens = lexOk("< > ! : + - * / % ( ) { } [ ] , ;");
+  TokenKind Expected[] = {
+      TokenKind::Less,     TokenKind::Greater,  TokenKind::Bang,
+      TokenKind::Colon,    TokenKind::Plus,     TokenKind::Minus,
+      TokenKind::Star,     TokenKind::Slash,    TokenKind::Percent,
+      TokenKind::LParen,   TokenKind::RParen,   TokenKind::LBrace,
+      TokenKind::RBrace,   TokenKind::LBracket, TokenKind::RBracket,
+      TokenKind::Comma,    TokenKind::Semicolon};
+  for (size_t I = 0; I < 17; ++I)
+    EXPECT_TRUE(Tokens[I].is(Expected[I])) << I;
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  auto Tokens = lexOk("a // comment with var action := tokens\nb");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, LocationsAreTracked) {
+  auto Tokens = lexOk("a\n  b");
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[0].Column, 1u);
+  EXPECT_EQ(Tokens[1].Line, 2u);
+  EXPECT_EQ(Tokens[1].Column, 3u);
+}
+
+TEST(LexerTest, UnknownCharacterIsDiagnosed) {
+  std::vector<Diagnostic> Diags;
+  lex("a @ b", Diags);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_NE(Diags[0].Message.find("unexpected character"),
+            std::string::npos);
+  EXPECT_EQ(Diags[0].Column, 3u);
+}
+
+TEST(LexerTest, FullActionSnippet) {
+  auto Tokens = lexOk("action Collect(i: int) {\n"
+                      "  await size(CH[i]) >= n;\n"
+                      "}\n");
+  // Spot-check the shape.
+  EXPECT_TRUE(Tokens[0].is(TokenKind::KwAction));
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Identifier));
+  EXPECT_TRUE(Tokens[2].is(TokenKind::LParen));
+  bool HasAwait = false, HasGreaterEq = false;
+  for (const Token &T : Tokens) {
+    HasAwait = HasAwait || T.is(TokenKind::KwAwait);
+    HasGreaterEq = HasGreaterEq || T.is(TokenKind::GreaterEq);
+  }
+  EXPECT_TRUE(HasAwait);
+  EXPECT_TRUE(HasGreaterEq);
+}

@@ -1,0 +1,135 @@
+//===- tests/parser_test.cpp - ASL parser tests ------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace isq::asl;
+
+namespace {
+
+Module parseOk(const std::string &Source) {
+  std::vector<Diagnostic> Diags;
+  auto M = parseModule(Source, Diags);
+  EXPECT_TRUE(M.has_value()) << (Diags.empty() ? "" : Diags[0].str());
+  return M ? std::move(*M) : Module();
+}
+
+void parseFails(const std::string &Source, const std::string &Fragment) {
+  std::vector<Diagnostic> Diags;
+  auto M = parseModule(Source, Diags);
+  EXPECT_FALSE(M.has_value()) << "expected a parse error";
+  bool Found = false;
+  for (const Diagnostic &D : Diags)
+    Found = Found || D.Message.find(Fragment) != std::string::npos;
+  EXPECT_TRUE(Found) << "no diagnostic mentioning '" << Fragment << "'";
+}
+
+} // namespace
+
+TEST(ParserTest, ConstVarAndActionDecls) {
+  Module M = parseOk("const n: int;\n"
+                     "var x: int := 0;\n"
+                     "action Main() { skip; }\n");
+  ASSERT_EQ(M.Consts.size(), 1u);
+  EXPECT_EQ(M.Consts[0].Name, "n");
+  ASSERT_EQ(M.Vars.size(), 1u);
+  EXPECT_EQ(M.Vars[0].Name, "x");
+  EXPECT_EQ(M.Vars[0].Type, TypeRef::intTy());
+  ASSERT_EQ(M.Actions.size(), 1u);
+  EXPECT_EQ(M.Actions[0].Name, "Main");
+  EXPECT_TRUE(M.Actions[0].Params.empty());
+  ASSERT_EQ(M.Actions[0].Body.size(), 1u);
+  EXPECT_EQ(M.Actions[0].Body[0]->Kind, StmtKind::Skip);
+}
+
+TEST(ParserTest, NestedTypes) {
+  Module M = parseOk(
+      "var CH: map<int, bag<int>> := {};\n"
+      "var d: map<int, option<int>> := {};\n"
+      "var q: seq<int> := [];\n");
+  EXPECT_EQ(M.Vars[0].Type,
+            TypeRef::mapTy(TypeRef::intTy(),
+                           TypeRef::bagTy(TypeRef::intTy())));
+  EXPECT_EQ(M.Vars[1].Type,
+            TypeRef::mapTy(TypeRef::intTy(),
+                           TypeRef::optionTy(TypeRef::intTy())));
+  EXPECT_EQ(M.Vars[2].Type, TypeRef::seqTy(TypeRef::intTy()));
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  Module M = parseOk("action A(x: int) { assert x + 1 * 2 == 3 || false; }");
+  const Stmt &S = *M.Actions[0].Body[0];
+  // (  (x + (1*2)) == 3  ) || false
+  const Expr &Or = *S.Exprs[0];
+  ASSERT_EQ(Or.Kind, ExprKind::Binary);
+  EXPECT_EQ(Or.Op, "||");
+  const Expr &Eq = *Or.Children[0];
+  EXPECT_EQ(Eq.Op, "==");
+  const Expr &Plus = *Eq.Children[0];
+  EXPECT_EQ(Plus.Op, "+");
+  EXPECT_EQ(Plus.Children[1]->Op, "*");
+}
+
+TEST(ParserTest, StatementForms) {
+  Module M = parseOk(
+      "var x: map<int, int> := {};\n"
+      "action A(i: int) {\n"
+      "  x[i] := i + 1;\n"
+      "  if x[i] == 2 { skip; } else { assert false; }\n"
+      "  for j in 1 .. i { async A(j); }\n"
+      "  await x[i] > 0;\n"
+      "  choose y in keys(x);\n"
+      "  x[y] := 0;\n"
+      "}\n");
+  const auto &Body = M.Actions[0].Body;
+  ASSERT_EQ(Body.size(), 6u);
+  EXPECT_EQ(Body[0]->Kind, StmtKind::Assign);
+  EXPECT_EQ(Body[0]->Exprs.size(), 2u) << "one index plus the rhs";
+  EXPECT_EQ(Body[1]->Kind, StmtKind::If);
+  EXPECT_EQ(Body[1]->ElseBody.size(), 1u);
+  EXPECT_EQ(Body[2]->Kind, StmtKind::For);
+  EXPECT_EQ(Body[2]->Body[0]->Kind, StmtKind::Async);
+  EXPECT_EQ(Body[3]->Kind, StmtKind::Await);
+  EXPECT_EQ(Body[4]->Kind, StmtKind::Choose);
+  EXPECT_EQ(Body[4]->Name, "y");
+}
+
+TEST(ParserTest, MapComprehension) {
+  Module M = parseOk("const n: int;\n"
+                     "var v: map<int, int> := map i in 1 .. n : i * i;\n");
+  const Expr &Compr = *M.Vars[0].Init;
+  ASSERT_EQ(Compr.Kind, ExprKind::MapCompr);
+  EXPECT_EQ(Compr.Name, "i");
+  EXPECT_EQ(Compr.Children.size(), 3u);
+}
+
+TEST(ParserTest, IndexChains) {
+  Module M = parseOk("var m: map<int, map<int, int>> := {};\n"
+                     "action A() { m[1][2] := 3; }\n");
+  EXPECT_EQ(M.Actions[0].Body[0]->Exprs.size(), 3u)
+      << "two indices plus the rhs";
+}
+
+TEST(ParserTest, SomeAndNone) {
+  Module M = parseOk("var o: option<int> := none;\n"
+                     "action A() { o := some(5); }\n");
+  EXPECT_EQ(M.Vars[0].Init->Kind, ExprKind::NoneLit);
+  EXPECT_EQ(M.Actions[0].Body[0]->Exprs[0]->Kind, ExprKind::SomeExpr);
+}
+
+TEST(ParserTest, MissingSemicolonDiagnosed) {
+  parseFails("action A() { skip }", "';'");
+}
+
+TEST(ParserTest, MissingAssignInVarDecl) {
+  parseFails("var x: int;", "initializer");
+}
+
+TEST(ParserTest, BadTypeDiagnosed) {
+  parseFails("var x: float := 0;", "expected a type");
+}
+
+TEST(ParserTest, NonIntConstRejected) {
+  parseFails("const b: bool;", "constants must have type int");
+}

@@ -1,0 +1,91 @@
+//===- tests/store_test.cpp - Store / PA / configuration unit tests ----------===//
+
+#include "semantics/Configuration.h"
+#include "semantics/PendingAsync.h"
+#include "semantics/Store.h"
+
+#include <gtest/gtest.h>
+
+using namespace isq;
+
+namespace {
+Store twoVarStore() {
+  return Store::make({{Symbol::get("x"), Value::integer(1)},
+                      {Symbol::get("flag"), Value::boolean(false)}});
+}
+} // namespace
+
+TEST(StoreTest, GetSet) {
+  Store S = twoVarStore();
+  EXPECT_EQ(S.get("x").getInt(), 1);
+  EXPECT_FALSE(S.get("flag").getBool());
+  Store S2 = S.set("x", Value::integer(2));
+  EXPECT_EQ(S2.get("x").getInt(), 2);
+  EXPECT_EQ(S.get("x").getInt(), 1) << "stores are immutable values";
+}
+
+TEST(StoreTest, SetInsertsNewVariable) {
+  Store S = twoVarStore().set("y", Value::integer(9));
+  EXPECT_TRUE(S.contains(Symbol::get("y")));
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_FALSE(twoVarStore().contains(Symbol::get("y")));
+}
+
+TEST(StoreTest, EqualityAndHashing) {
+  Store A = twoVarStore();
+  Store B = Store::make({{Symbol::get("flag"), Value::boolean(false)},
+                         {Symbol::get("x"), Value::integer(1)}});
+  EXPECT_EQ(A, B) << "construction order does not matter";
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_NE(A, A.set("x", Value::integer(5)));
+}
+
+TEST(PendingAsyncTest, EqualityAndOrdering) {
+  PendingAsync A("Act", {Value::integer(1)});
+  PendingAsync B("Act", {Value::integer(1)});
+  PendingAsync C("Act", {Value::integer(2)});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_LT(A, C);
+  EXPECT_EQ(A.str(), "Act(1)");
+}
+
+TEST(PendingAsyncTest, MultisetRendering) {
+  PaMultiset Omega;
+  Omega.insert(PendingAsync("B", {Value::integer(1)}));
+  Omega.insert(PendingAsync("B", {Value::integer(1)}));
+  Omega.insert(PendingAsync("A", {}));
+  std::string S = toString(Omega);
+  EXPECT_NE(S.find("B(1):x2"), std::string::npos) << S;
+  EXPECT_NE(S.find("A()"), std::string::npos) << S;
+}
+
+TEST(ConfigurationTest, FailureIsDistinct) {
+  Configuration F = Configuration::failure();
+  EXPECT_TRUE(F.isFailure());
+  EXPECT_FALSE(F.isTerminating());
+  Configuration C(twoVarStore(), PaMultiset());
+  EXPECT_NE(C, F);
+  EXPECT_EQ(F, Configuration::failure());
+  EXPECT_EQ(F.str(), "FAIL");
+}
+
+TEST(ConfigurationTest, TerminatingMeansNoPas) {
+  Configuration C(twoVarStore(), PaMultiset());
+  EXPECT_TRUE(C.isTerminating());
+  PaMultiset Omega;
+  Omega.insert(PendingAsync("A", {}));
+  Configuration C2 = C.withPendingAsyncs(Omega);
+  EXPECT_FALSE(C2.isTerminating());
+}
+
+TEST(ConfigurationTest, StructuralEqualityAndHash) {
+  PaMultiset Omega;
+  Omega.insert(PendingAsync("A", {Value::integer(3)}));
+  Configuration A(twoVarStore(), Omega);
+  Configuration B(twoVarStore(), Omega);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  Configuration C = A.withGlobal(twoVarStore().set("x", Value::integer(7)));
+  EXPECT_NE(A, C);
+}

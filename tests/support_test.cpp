@@ -1,0 +1,134 @@
+//===- tests/support_test.cpp - Support library unit tests -----------------===//
+
+#include "support/Format.h"
+#include "support/Multiset.h"
+#include "support/Random.h"
+#include "support/Symbol.h"
+
+#include <gtest/gtest.h>
+
+using namespace isq;
+
+// --- Symbol ------------------------------------------------------------------
+
+TEST(SymbolTest, InterningIsIdempotent) {
+  Symbol A = Symbol::get("alpha");
+  Symbol B = Symbol::get("alpha");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.index(), B.index());
+  EXPECT_EQ(A.str(), "alpha");
+}
+
+TEST(SymbolTest, DistinctNamesDistinctSymbols) {
+  Symbol A = Symbol::get("one-name");
+  Symbol B = Symbol::get("another-name");
+  EXPECT_NE(A, B);
+}
+
+TEST(SymbolTest, DefaultIsInvalid) {
+  Symbol S;
+  EXPECT_FALSE(S.isValid());
+}
+
+TEST(SymbolTest, OrderingIsByInterningIndex) {
+  Symbol A = Symbol::get("zz-first-interned");
+  Symbol B = Symbol::get("aa-second-interned");
+  EXPECT_LT(A, B) << "ordering follows interning order, not spelling";
+}
+
+// --- Multiset -----------------------------------------------------------------
+
+TEST(MultisetTest, InsertEraseCount) {
+  Multiset<int> M;
+  EXPECT_TRUE(M.empty());
+  M.insert(3);
+  M.insert(3);
+  M.insert(5);
+  EXPECT_EQ(M.count(3), 2u);
+  EXPECT_EQ(M.count(5), 1u);
+  EXPECT_EQ(M.count(7), 0u);
+  EXPECT_EQ(M.size(), 3u);
+  EXPECT_EQ(M.distinctSize(), 2u);
+  M.erase(3);
+  EXPECT_EQ(M.count(3), 1u);
+  M.erase(3);
+  EXPECT_EQ(M.count(3), 0u);
+  EXPECT_FALSE(M.contains(3));
+}
+
+TEST(MultisetTest, CanonicalFormGivesEquality) {
+  Multiset<int> A = Multiset<int>::fromSequence({3, 1, 2, 1});
+  Multiset<int> B = Multiset<int>::fromSequence({1, 2, 1, 3});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(MultisetTest, UnionSumsMultiplicities) {
+  Multiset<int> A = Multiset<int>::fromSequence({1, 1, 2});
+  Multiset<int> B = Multiset<int>::fromSequence({1, 3});
+  Multiset<int> U = A.unionWith(B);
+  EXPECT_EQ(U.count(1), 3u);
+  EXPECT_EQ(U.count(2), 1u);
+  EXPECT_EQ(U.count(3), 1u);
+}
+
+TEST(MultisetTest, DifferenceSubtracts) {
+  Multiset<int> A = Multiset<int>::fromSequence({1, 1, 2, 3});
+  Multiset<int> B = Multiset<int>::fromSequence({1, 3});
+  Multiset<int> D = A.differenceWith(B);
+  EXPECT_EQ(D, Multiset<int>::fromSequence({1, 2}));
+}
+
+TEST(MultisetTest, SubsetRespectsMultiplicity) {
+  Multiset<int> A = Multiset<int>::fromSequence({1, 1});
+  Multiset<int> B = Multiset<int>::fromSequence({1, 2});
+  EXPECT_FALSE(A.isSubsetOf(B)) << "two copies of 1 are not within one";
+  EXPECT_TRUE(Multiset<int>::fromSequence({1}).isSubsetOf(B));
+  EXPECT_TRUE(Multiset<int>().isSubsetOf(B));
+}
+
+TEST(MultisetTest, EraseUpTo) {
+  Multiset<int> M = Multiset<int>::fromSequence({4, 4, 4});
+  EXPECT_EQ(M.eraseUpTo(4, 5), 3u);
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.eraseUpTo(4, 1), 0u);
+}
+
+TEST(MultisetTest, FlattenRepeatsElements) {
+  Multiset<int> M = Multiset<int>::fromSequence({2, 1, 2});
+  std::vector<int> F = M.flatten();
+  EXPECT_EQ(F, (std::vector<int>{1, 2, 2}));
+}
+
+// --- Format -----------------------------------------------------------------
+
+TEST(FormatTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(FormatTest, PadTo) {
+  EXPECT_EQ(padTo("ab", 4), "ab  ");
+  EXPECT_EQ(padTo("abcdef", 4), "abcdef");
+}
+
+TEST(FormatTest, TableAlignsColumns) {
+  std::string T = formatTable({"name", "n"}, {{"alpha", "1"}, {"b", "22"}});
+  EXPECT_NE(T.find("alpha  1"), std::string::npos) << T;
+  EXPECT_NE(T.find("b      22"), std::string::npos) << T;
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicSequence) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng R;
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(7), 7u);
+}

@@ -1,0 +1,171 @@
+//===- tests/typecheck_test.cpp - ASL type checker tests -----------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace isq::asl;
+
+namespace {
+
+void checkOk(const std::string &Source) {
+  std::vector<Diagnostic> Diags;
+  auto M = parseModule(Source, Diags);
+  ASSERT_TRUE(M.has_value()) << (Diags.empty() ? "" : Diags[0].str());
+  EXPECT_TRUE(typeCheck(*M, Diags))
+      << (Diags.empty() ? "" : Diags[0].str());
+}
+
+void checkFails(const std::string &Source, const std::string &Fragment) {
+  std::vector<Diagnostic> Diags;
+  auto M = parseModule(Source, Diags);
+  ASSERT_TRUE(M.has_value()) << "test expects a parseable module";
+  EXPECT_FALSE(typeCheck(*M, Diags)) << "expected a type error";
+  bool Found = false;
+  for (const Diagnostic &D : Diags)
+    Found = Found || D.Message.find(Fragment) != std::string::npos;
+  EXPECT_TRUE(Found) << "no diagnostic mentioning '" << Fragment
+                     << "'; got: "
+                     << (Diags.empty() ? "<none>" : Diags[0].str());
+}
+
+} // namespace
+
+TEST(TypeCheckTest, WellTypedModule) {
+  checkOk("const n: int;\n"
+          "var CH: map<int, bag<int>> := map i in 1 .. n : {};\n"
+          "var dec: map<int, option<int>> := map i in 1 .. n : none;\n"
+          "action Main() {\n"
+          "  for i in 1 .. n { async Collect(i); }\n"
+          "}\n"
+          "action Collect(i: int) {\n"
+          "  await size(CH[i]) >= n;\n"
+          "  choose vs in sub_bags(CH[i], n);\n"
+          "  dec[i] := some(max(vs));\n"
+          "}\n");
+}
+
+TEST(TypeCheckTest, EmptyLiteralNeedsContext) {
+  checkFails("action A() { assert {} == {}; }",
+             "cannot infer the type of an empty collection");
+}
+
+TEST(TypeCheckTest, EmptyLiteralAgainstDeclaredType) {
+  checkOk("var s: set<int> := {};\n"
+          "var q: seq<bool> := [];\n"
+          "action A() { s := {}; }\n");
+}
+
+TEST(TypeCheckTest, AssignmentTypeMismatch) {
+  checkFails("var x: int := 0;\naction A() { x := true; }",
+             "expected int, got bool");
+}
+
+TEST(TypeCheckTest, LocalsAreImmutable) {
+  checkFails("action A(i: int) { i := 3; }", "locals are immutable");
+}
+
+TEST(TypeCheckTest, UnknownVariable) {
+  checkFails("action A() { assert y == 0; }", "unknown variable 'y'");
+}
+
+TEST(TypeCheckTest, IndexingNonMap) {
+  checkFails("var x: int := 0;\naction A() { assert x[1] == 0; }",
+             "indexing requires a map");
+}
+
+TEST(TypeCheckTest, TooManyIndicesInAssignment) {
+  checkFails("var x: map<int, int> := {};\naction A() { x[1][2] := 3; }",
+             "too many indices");
+}
+
+TEST(TypeCheckTest, AsyncArityChecked) {
+  checkFails("action A(i: int) { skip; }\naction Main() { async A(); }",
+             "1 expected");
+}
+
+TEST(TypeCheckTest, AsyncArgumentTypesChecked) {
+  checkFails("action A(i: int) { skip; }\n"
+             "action Main() { async A(true); }",
+             "expected int, got bool");
+}
+
+TEST(TypeCheckTest, AsyncUnknownAction) {
+  checkFails("action Main() { async Nope(); }", "unknown action");
+}
+
+TEST(TypeCheckTest, ChooseBindsElementType) {
+  checkOk("var s: set<int> := {};\n"
+          "var x: int := 0;\n"
+          "action A() { choose e in s; x := e; }\n");
+  checkFails("var s: set<bool> := {};\n"
+             "var x: int := 0;\n"
+             "action A() { choose e in s; x := e; }\n",
+             "expected int, got bool");
+}
+
+TEST(TypeCheckTest, ChooseOverNonCollection) {
+  checkFails("var x: int := 0;\naction A() { choose e in x; skip; }",
+             "choose requires a set, bag, or seq");
+}
+
+TEST(TypeCheckTest, ChooseShadowingRejected) {
+  checkFails("var s: set<int> := {};\n"
+             "action A(e: int) { choose e in s; skip; }",
+             "shadows an existing name");
+}
+
+TEST(TypeCheckTest, BuiltinSignatures) {
+  checkOk("var b: bag<int> := {};\n"
+          "var s: set<int> := {};\n"
+          "var q: seq<int> := [];\n"
+          "var m: map<int, int> := {};\n"
+          "var x: int := 0;\n"
+          "var f: bool := false;\n"
+          "action A() {\n"
+          "  x := size(b) + size(s) + size(q) + size(m);\n"
+          "  f := contains(b, 1) && contains(s, 2) && has_key(m, 3);\n"
+          "  b := insert(b, 1); s := erase(s, 2);\n"
+          "  x := max(b) + min(s) + front(q);\n"
+          "  q := push_back(pop_front(q), 9);\n"
+          "  s := keys(m);\n"
+          "}\n");
+}
+
+TEST(TypeCheckTest, BuiltinMisuse) {
+  checkFails("var x: int := 0;\naction A() { x := size(x); }",
+             "size() requires a collection");
+  checkFails("var q: seq<int> := [];\naction A() { assert max(q) == 0; }",
+             "max() requires set<int> or bag<int>");
+  checkFails("var b: bag<int> := {};\naction A() { b := sub_bags(b, 2); }",
+             "expected bag<int>, got set<bag<int>>");
+}
+
+TEST(TypeCheckTest, UnknownBuiltin) {
+  checkFails("action A() { assert frobnicate(1) == 2; }",
+             "unknown builtin");
+}
+
+TEST(TypeCheckTest, AwaitRequiresBool) {
+  checkFails("var x: int := 0;\naction A() { await x; }",
+             "expected bool, got int");
+}
+
+TEST(TypeCheckTest, DuplicateDeclarationsRejected) {
+  checkFails("var x: int := 0;\nvar x: int := 1;", "duplicate variable");
+  checkFails("action A() { skip; }\naction A() { skip; }",
+             "duplicate action");
+}
+
+TEST(TypeCheckTest, OptionOperations) {
+  checkOk("var o: option<int> := none;\n"
+          "var x: int := 0;\n"
+          "action A() {\n"
+          "  if is_some(o) { x := the(o); }\n"
+          "  o := some(x + 1);\n"
+          "}\n");
+  checkFails("var o: option<int> := none;\n"
+             "action A() { o := some(true); }",
+             "expected int, got bool");
+}

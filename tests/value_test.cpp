@@ -1,0 +1,182 @@
+//===- tests/value_test.cpp - Value domain unit tests -----------------------===//
+
+#include "semantics/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace isq;
+
+TEST(ValueTest, Scalars) {
+  EXPECT_TRUE(Value::unit().isUnit());
+  EXPECT_TRUE(Value::boolean(true).getBool());
+  EXPECT_FALSE(Value::boolean(false).getBool());
+  EXPECT_EQ(Value::integer(-7).getInt(), -7);
+  EXPECT_EQ(Value::integer(0), Value::integer(0));
+  EXPECT_NE(Value::integer(0), Value::integer(1));
+}
+
+TEST(ValueTest, KindsAreOrderedBeforeContents) {
+  // bool sorts before int by kind, regardless of payload.
+  EXPECT_LT(Value::boolean(true), Value::integer(-100));
+}
+
+TEST(ValueTest, TupleAccess) {
+  Value T = Value::tuple({Value::integer(1), Value::boolean(true)});
+  EXPECT_EQ(T.size(), 2u);
+  EXPECT_EQ(T.elem(0).getInt(), 1);
+  EXPECT_TRUE(T.elem(1).getBool());
+  EXPECT_EQ(T.str(), "(1, true)");
+}
+
+TEST(ValueTest, Options) {
+  EXPECT_TRUE(Value::none().isNone());
+  Value S = Value::some(Value::integer(5));
+  EXPECT_TRUE(S.isSome());
+  EXPECT_EQ(S.getSome().getInt(), 5);
+  EXPECT_NE(Value::none(), S);
+  EXPECT_LT(Value::none(), S);
+}
+
+TEST(ValueTest, SetsAreCanonical) {
+  Value A = Value::set({Value::integer(3), Value::integer(1),
+                        Value::integer(3)});
+  Value B = Value::set({Value::integer(1), Value::integer(3)});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_EQ(A.setSize(), 2u);
+}
+
+TEST(ValueTest, SetOperations) {
+  Value S = Value::set({Value::integer(1)});
+  EXPECT_TRUE(S.setContains(Value::integer(1)));
+  EXPECT_FALSE(S.setContains(Value::integer(2)));
+  Value S2 = S.setInsert(Value::integer(2));
+  EXPECT_TRUE(S2.setContains(Value::integer(2)));
+  EXPECT_FALSE(S.setContains(Value::integer(2))) << "values are immutable";
+  Value S3 = S2.setErase(Value::integer(1));
+  EXPECT_FALSE(S3.setContains(Value::integer(1)));
+  EXPECT_TRUE(S.setIsSubsetOf(S2));
+  EXPECT_FALSE(S2.setIsSubsetOf(S));
+}
+
+TEST(ValueTest, BagMultiplicity) {
+  Value B = Value::bag({Value::integer(1), Value::integer(1),
+                        Value::integer(2)});
+  EXPECT_EQ(B.bagSize(), 3u);
+  EXPECT_EQ(B.bagCount(Value::integer(1)), 2u);
+  EXPECT_EQ(B.bagCount(Value::integer(9)), 0u);
+  Value B2 = B.bagInsert(Value::integer(2));
+  EXPECT_EQ(B2.bagCount(Value::integer(2)), 2u);
+  Value B3 = B2.bagErase(Value::integer(1), 2);
+  EXPECT_EQ(B3.bagCount(Value::integer(1)), 0u);
+  EXPECT_EQ(B3.bagSize(), 2u);
+}
+
+TEST(ValueTest, BagOrderInsensitive) {
+  Value A = Value::bag({Value::integer(2), Value::integer(1)});
+  Value B = Value::bag({Value::integer(1), Value::integer(2)});
+  EXPECT_EQ(A, B);
+}
+
+TEST(ValueTest, BagFlatten) {
+  Value B = Value::bag({Value::integer(2), Value::integer(1),
+                        Value::integer(2)});
+  std::vector<Value> F = B.bagFlatten();
+  ASSERT_EQ(F.size(), 3u);
+  EXPECT_EQ(F[0].getInt(), 1);
+  EXPECT_EQ(F[1].getInt(), 2);
+  EXPECT_EQ(F[2].getInt(), 2);
+}
+
+TEST(ValueTest, SubBagsOfSize) {
+  Value B = Value::bag({Value::integer(1), Value::integer(1),
+                        Value::integer(2)});
+  // Size-2 sub-bags of {1,1,2}: {1,1} and {1,2}.
+  std::vector<Value> Subs = B.bagSubBagsOfSize(2);
+  ASSERT_EQ(Subs.size(), 2u);
+  for (const Value &S : Subs)
+    EXPECT_EQ(S.bagSize(), 2u);
+  // Size equal to the bag returns the bag itself.
+  std::vector<Value> All = B.bagSubBagsOfSize(3);
+  ASSERT_EQ(All.size(), 1u);
+  EXPECT_EQ(All[0], B);
+  // Oversized requests yield nothing; the empty sub-bag always exists.
+  EXPECT_TRUE(B.bagSubBagsOfSize(4).empty());
+  EXPECT_EQ(B.bagSubBagsOfSize(0).size(), 1u);
+}
+
+TEST(ValueTest, MapOperations) {
+  Value M = Value::map({{Value::integer(1), Value::integer(10)},
+                        {Value::integer(2), Value::integer(20)}});
+  EXPECT_EQ(M.mapSize(), 2u);
+  EXPECT_TRUE(M.mapContains(Value::integer(1)));
+  EXPECT_EQ(M.mapAt(Value::integer(2)).getInt(), 20);
+  EXPECT_FALSE(M.mapGet(Value::integer(3)).has_value());
+  Value M2 = M.mapSet(Value::integer(1), Value::integer(11));
+  EXPECT_EQ(M2.mapAt(Value::integer(1)).getInt(), 11);
+  EXPECT_EQ(M.mapAt(Value::integer(1)).getInt(), 10) << "immutability";
+  Value M3 = M2.mapSet(Value::integer(3), Value::integer(30));
+  EXPECT_EQ(M3.mapSize(), 3u);
+  Value M4 = M3.mapErase(Value::integer(2));
+  EXPECT_FALSE(M4.mapContains(Value::integer(2)));
+  EXPECT_EQ(M4.mapKeys().size(), 2u);
+}
+
+TEST(ValueTest, SeqFifoOperations) {
+  Value Q = Value::seq({});
+  Q = Q.seqPushBack(Value::integer(1));
+  Q = Q.seqPushBack(Value::integer(2));
+  EXPECT_EQ(Q.seqSize(), 2u);
+  EXPECT_EQ(Q.seqFront().getInt(), 1);
+  Value Q2 = Q.seqPopFront();
+  EXPECT_EQ(Q2.seqFront().getInt(), 2);
+  EXPECT_EQ(Q2.seqSize(), 1u);
+}
+
+TEST(ValueTest, SeqOrderMatters) {
+  Value A = Value::seq({Value::integer(1), Value::integer(2)});
+  Value B = Value::seq({Value::integer(2), Value::integer(1)});
+  EXPECT_NE(A, B) << "sequences are ordered, unlike bags";
+}
+
+TEST(ValueTest, NestedValues) {
+  Value Inner = Value::bag({Value::integer(1)});
+  Value M = Value::map({{Value::integer(1), Inner}});
+  Value M2 = M.mapSet(Value::integer(1),
+                      M.mapAt(Value::integer(1)).bagInsert(Value::integer(2)));
+  EXPECT_EQ(M2.mapAt(Value::integer(1)).bagSize(), 2u);
+  EXPECT_EQ(M.mapAt(Value::integer(1)).bagSize(), 1u);
+}
+
+TEST(ValueTest, Printing) {
+  EXPECT_EQ(Value::bag({Value::integer(1), Value::integer(1)}).str(),
+            "bag{1:x2}");
+  EXPECT_EQ(Value::map({{Value::integer(1), Value::boolean(false)}}).str(),
+            "map{1 -> false}");
+  EXPECT_EQ(Value::seq({Value::integer(3)}).str(), "seq[3]");
+  EXPECT_EQ(Value::some(Value::unit()).str(), "some(())");
+}
+
+TEST(ValueTest, TotalOrderIsConsistent) {
+  std::vector<Value> Vs = {
+      Value::unit(),
+      Value::boolean(false),
+      Value::integer(1),
+      Value::tuple({Value::integer(1)}),
+      Value::none(),
+      Value::set({Value::integer(1)}),
+      Value::bag({Value::integer(1)}),
+      Value::map({}),
+      Value::seq({Value::integer(1)}),
+  };
+  for (size_t I = 0; I < Vs.size(); ++I)
+    for (size_t J = 0; J < Vs.size(); ++J) {
+      if (I == J) {
+        EXPECT_EQ(Vs[I], Vs[J]);
+        continue;
+      }
+      // Exactly one of <, > holds for distinct values.
+      EXPECT_NE(Vs[I] < Vs[J], Vs[J] < Vs[I]);
+      EXPECT_NE(Vs[I], Vs[J]);
+    }
+}
