@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asl.dir/bench_asl.cpp.o"
+  "CMakeFiles/bench_asl.dir/bench_asl.cpp.o.d"
+  "bench_asl"
+  "bench_asl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

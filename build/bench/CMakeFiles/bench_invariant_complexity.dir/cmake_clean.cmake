@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_invariant_complexity.dir/bench_invariant_complexity.cpp.o"
+  "CMakeFiles/bench_invariant_complexity.dir/bench_invariant_complexity.cpp.o.d"
+  "bench_invariant_complexity"
+  "bench_invariant_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invariant_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iterated_is.dir/bench_iterated_is.cpp.o"
+  "CMakeFiles/bench_iterated_is.dir/bench_iterated_is.cpp.o.d"
+  "bench_iterated_is"
+  "bench_iterated_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iterated_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_movers.dir/bench_movers.cpp.o"
+  "CMakeFiles/bench_movers.dir/bench_movers.cpp.o.d"
+  "bench_movers"
+  "bench_movers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_movers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

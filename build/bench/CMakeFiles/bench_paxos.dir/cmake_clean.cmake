@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paxos.dir/bench_paxos.cpp.o"
+  "CMakeFiles/bench_paxos.dir/bench_paxos.cpp.o.d"
+  "bench_paxos"
+  "bench_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isq_bench_support.dir/Table1.cpp.o"
+  "CMakeFiles/isq_bench_support.dir/Table1.cpp.o.d"
+  "libisq_bench_support.a"
+  "libisq_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isq_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asl_frontend.dir/asl_frontend.cpp.o"
+  "CMakeFiles/asl_frontend.dir/asl_frontend.cpp.o.d"
+  "asl_frontend"
+  "asl_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asl_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_trace.dir/figure2_trace.cpp.o"
+  "CMakeFiles/figure2_trace.dir/figure2_trace.cpp.o.d"
+  "figure2_trace"
+  "figure2_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxos_consensus.dir/paxos_consensus.cpp.o"
+  "CMakeFiles/paxos_consensus.dir/paxos_consensus.cpp.o.d"
+  "paxos_consensus"
+  "paxos_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxos_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

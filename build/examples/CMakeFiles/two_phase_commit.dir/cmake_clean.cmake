@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_phase_commit.dir/two_phase_commit.cpp.o"
+  "CMakeFiles/two_phase_commit.dir/two_phase_commit.cpp.o.d"
+  "two_phase_commit"
+  "two_phase_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_phase_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

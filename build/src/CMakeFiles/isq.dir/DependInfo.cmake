@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/VerifyDriver.cpp" "src/CMakeFiles/isq.dir/driver/VerifyDriver.cpp.o" "gcc" "src/CMakeFiles/isq.dir/driver/VerifyDriver.cpp.o.d"
+  "/root/repo/src/explorer/Explorer.cpp" "src/CMakeFiles/isq.dir/explorer/Explorer.cpp.o" "gcc" "src/CMakeFiles/isq.dir/explorer/Explorer.cpp.o.d"
+  "/root/repo/src/explorer/Trace.cpp" "src/CMakeFiles/isq.dir/explorer/Trace.cpp.o" "gcc" "src/CMakeFiles/isq.dir/explorer/Trace.cpp.o.d"
+  "/root/repo/src/is/ISApplication.cpp" "src/CMakeFiles/isq.dir/is/ISApplication.cpp.o" "gcc" "src/CMakeFiles/isq.dir/is/ISApplication.cpp.o.d"
+  "/root/repo/src/is/ISCheck.cpp" "src/CMakeFiles/isq.dir/is/ISCheck.cpp.o" "gcc" "src/CMakeFiles/isq.dir/is/ISCheck.cpp.o.d"
+  "/root/repo/src/is/Measure.cpp" "src/CMakeFiles/isq.dir/is/Measure.cpp.o" "gcc" "src/CMakeFiles/isq.dir/is/Measure.cpp.o.d"
+  "/root/repo/src/is/Rewriter.cpp" "src/CMakeFiles/isq.dir/is/Rewriter.cpp.o" "gcc" "src/CMakeFiles/isq.dir/is/Rewriter.cpp.o.d"
+  "/root/repo/src/is/Sequentialize.cpp" "src/CMakeFiles/isq.dir/is/Sequentialize.cpp.o" "gcc" "src/CMakeFiles/isq.dir/is/Sequentialize.cpp.o.d"
+  "/root/repo/src/lang/Ast.cpp" "src/CMakeFiles/isq.dir/lang/Ast.cpp.o" "gcc" "src/CMakeFiles/isq.dir/lang/Ast.cpp.o.d"
+  "/root/repo/src/lang/Compile.cpp" "src/CMakeFiles/isq.dir/lang/Compile.cpp.o" "gcc" "src/CMakeFiles/isq.dir/lang/Compile.cpp.o.d"
+  "/root/repo/src/lang/Eval.cpp" "src/CMakeFiles/isq.dir/lang/Eval.cpp.o" "gcc" "src/CMakeFiles/isq.dir/lang/Eval.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/CMakeFiles/isq.dir/lang/Lexer.cpp.o" "gcc" "src/CMakeFiles/isq.dir/lang/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/CMakeFiles/isq.dir/lang/Parser.cpp.o" "gcc" "src/CMakeFiles/isq.dir/lang/Parser.cpp.o.d"
+  "/root/repo/src/lang/Printer.cpp" "src/CMakeFiles/isq.dir/lang/Printer.cpp.o" "gcc" "src/CMakeFiles/isq.dir/lang/Printer.cpp.o.d"
+  "/root/repo/src/lang/TypeCheck.cpp" "src/CMakeFiles/isq.dir/lang/TypeCheck.cpp.o" "gcc" "src/CMakeFiles/isq.dir/lang/TypeCheck.cpp.o.d"
+  "/root/repo/src/movers/MoverCheck.cpp" "src/CMakeFiles/isq.dir/movers/MoverCheck.cpp.o" "gcc" "src/CMakeFiles/isq.dir/movers/MoverCheck.cpp.o.d"
+  "/root/repo/src/protocols/Broadcast.cpp" "src/CMakeFiles/isq.dir/protocols/Broadcast.cpp.o" "gcc" "src/CMakeFiles/isq.dir/protocols/Broadcast.cpp.o.d"
+  "/root/repo/src/protocols/ChangRoberts.cpp" "src/CMakeFiles/isq.dir/protocols/ChangRoberts.cpp.o" "gcc" "src/CMakeFiles/isq.dir/protocols/ChangRoberts.cpp.o.d"
+  "/root/repo/src/protocols/FineGrained.cpp" "src/CMakeFiles/isq.dir/protocols/FineGrained.cpp.o" "gcc" "src/CMakeFiles/isq.dir/protocols/FineGrained.cpp.o.d"
+  "/root/repo/src/protocols/NBuyer.cpp" "src/CMakeFiles/isq.dir/protocols/NBuyer.cpp.o" "gcc" "src/CMakeFiles/isq.dir/protocols/NBuyer.cpp.o.d"
+  "/root/repo/src/protocols/Pathological.cpp" "src/CMakeFiles/isq.dir/protocols/Pathological.cpp.o" "gcc" "src/CMakeFiles/isq.dir/protocols/Pathological.cpp.o.d"
+  "/root/repo/src/protocols/Paxos.cpp" "src/CMakeFiles/isq.dir/protocols/Paxos.cpp.o" "gcc" "src/CMakeFiles/isq.dir/protocols/Paxos.cpp.o.d"
+  "/root/repo/src/protocols/PingPong.cpp" "src/CMakeFiles/isq.dir/protocols/PingPong.cpp.o" "gcc" "src/CMakeFiles/isq.dir/protocols/PingPong.cpp.o.d"
+  "/root/repo/src/protocols/ProducerConsumer.cpp" "src/CMakeFiles/isq.dir/protocols/ProducerConsumer.cpp.o" "gcc" "src/CMakeFiles/isq.dir/protocols/ProducerConsumer.cpp.o.d"
+  "/root/repo/src/protocols/ScheduleInvariant.cpp" "src/CMakeFiles/isq.dir/protocols/ScheduleInvariant.cpp.o" "gcc" "src/CMakeFiles/isq.dir/protocols/ScheduleInvariant.cpp.o.d"
+  "/root/repo/src/protocols/TwoPhaseCommit.cpp" "src/CMakeFiles/isq.dir/protocols/TwoPhaseCommit.cpp.o" "gcc" "src/CMakeFiles/isq.dir/protocols/TwoPhaseCommit.cpp.o.d"
+  "/root/repo/src/reduction/Reduction.cpp" "src/CMakeFiles/isq.dir/reduction/Reduction.cpp.o" "gcc" "src/CMakeFiles/isq.dir/reduction/Reduction.cpp.o.d"
+  "/root/repo/src/refine/Refinement.cpp" "src/CMakeFiles/isq.dir/refine/Refinement.cpp.o" "gcc" "src/CMakeFiles/isq.dir/refine/Refinement.cpp.o.d"
+  "/root/repo/src/semantics/Action.cpp" "src/CMakeFiles/isq.dir/semantics/Action.cpp.o" "gcc" "src/CMakeFiles/isq.dir/semantics/Action.cpp.o.d"
+  "/root/repo/src/semantics/Configuration.cpp" "src/CMakeFiles/isq.dir/semantics/Configuration.cpp.o" "gcc" "src/CMakeFiles/isq.dir/semantics/Configuration.cpp.o.d"
+  "/root/repo/src/semantics/PendingAsync.cpp" "src/CMakeFiles/isq.dir/semantics/PendingAsync.cpp.o" "gcc" "src/CMakeFiles/isq.dir/semantics/PendingAsync.cpp.o.d"
+  "/root/repo/src/semantics/Program.cpp" "src/CMakeFiles/isq.dir/semantics/Program.cpp.o" "gcc" "src/CMakeFiles/isq.dir/semantics/Program.cpp.o.d"
+  "/root/repo/src/semantics/Store.cpp" "src/CMakeFiles/isq.dir/semantics/Store.cpp.o" "gcc" "src/CMakeFiles/isq.dir/semantics/Store.cpp.o.d"
+  "/root/repo/src/semantics/Value.cpp" "src/CMakeFiles/isq.dir/semantics/Value.cpp.o" "gcc" "src/CMakeFiles/isq.dir/semantics/Value.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "src/CMakeFiles/isq.dir/support/Format.cpp.o" "gcc" "src/CMakeFiles/isq.dir/support/Format.cpp.o.d"
+  "/root/repo/src/support/Symbol.cpp" "src/CMakeFiles/isq.dir/support/Symbol.cpp.o" "gcc" "src/CMakeFiles/isq.dir/support/Symbol.cpp.o.d"
+  "/root/repo/src/support/Timer.cpp" "src/CMakeFiles/isq.dir/support/Timer.cpp.o" "gcc" "src/CMakeFiles/isq.dir/support/Timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for isq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asl_eval_test.dir/asl_eval_test.cpp.o"
+  "CMakeFiles/asl_eval_test.dir/asl_eval_test.cpp.o.d"
+  "asl_eval_test"
+  "asl_eval_test.pdb"
+  "asl_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asl_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asl_integration_test.dir/asl_integration_test.cpp.o"
+  "CMakeFiles/asl_integration_test.dir/asl_integration_test.cpp.o.d"
+  "asl_integration_test"
+  "asl_integration_test.pdb"
+  "asl_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asl_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

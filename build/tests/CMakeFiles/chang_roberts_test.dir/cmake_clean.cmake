@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chang_roberts_test.dir/chang_roberts_test.cpp.o"
+  "CMakeFiles/chang_roberts_test.dir/chang_roberts_test.cpp.o.d"
+  "chang_roberts_test"
+  "chang_roberts_test.pdb"
+  "chang_roberts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chang_roberts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/is_rule_test.dir/is_rule_test.cpp.o"
+  "CMakeFiles/is_rule_test.dir/is_rule_test.cpp.o.d"
+  "is_rule_test"
+  "is_rule_test.pdb"
+  "is_rule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/is_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

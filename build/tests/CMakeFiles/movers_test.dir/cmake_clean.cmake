@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movers_test.dir/movers_test.cpp.o"
+  "CMakeFiles/movers_test.dir/movers_test.cpp.o.d"
+  "movers_test"
+  "movers_test.pdb"
+  "movers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuyer_test.dir/nbuyer_test.cpp.o"
+  "CMakeFiles/nbuyer_test.dir/nbuyer_test.cpp.o.d"
+  "nbuyer_test"
+  "nbuyer_test.pdb"
+  "nbuyer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuyer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pingpong_test.dir/pingpong_test.cpp.o"
+  "CMakeFiles/pingpong_test.dir/pingpong_test.cpp.o.d"
+  "pingpong_test"
+  "pingpong_test.pdb"
+  "pingpong_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pingpong_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

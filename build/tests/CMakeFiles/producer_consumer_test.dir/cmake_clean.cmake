@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/producer_consumer_test.dir/producer_consumer_test.cpp.o"
+  "CMakeFiles/producer_consumer_test.dir/producer_consumer_test.cpp.o.d"
+  "producer_consumer_test"
+  "producer_consumer_test.pdb"
+  "producer_consumer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/producer_consumer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

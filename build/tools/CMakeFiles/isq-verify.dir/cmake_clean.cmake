@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isq-verify.dir/isq-verify.cpp.o"
+  "CMakeFiles/isq-verify.dir/isq-verify.cpp.o.d"
+  "isq-verify"
+  "isq-verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isq-verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
