@@ -98,6 +98,60 @@ BENCHMARK(BM_Paxos)
     ->Args({2, 3})
     ->Unit(benchmark::kMillisecond);
 
+//===----------------------------------------------------------------------===//
+// Engine comparison: seed value-level BFS vs the hash-consed engine,
+// serial and parallel. Consumed by tools/bench_engine.sh, which emits
+// BENCH_engine.json and computes the speedups.
+//===----------------------------------------------------------------------===//
+
+/// Explores P once per iteration; Mode 0 = legacy value-level BFS (the
+/// seed explorer), Mode ≥ 1 = engine with that many worker threads.
+void reportEngineExplore(benchmark::State &State, const Program &P,
+                         const Store &Init, int64_t Mode) {
+  ExploreOptions Opts;
+  if (Mode >= 1)
+    Opts.NumThreads = static_cast<unsigned>(Mode);
+  size_t Configs = 0, Transitions = 0;
+  double HitRate = 0;
+  for (auto _ : State) {
+    ExploreResult R =
+        Mode == 0 ? exploreAllLegacy(P, {initialConfiguration(Init)}, Opts)
+                  : exploreAll(P, {initialConfiguration(Init)}, Opts);
+    Configs = R.Stats.NumConfigurations;
+    Transitions = R.Stats.NumTransitions;
+    HitRate = R.Engine.hashConsHitRate();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["configs"] = static_cast<double>(Configs);
+  State.counters["transitions"] = static_cast<double>(Transitions);
+  State.counters["hashcons_hit"] = HitRate;
+}
+
+/// Largest Table 1 instance: Paxos with 2 proposers, 3 acceptors.
+void BM_EnginePaxos(benchmark::State &State) {
+  PaxosParams Params{State.range(0), State.range(1)};
+  ISApplication App = makePaxosIS(Params);
+  reportEngineExplore(State, App.P, makePaxosInitialStore(Params),
+                      State.range(2));
+}
+BENCHMARK(BM_EnginePaxos)
+    ->Args({2, 3, 0}) // seed value-level BFS
+    ->Args({2, 3, 1}) // engine, serial
+    ->Args({2, 3, 4}) // engine, 4 worker threads
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineTwoPhaseCommit(benchmark::State &State) {
+  TwoPhaseCommitParams Params{State.range(0)};
+  reportEngineExplore(State, makeTwoPhaseCommitProgram(Params),
+                      makeTwoPhaseCommitInitialStore(Params),
+                      State.range(1));
+}
+BENCHMARK(BM_EngineTwoPhaseCommit)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -125,9 +125,14 @@ VerifyResult driver::verifyModule(const VerifyOptions &Options) {
         return std::vector<uint64_t>{Counts, Work};
       });
 
-  // 4. Discharge the IS conditions.
+  // 4. Discharge the IS conditions. The universe is built explicitly so
+  // its engine statistics can be surfaced in the summary.
+  ExploreOptions Explore;
+  Explore.NumThreads = Options.NumThreads;
   InitialCondition Init{Compiled->InitialStore, {}};
-  ISCheckReport Report = checkIS(App, {Init});
+  ISUniverse Universe = ISUniverse::build(App, {Init}, Explore);
+  Result.Engine.accumulate(Universe.Stats);
+  ISCheckReport Report = checkIS(App, Universe);
   Result.Report = Report;
   Result.Accepted = Report.ok();
   Result.Summary += Report.str();
@@ -136,17 +141,21 @@ VerifyResult driver::verifyModule(const VerifyOptions &Options) {
   if (Report.ok() && Options.CrossCheck) {
     Program PPrime = applyIS(App);
     ExploreResult RP =
-        explore(Compiled->P, initialConfiguration(Init.Global));
-    ExploreResult RS = explore(PPrime, initialConfiguration(Init.Global));
+        exploreAll(Compiled->P, {initialConfiguration(Init.Global)}, Explore);
+    ExploreResult RS =
+        exploreAll(PPrime, {initialConfiguration(Init.Global)}, Explore);
+    Result.Engine.accumulate(RP.Engine);
+    Result.Engine.accumulate(RS.Engine);
     Result.Summary +=
         "sequential reduction: " + std::to_string(RP.Stats.NumConfigurations) +
         " configurations -> " + std::to_string(RS.Stats.NumConfigurations) +
         "\n";
     CheckResult Refines =
-        checkProgramRefinement(Compiled->P, PPrime, {Init});
+        checkProgramRefinement(Compiled->P, PPrime, {Init}, Explore);
     Result.Summary += "P ≼ P' (empirical): " + Refines.str() + "\n";
     Result.Accepted = Result.Accepted && Refines.ok();
   }
+  Result.Summary += "engine: " + Result.Engine.str() + "\n";
   Result.Summary +=
       "total time: " + std::to_string(Total.elapsed()) + "s\n";
   return Result;

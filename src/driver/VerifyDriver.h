@@ -62,6 +62,9 @@ struct VerifyOptions {
   /// Also explore P' and cross-check refinement when the proof is
   /// accepted.
   bool CrossCheck = true;
+  /// Worker threads for the state-space explorations (universe build and
+  /// cross-check). Results are bit-identical for any thread count.
+  unsigned NumThreads = 1;
 };
 
 /// The verification verdict.
@@ -74,6 +77,9 @@ struct VerifyResult {
   std::string Summary;
   /// Compiler/driver diagnostics.
   std::vector<asl::Diagnostic> Diags;
+  /// Aggregated engine statistics across every exploration the run
+  /// performed (universe build plus cross-check explorations).
+  engine::EngineStats Engine;
 };
 
 /// Runs the pipeline.

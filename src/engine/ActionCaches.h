@@ -1,0 +1,208 @@
+//===- engine/ActionCaches.h - Interned transition/gate caches ---*- C++ -*-===//
+///
+/// \file
+/// Memoization layers over interned state, replacing the value-keyed
+/// semantics/ActionCache.h in every engine consumer. Keys are (action
+/// identity, StoreId, PaId-of-args) triples — three integer-width values —
+/// so lookups cost a small hash of machine words instead of deep structural
+/// hashing of stores and argument tuples. Cached transitions are interned:
+/// the successor store and created-PA multiset are handles, which makes
+/// transition-set membership (the inner loop of the mover and IS checks)
+/// an integer compare.
+///
+/// Transition relations never observe Ω and are pure functions of
+/// (g, args), which is what makes both caches sound (the same contract
+/// semantics/ActionCache.h relies on). User-supplied transition enumerators
+/// are not required to be thread-safe: cache misses serialize the
+/// underlying calls behind a single compute mutex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_ENGINE_ACTIONCACHES_H
+#define ISQ_ENGINE_ACTIONCACHES_H
+
+#include "engine/StateArena.h"
+#include "semantics/Action.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace isq {
+namespace engine {
+
+/// One interned element of a transition relation.
+struct InternedTransition {
+  /// Successor global store g'.
+  StoreId Global;
+  /// The created PAs as an interned multiset (for equality compares).
+  PaSetId CreatedSet;
+  /// The created PAs in engine form (for successor-Ω merging).
+  PaCountVec Created;
+};
+
+/// Memoizes Action::transitions per (action instance, StoreId, args PaId)
+/// in interned form. The referenced actions and arena must outlive the
+/// cache. Thread-safe; concurrent misses for distinct keys serialize the
+/// user-level enumerator calls.
+class InternedTransitionCache {
+public:
+  explicit InternedTransitionCache(StateArena &Arena) : Arena(Arena) {}
+
+  /// Returns (and memoizes) \p A's transitions from (\p G, args of
+  /// \p ArgsPa). Only the argument tuple of \p ArgsPa is used; its action
+  /// symbol need not match \p A (abstractions run under the subject's PA).
+  const std::vector<InternedTransition> &get(const Action &A, StoreId G,
+                                             PaId ArgsPa) {
+    uint64_t Sub = (static_cast<uint64_t>(G) << 32) | ArgsPa;
+    Key K{&A, Sub};
+    size_t Hash = hashKey(K);
+    auto &S = Shards[Hash % NumShards];
+    Lookups.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(K);
+      if (It != S.Map.end()) {
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        return *It->second;
+      }
+    }
+    // Miss: enumerate under the compute mutex (user enumerators may share
+    // internal memo state), intern, then publish.
+    std::vector<InternedTransition> Interned;
+    {
+      std::lock_guard<std::mutex> Compute(ComputeMutex);
+      const Store &Global = Arena.store(G);
+      const std::vector<Value> &Args = Arena.pa(ArgsPa).Args;
+      for (const Transition &T : A.transitions(Global, Args)) {
+        InternedTransition IT;
+        IT.Global = Arena.internStore(T.Global);
+        PaCountVec Created;
+        Created.reserve(T.Created.size());
+        for (const PendingAsync &New : T.Created) {
+          PaId Id = Arena.internPa(New);
+          bool Merged = false;
+          for (auto &[Existing, Count] : Created)
+            if (Existing == Id) {
+              ++Count;
+              Merged = true;
+              break;
+            }
+          if (!Merged)
+            Created.emplace_back(Id, 1);
+        }
+        std::sort(Created.begin(), Created.end());
+        IT.CreatedSet = Arena.internPaVec(Created);
+        IT.Created = std::move(Created);
+        Interned.push_back(std::move(IT));
+      }
+    }
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(K);
+    if (It != S.Map.end()) // raced with another thread; keep the first
+      return *It->second;
+    S.Storage.push_back(std::move(Interned));
+    S.Map.emplace(K, &S.Storage.back());
+    return S.Storage.back();
+  }
+
+  size_t lookups() const { return Lookups.load(std::memory_order_relaxed); }
+  size_t hits() const { return Hits.load(std::memory_order_relaxed); }
+
+private:
+  struct Key {
+    const void *Action;
+    uint64_t Sub; // (StoreId << 32) | ArgsPa
+    bool operator==(const Key &O) const {
+      return Action == O.Action && Sub == O.Sub;
+    }
+  };
+  static size_t hashKey(const Key &K) {
+    size_t Seed = reinterpret_cast<size_t>(K.Action);
+    hashCombine(Seed, static_cast<size_t>(K.Sub));
+    return Seed;
+  }
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return hashKey(K); }
+  };
+
+  static constexpr size_t NumShards = 16;
+  struct Shard {
+    std::mutex M;
+    std::unordered_map<Key, std::vector<InternedTransition> *, KeyHash> Map;
+    std::deque<std::vector<InternedTransition>> Storage;
+  };
+
+  StateArena &Arena;
+  Shard Shards[NumShards];
+  /// Serializes calls into user transition enumerators.
+  std::mutex ComputeMutex;
+  std::atomic<size_t> Lookups{0};
+  std::atomic<size_t> Hits{0};
+};
+
+/// Memoizes Ω-independent gate evaluations per (action instance, StoreId,
+/// args PaId). Callers must only use this for actions with
+/// gateReadsOmega() == false; Ω-observing gates must be evaluated
+/// directly. Thread-safe; a racing double-compute is benign (gates are
+/// pure functions of (g, args) under the contract).
+class GateCache {
+public:
+  explicit GateCache(StateArena &Arena) : Arena(Arena) {}
+
+  /// Evaluates (and memoizes) \p A's gate at (\p G, args of \p ArgsPa).
+  /// \p OmegaForEval is passed through to the gate on a miss — the result
+  /// must not depend on it (gateReadsOmega() == false).
+  bool get(const Action &A, StoreId G, PaId ArgsPa,
+           const PaMultiset &OmegaForEval) {
+    assert(!A.gateReadsOmega() && "GateCache requires an Ω-independent gate");
+    uint64_t Sub = (static_cast<uint64_t>(G) << 32) | ArgsPa;
+    Key K{&A, Sub};
+    size_t Hash = hashKey(K);
+    auto &S = Shards[Hash % NumShards];
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(K);
+      if (It != S.Map.end())
+        return It->second;
+    }
+    bool Result =
+        A.evalGate(Arena.store(G), Arena.pa(ArgsPa).Args, OmegaForEval);
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Map.emplace(K, Result);
+    return Result;
+  }
+
+private:
+  struct Key {
+    const void *Action;
+    uint64_t Sub;
+    bool operator==(const Key &O) const {
+      return Action == O.Action && Sub == O.Sub;
+    }
+  };
+  static size_t hashKey(const Key &K) {
+    size_t Seed = reinterpret_cast<size_t>(K.Action);
+    hashCombine(Seed, static_cast<size_t>(K.Sub));
+    return Seed;
+  }
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return hashKey(K); }
+  };
+
+  static constexpr size_t NumShards = 16;
+  struct Shard {
+    std::mutex M;
+    std::unordered_map<Key, bool, KeyHash> Map;
+  };
+
+  StateArena &Arena;
+  Shard Shards[NumShards];
+};
+
+} // namespace engine
+} // namespace isq
+
+#endif // ISQ_ENGINE_ACTIONCACHES_H

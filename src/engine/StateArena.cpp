@@ -1,0 +1,242 @@
+//===- engine/StateArena.cpp - Hash-consed state interning -------------------===//
+
+#include "engine/StateArena.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace isq;
+using namespace isq::engine;
+
+void engine::paCountVecErase(PaCountVec &Vec, PaId Pa) {
+  auto It = std::lower_bound(
+      Vec.begin(), Vec.end(), Pa,
+      [](const std::pair<PaId, uint64_t> &E, PaId Id) { return E.first < Id; });
+  assert(It != Vec.end() && It->first == Pa && "erasing absent PA");
+  if (--It->second == 0)
+    Vec.erase(It);
+}
+
+PaCountVec engine::paCountVecUnion(const PaCountVec &A, const PaCountVec &B) {
+  PaCountVec Out;
+  Out.reserve(A.size() + B.size());
+  size_t I = 0, J = 0;
+  while (I < A.size() && J < B.size()) {
+    if (A[I].first < B[J].first)
+      Out.push_back(A[I++]);
+    else if (B[J].first < A[I].first)
+      Out.push_back(B[J++]);
+    else {
+      Out.emplace_back(A[I].first, A[I].second + B[J].second);
+      ++I, ++J;
+    }
+  }
+  for (; I < A.size(); ++I)
+    Out.push_back(A[I]);
+  for (; J < B.size(); ++J)
+    Out.push_back(B[J]);
+  return Out;
+}
+
+size_t StateArena::hashPaCountVec(const PaCountVec &Vec) {
+  size_t Seed = 0x811c9dc5;
+  for (const auto &[Id, Count] : Vec) {
+    hashCombine(Seed, Id);
+    hashCombine(Seed, static_cast<size_t>(Count));
+  }
+  return Seed;
+}
+
+StateArena::StateArena() { EmptyPaSet = internPaVec({}); }
+
+StoreId StateArena::internStore(const Store &S) {
+  size_t Hash = S.hash(); // memoized inside Store
+  Lookups.fetch_add(1, std::memory_order_relaxed);
+  auto &Shard = StoreShards[Hash % NumShards];
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  std::vector<uint32_t> &Bucket = Shard.Buckets[Hash];
+  for (uint32_t Local : Bucket)
+    if (Shard.Items[Local] == S) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return makeId(Hash % NumShards, Local);
+    }
+  uint32_t Local = static_cast<uint32_t>(Shard.Items.size());
+  Shard.Items.push_back(S);
+  Shard.Items.back().hash(); // memoize on the stored copy before sharing
+  Bucket.push_back(Local);
+  return makeId(Hash % NumShards, Local);
+}
+
+PaId StateArena::internPa(const PendingAsync &PA) {
+  size_t Hash = PA.hash();
+  Lookups.fetch_add(1, std::memory_order_relaxed);
+  auto &Shard = PaShards[Hash % NumShards];
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  std::vector<uint32_t> &Bucket = Shard.Buckets[Hash];
+  for (uint32_t Local : Bucket)
+    if (Shard.Items[Local] == PA) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return makeId(Hash % NumShards, Local);
+    }
+  uint32_t Local = static_cast<uint32_t>(Shard.Items.size());
+  Shard.Items.push_back(PA);
+  Bucket.push_back(Local);
+  return makeId(Hash % NumShards, Local);
+}
+
+PaSetId StateArena::internPaSet(const PaMultiset &Omega) {
+  PaCountVec Vec;
+  Vec.reserve(Omega.entries().size());
+  for (const auto &[PA, Count] : Omega.entries())
+    Vec.emplace_back(internPa(PA), Count);
+  std::sort(Vec.begin(), Vec.end());
+  PaSetId Id = internPaVec(std::move(Vec));
+  // We already hold the value form: record it so paSet() never has to
+  // materialize this entry.
+  auto &Shard = PaSetShards[shardOf(Id)];
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  PaSetItem &Item = Shard.Items[localOf(Id)];
+  if (!Item.Value)
+    Item.Value = Omega;
+  return Id;
+}
+
+PaSetId StateArena::internPaVec(PaCountVec Vec) {
+  assert(std::is_sorted(Vec.begin(), Vec.end()) && "PaCountVec not canonical");
+  size_t Hash = hashPaCountVec(Vec);
+  Lookups.fetch_add(1, std::memory_order_relaxed);
+  auto &Shard = PaSetShards[Hash % NumShards];
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  std::vector<uint32_t> &Bucket = Shard.Buckets[Hash];
+  for (uint32_t Local : Bucket)
+    if (Shard.Items[Local].Vec == Vec) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return makeId(Hash % NumShards, Local);
+    }
+  uint32_t Local = static_cast<uint32_t>(Shard.Items.size());
+  Shard.Items.push_back(PaSetItem{std::move(Vec), std::nullopt});
+  Bucket.push_back(Local);
+  return makeId(Hash % NumShards, Local);
+}
+
+ConfigId StateArena::internConfig(StoreId G, PaSetId Omega) {
+  uint64_t Key = (static_cast<uint64_t>(G) << 32) | Omega;
+  size_t Hash = std::hash<uint64_t>{}(Key);
+  Lookups.fetch_add(1, std::memory_order_relaxed);
+  auto &Shard = ConfigShards[Hash % NumShards];
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  auto It = Shard.Index.find(Key);
+  if (It != Shard.Index.end()) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return makeId(Hash % NumShards, It->second);
+  }
+  uint32_t Local = static_cast<uint32_t>(Shard.Items.size());
+  Shard.Items.emplace_back(G, Omega);
+  Shard.Index.emplace(Key, Local);
+  return makeId(Hash % NumShards, Local);
+}
+
+ConfigId StateArena::internConfig(const Configuration &C) {
+  assert(!C.isFailure() && "cannot intern the failure configuration");
+  return internConfig(internStore(C.global()), internPaSet(C.pendingAsyncs()));
+}
+
+const Store &StateArena::store(StoreId Id) const {
+  auto &Shard = StoreShards[shardOf(Id)];
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  return Shard.Items[localOf(Id)];
+}
+
+const PendingAsync &StateArena::pa(PaId Id) const {
+  auto &Shard = PaShards[shardOf(Id)];
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  return Shard.Items[localOf(Id)];
+}
+
+const PaCountVec &StateArena::paVec(PaSetId Id) const {
+  auto &Shard = PaSetShards[shardOf(Id)];
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  return Shard.Items[localOf(Id)].Vec;
+}
+
+PaMultiset StateArena::materialize(const PaCountVec &Vec) {
+  PaMultiset Omega;
+  for (const auto &[Id, Count] : Vec)
+    Omega.insert(pa(Id), Count);
+  return Omega;
+}
+
+const PaMultiset &StateArena::paSet(PaSetId Id) {
+  auto &Shard = PaSetShards[shardOf(Id)];
+  {
+    std::lock_guard<std::mutex> Lock(Shard.M);
+    PaSetItem &Item = Shard.Items[localOf(Id)];
+    if (Item.Value)
+      return *Item.Value;
+  }
+  // Materialize outside the shard lock: pa() takes other shard locks and
+  // the conversion is the slow path anyway. Double-checked on re-entry.
+  PaMultiset Omega = materialize(paVec(Id));
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  PaSetItem &Item = Shard.Items[localOf(Id)];
+  if (!Item.Value)
+    Item.Value = std::move(Omega);
+  return *Item.Value;
+}
+
+const std::vector<PaId> &StateArena::paOrder(PaSetId Id) {
+  auto &Shard = PaSetShards[shardOf(Id)];
+  {
+    std::lock_guard<std::mutex> Lock(Shard.M);
+    PaSetItem &Item = Shard.Items[localOf(Id)];
+    if (Item.Order)
+      return *Item.Order;
+  }
+  // Sort outside the shard lock (pa() takes other shard locks).
+  std::vector<PaId> Order;
+  for (const auto &[PaIdOf, Count] : paVec(Id)) {
+    (void)Count;
+    Order.push_back(PaIdOf);
+  }
+  std::sort(Order.begin(), Order.end(),
+            [this](PaId A, PaId B) { return pa(A) < pa(B); });
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  PaSetItem &Item = Shard.Items[localOf(Id)];
+  if (!Item.Order)
+    Item.Order = std::move(Order);
+  return *Item.Order;
+}
+
+std::pair<StoreId, PaSetId> StateArena::config(ConfigId Id) const {
+  auto &Shard = ConfigShards[shardOf(Id)];
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  return Shard.Items[localOf(Id)];
+}
+
+Configuration StateArena::configuration(ConfigId Id) {
+  auto [G, Omega] = config(Id);
+  return Configuration(store(G), paSet(Omega));
+}
+
+ArenaStats StateArena::stats() const {
+  ArenaStats S;
+  for (size_t I = 0; I < NumShards; ++I) {
+    std::lock_guard<std::mutex> LS(StoreShards[I].M);
+    S.Stores += StoreShards[I].Items.size();
+  }
+  for (size_t I = 0; I < NumShards; ++I) {
+    std::lock_guard<std::mutex> LP(PaShards[I].M);
+    S.Pas += PaShards[I].Items.size();
+  }
+  for (size_t I = 0; I < NumShards; ++I) {
+    std::lock_guard<std::mutex> LO(PaSetShards[I].M);
+    S.PaSets += PaSetShards[I].Items.size();
+  }
+  for (size_t I = 0; I < NumShards; ++I) {
+    std::lock_guard<std::mutex> LC(ConfigShards[I].M);
+    S.Configs += ConfigShards[I].Items.size();
+  }
+  S.Lookups = Lookups.load(std::memory_order_relaxed);
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  return S;
+}

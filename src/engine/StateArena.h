@@ -1,0 +1,177 @@
+//===- engine/StateArena.h - Hash-consed state interning --------*- C++ -*-===//
+///
+/// \file
+/// The interning substrate of the state-space engine. Stores, pending
+/// asyncs, PA multisets and whole configurations are hash-consed into
+/// arenas and addressed by dense 32-bit handles, so seen-set membership,
+/// transition dedup and cache keys become integer compares instead of deep
+/// structural hashing. The arenas are append-only and sharded: every table
+/// is split into 16 shards keyed by canonical hash, each guarded by its own
+/// mutex, which lets the parallel explorer intern from worker threads with
+/// low contention while keeping references to interned values stable
+/// (per-shard std::deque storage is never reallocated or erased).
+///
+/// Handle layout: the low 4 bits select the shard, the remaining 28 bits
+/// index into the shard (≈268M entries per shard). Handles are only
+/// meaningful relative to the arena that issued them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_ENGINE_STATEARENA_H
+#define ISQ_ENGINE_STATEARENA_H
+
+#include "semantics/Configuration.h"
+#include "support/Hashing.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace isq {
+namespace engine {
+
+/// Handle of an interned global store.
+using StoreId = uint32_t;
+/// Handle of an interned pending async (action name + argument tuple).
+using PaId = uint32_t;
+/// Handle of an interned PA multiset Ω.
+using PaSetId = uint32_t;
+/// Handle of an interned (StoreId, PaSetId) configuration.
+using ConfigId = uint32_t;
+
+constexpr uint32_t InvalidId = UINT32_MAX;
+
+/// The interned form of a PA multiset: (PaId, multiplicity) pairs sorted by
+/// PaId with strictly positive multiplicities. Canonical within one arena.
+using PaCountVec = std::vector<std::pair<PaId, uint64_t>>;
+
+/// Removes one occurrence of \p Pa from sorted \p Vec (which must contain
+/// it).
+void paCountVecErase(PaCountVec &Vec, PaId Pa);
+
+/// Merges two sorted (PaId, count) vectors, summing multiplicities (Ω ⊎).
+PaCountVec paCountVecUnion(const PaCountVec &A, const PaCountVec &B);
+
+/// Snapshot of arena occupancy and hash-consing effectiveness.
+struct ArenaStats {
+  size_t Stores = 0;
+  size_t Pas = 0;
+  size_t PaSets = 0;
+  size_t Configs = 0;
+  /// Total intern calls across all tables and the hits among them (an
+  /// intern call that found an existing entry). Hits/Lookups is the
+  /// hash-cons hit rate.
+  size_t Lookups = 0;
+  size_t Hits = 0;
+};
+
+/// Thread-safe hash-consing arenas for stores, PAs, PA multisets and
+/// configurations. Append-only: interned values are never moved or freed
+/// before the arena dies, so references returned by the accessors remain
+/// valid for the arena's lifetime.
+class StateArena {
+public:
+  StateArena();
+  StateArena(const StateArena &) = delete;
+  StateArena &operator=(const StateArena &) = delete;
+
+  // Interning --------------------------------------------------------------
+
+  StoreId internStore(const Store &S);
+  PaId internPa(const PendingAsync &PA);
+  /// Interns a value-level multiset (also records its materialized form).
+  PaSetId internPaSet(const PaMultiset &Omega);
+  /// Interns an engine-form multiset; \p Vec must be sorted by PaId.
+  PaSetId internPaVec(PaCountVec Vec);
+  ConfigId internConfig(StoreId G, PaSetId Omega);
+  /// Interns a non-failure configuration.
+  ConfigId internConfig(const Configuration &C);
+
+  // Lookup -----------------------------------------------------------------
+
+  const Store &store(StoreId Id) const;
+  const PendingAsync &pa(PaId Id) const;
+  const PaCountVec &paVec(PaSetId Id) const;
+  /// The multiset as a value-level PaMultiset; materialized on first use
+  /// and cached for the arena's lifetime.
+  const PaMultiset &paSet(PaSetId Id);
+  /// The multiset's distinct PaIds in canonical value order (the order a
+  /// value-level PaMultiset iterates its entries). This order is intrinsic
+  /// to the PAs, unlike PaId order, which depends on interning order —
+  /// iterating it keeps exploration deterministic regardless of which
+  /// worker thread interned a PA first. Materialized on first use.
+  const std::vector<PaId> &paOrder(PaSetId Id);
+  std::pair<StoreId, PaSetId> config(ConfigId Id) const;
+  /// Materializes the full (g, Ω) configuration (copies).
+  Configuration configuration(ConfigId Id);
+
+  /// The interned empty multiset (terminating configurations have this Ω).
+  PaSetId emptyPaSet() const { return EmptyPaSet; }
+
+  ArenaStats stats() const;
+
+private:
+  static constexpr size_t NumShards = 16;
+  static constexpr uint32_t ShardMask = NumShards - 1;
+
+  static uint32_t makeId(size_t Shard, size_t Local) {
+    return static_cast<uint32_t>((Local << 4) | Shard);
+  }
+  static size_t shardOf(uint32_t Id) { return Id & ShardMask; }
+  static size_t localOf(uint32_t Id) { return Id >> 4; }
+
+  /// One shard of a hash-consing table: hash → candidate local indices,
+  /// plus stable storage for the interned items.
+  template <typename Item> struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<size_t, std::vector<uint32_t>> Buckets;
+    std::deque<Item> Items;
+  };
+
+  struct PaSetItem {
+    PaCountVec Vec;
+    /// Lazily materialized value form (guarded by the shard mutex until
+    /// filled; immutable afterwards).
+    std::optional<PaMultiset> Value;
+    /// Lazily materialized value-ordered PaId view (same guarding).
+    std::optional<std::vector<PaId>> Order;
+  };
+
+  Shard<Store> StoreShards[NumShards];
+  Shard<PendingAsync> PaShards[NumShards];
+  Shard<PaSetItem> PaSetShards[NumShards];
+  /// Config identity is the exact (StoreId, PaSetId) pair, so the bucket
+  /// map is keyed directly by the packed pair (no collision chains).
+  struct ConfigShard {
+    mutable std::mutex M;
+    std::unordered_map<uint64_t, uint32_t> Index;
+    std::deque<std::pair<StoreId, PaSetId>> Items;
+  };
+  ConfigShard ConfigShards[NumShards];
+
+  PaSetId EmptyPaSet = InvalidId;
+
+  mutable std::atomic<size_t> Lookups{0};
+  mutable std::atomic<size_t> Hits{0};
+
+  static size_t hashPaCountVec(const PaCountVec &Vec);
+  PaMultiset materialize(const PaCountVec &Vec);
+};
+
+/// A set of explored configurations over a shared arena: the interned
+/// universe handed to the mover / refinement / IS checkers.
+struct StateSpace {
+  std::shared_ptr<StateArena> Arena;
+  std::vector<ConfigId> Configs;
+};
+
+} // namespace engine
+} // namespace isq
+
+#endif // ISQ_ENGINE_STATEARENA_H

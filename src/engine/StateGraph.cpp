@@ -1,0 +1,326 @@
+//===- engine/StateGraph.cpp - Parallel frontier exploration -----------------===//
+
+#include "engine/StateGraph.h"
+
+#include "engine/ActionCaches.h"
+#include "support/Format.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <exception>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace isq;
+using namespace isq::engine;
+
+namespace isq {
+namespace engine {
+/// Grants the exploration engine mutable access to StateGraph's results.
+struct GraphAccess {
+  static std::shared_ptr<StateArena> &arena(StateGraph &G) { return G.Arena; }
+  static std::vector<ConfigId> &nodes(StateGraph &G) { return G.Nodes; }
+  static std::vector<StateGraph::Link> &links(StateGraph &G) {
+    return G.Links;
+  }
+  static std::optional<std::pair<uint32_t, PaId>> &failureAt(StateGraph &G) {
+    return G.FailureAt;
+  }
+  static std::vector<StoreId> &terminals(StateGraph &G) {
+    return G.Terminals;
+  }
+  static std::vector<uint32_t> &deadlocks(StateGraph &G) {
+    return G.Deadlocks;
+  }
+  static EngineStats &stats(StateGraph &G) { return G.Stats; }
+};
+} // namespace engine
+} // namespace isq
+
+static std::string percent(double Fraction) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", 100.0 * Fraction);
+  return Buf;
+}
+
+void EngineStats::accumulate(const EngineStats &Other) {
+  NumConfigurations += Other.NumConfigurations;
+  NumTransitions += Other.NumTransitions;
+  Truncated = Truncated || Other.Truncated;
+  InternedStores = std::max(InternedStores, Other.InternedStores);
+  InternedPas = std::max(InternedPas, Other.InternedPas);
+  InternedPaSets = std::max(InternedPaSets, Other.InternedPaSets);
+  InternedConfigs = std::max(InternedConfigs, Other.InternedConfigs);
+  HashConsLookups += Other.HashConsLookups;
+  HashConsHits += Other.HashConsHits;
+  TransitionCacheLookups += Other.TransitionCacheLookups;
+  TransitionCacheHits += Other.TransitionCacheHits;
+  FrontierPeak = std::max(FrontierPeak, Other.FrontierPeak);
+  Threads = std::max(Threads, Other.Threads);
+  ExpandSeconds += Other.ExpandSeconds;
+  MergeSeconds += Other.MergeSeconds;
+  TotalSeconds += Other.TotalSeconds;
+}
+
+std::string EngineStats::str() const {
+  std::string Out;
+  Out += "configs=" + std::to_string(NumConfigurations);
+  Out += " transitions=" + std::to_string(NumTransitions);
+  if (Truncated)
+    Out += " (truncated)";
+  Out += " stores=" + std::to_string(InternedStores);
+  Out += " pasets=" + std::to_string(InternedPaSets);
+  Out += " hashcons-hit=" + percent(hashConsHitRate());
+  Out += " transcache-hit=" + percent(transitionCacheHitRate());
+  Out += " frontier-peak=" + std::to_string(FrontierPeak);
+  Out += " threads=" + std::to_string(Threads);
+  Out += " expand=" + formatSeconds(ExpandSeconds) + "s";
+  Out += " merge=" + formatSeconds(MergeSeconds) + "s";
+  Out += " total=" + formatSeconds(TotalSeconds) + "s";
+  return Out;
+}
+
+namespace {
+
+/// One ordered successor candidate of a node: the PA executed and the
+/// interned child, or Child == InvalidId for a failing step.
+struct Item {
+  PaId Via;
+  ConfigId Child;
+};
+
+/// Everything a worker produces for one frontier node. Candidates are in
+/// the exact order the classical FIFO BFS would visit them, which is what
+/// makes the serial merge deterministic.
+struct NodeOut {
+  std::vector<Item> Items;
+  uint64_t Transitions = 0;
+  bool AnyMove = false;
+};
+
+/// The per-run exploration state behind exploreGraph().
+struct Engine {
+  const Program &P;
+  const EngineOptions &Opts;
+  StateArena &Arena;
+
+  // Mutable views into the StateGraph under construction.
+  std::vector<ConfigId> &Nodes;
+  std::vector<StateGraph::Link> &Links;
+  std::optional<std::pair<uint32_t, PaId>> &FailureAt;
+  std::vector<StoreId> &Terminals;
+  std::vector<uint32_t> &Deadlocks;
+  EngineStats &Stats;
+
+  InternedTransitionCache TransCache;
+  GateCache Gates;
+  /// Symbol → action resolution, hoisted out of the hot loop.
+  std::unordered_map<Symbol, const Action *> Resolve;
+
+  /// ConfigId → node index (InvalidId when unexplored). Written only by
+  /// the serial merge; frozen (read-only) during parallel expansion.
+  std::vector<uint32_t> NodeOf;
+  std::unordered_set<StoreId> TerminalSeen;
+  std::vector<uint32_t> Frontier;
+  std::vector<uint32_t> NextFrontier;
+  bool Stop = false;
+
+  Engine(const Program &P, const EngineOptions &Opts, StateArena &Arena,
+         StateGraph &G)
+      : P(P), Opts(Opts), Arena(Arena), Nodes(GraphAccess::nodes(G)),
+        Links(GraphAccess::links(G)), FailureAt(GraphAccess::failureAt(G)),
+        Terminals(GraphAccess::terminals(G)),
+        Deadlocks(GraphAccess::deadlocks(G)), Stats(GraphAccess::stats(G)),
+        TransCache(Arena), Gates(Arena) {
+    for (Symbol Name : P.actionNames())
+      Resolve.emplace(Name, &P.action(Name));
+  }
+
+  bool known(ConfigId Cid) const {
+    return Cid < NodeOf.size() && NodeOf[Cid] != InvalidId;
+  }
+
+  /// Registers \p Cid if new; mirrors the classical BFS add() semantics
+  /// (truncation flag set when the cap blocks an insertion).
+  void add(ConfigId Cid, uint32_t Parent, PaId Via) {
+    if (known(Cid))
+      return;
+    if (Nodes.size() >= Opts.MaxConfigurations) {
+      Stats.Truncated = true;
+      return;
+    }
+    if (Cid >= NodeOf.size())
+      NodeOf.resize(Cid + 1, InvalidId);
+    uint32_t Index = static_cast<uint32_t>(Nodes.size());
+    NodeOf[Cid] = Index;
+    Nodes.push_back(Cid);
+    if (Opts.RecordParents)
+      Links.push_back({Parent, Via});
+    auto [StoreIdOf, PaSetIdOf] = Arena.config(Cid);
+    if (PaSetIdOf == Arena.emptyPaSet() &&
+        TerminalSeen.insert(StoreIdOf).second)
+      Terminals.push_back(StoreIdOf);
+    NextFrontier.push_back(Index);
+  }
+
+  /// Expands one node into its ordered successor candidates. Runs in
+  /// worker threads; touches only the sharded arena/caches and the frozen
+  /// seen-index.
+  void expand(ConfigId Cid, NodeOut &Out) {
+    auto [StoreIdOf, PaSetIdOf] = Arena.config(Cid);
+    const PaCountVec &Entries = Arena.paVec(PaSetIdOf);
+    if (Entries.empty())
+      return; // terminating configuration
+    const PaMultiset &OmegaVal = Arena.paSet(PaSetIdOf);
+    const Store &Global = Arena.store(StoreIdOf);
+    // Iterate PAs in canonical value order, not PaId order: PaIds depend
+    // on interning order (racy under parallel interning), so value order
+    // is what makes candidate order — and hence BFS discovery order —
+    // identical for every thread count and equal to the classical BFS.
+    for (PaId PaIdOf : Arena.paOrder(PaSetIdOf)) {
+      const PendingAsync &PA = Arena.pa(PaIdOf);
+      const Action &A = *Resolve.at(PA.Action);
+      bool GateOk = A.gateReadsOmega()
+                        ? A.evalGate(Global, PA.Args, OmegaVal)
+                        : Gates.get(A, StoreIdOf, PaIdOf, OmegaVal);
+      if (!GateOk) {
+        ++Out.Transitions;
+        Out.AnyMove = true;
+        Out.Items.push_back({PaIdOf, InvalidId});
+        continue;
+      }
+      const std::vector<InternedTransition> &Trans =
+          TransCache.get(A, StoreIdOf, PaIdOf);
+      if (Trans.empty())
+        continue; // blocked
+      PaCountVec Rest(Entries);
+      paCountVecErase(Rest, PaIdOf);
+      for (const InternedTransition &T : Trans) {
+        ++Out.Transitions;
+        Out.AnyMove = true;
+        PaSetId SuccOmega =
+            Arena.internPaVec(paCountVecUnion(Rest, T.Created));
+        ConfigId Child = Arena.internConfig(T.Global, SuccOmega);
+        if (known(Child))
+          continue; // discovered in an earlier level: prune early
+        Out.Items.push_back({PaIdOf, Child});
+      }
+    }
+  }
+
+  /// Expands the whole frontier into \p Outs using Opts.NumThreads.
+  void expandLevel(std::vector<NodeOut> &Outs) {
+    size_t Width = Frontier.size();
+    unsigned Workers = static_cast<unsigned>(
+        std::min<size_t>(Opts.NumThreads ? Opts.NumThreads : 1, Width));
+    if (Workers <= 1) {
+      for (size_t I = 0; I < Width; ++I)
+        expand(Nodes[Frontier[I]], Outs[I]);
+      return;
+    }
+    std::atomic<size_t> Next{0};
+    std::exception_ptr Error;
+    std::mutex ErrorMutex;
+    auto Work = [&]() {
+      try {
+        for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+             I < Width; I = Next.fetch_add(1, std::memory_order_relaxed))
+          expand(Nodes[Frontier[I]], Outs[I]);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(ErrorMutex);
+        if (!Error)
+          Error = std::current_exception();
+      }
+    };
+    std::vector<std::thread> Threads;
+    Threads.reserve(Workers - 1);
+    for (unsigned I = 0; I + 1 < Workers; ++I)
+      Threads.emplace_back(Work);
+    Work();
+    for (std::thread &T : Threads)
+      T.join();
+    if (Error)
+      std::rethrow_exception(Error);
+  }
+
+  /// Serially folds a level's candidates into the graph in deterministic
+  /// (frontier position, candidate) order.
+  void merge(const std::vector<NodeOut> &Outs) {
+    NextFrontier.clear();
+    for (size_t I = 0; I < Outs.size(); ++I) {
+      const NodeOut &Out = Outs[I];
+      uint32_t NodeIdx = Frontier[I];
+      Stats.NumTransitions += Out.Transitions;
+      for (const Item &It : Out.Items) {
+        if (It.Child == InvalidId) { // failing step
+          if (!FailureAt)
+            FailureAt.emplace(NodeIdx, It.Via);
+          if (Opts.StopAtFirstFailure) {
+            Stop = true;
+            return;
+          }
+          continue;
+        }
+        add(It.Child, NodeIdx, It.Via);
+      }
+      if (!Out.AnyMove &&
+          Arena.config(Nodes[NodeIdx]).second != Arena.emptyPaSet())
+        Deadlocks.push_back(NodeIdx);
+    }
+  }
+
+  void run(const std::vector<Configuration> &Inits) {
+    for (const Configuration &Init : Inits) {
+      assert(!Init.isFailure() && "initial configuration cannot be failure");
+      add(Arena.internConfig(Init), UINT32_MAX, InvalidId);
+    }
+    Frontier.swap(NextFrontier);
+    std::vector<NodeOut> Outs;
+    while (!Frontier.empty() && !Stop) {
+      Stats.FrontierPeak =
+          std::max(Stats.FrontierPeak, Frontier.size());
+      Outs.assign(Frontier.size(), NodeOut());
+      Timer ExpandT;
+      expandLevel(Outs);
+      Stats.ExpandSeconds += ExpandT.elapsed();
+      Timer MergeT;
+      merge(Outs);
+      Stats.MergeSeconds += MergeT.elapsed();
+      Frontier.swap(NextFrontier);
+    }
+  }
+};
+
+} // namespace
+
+StateGraph engine::exploreGraph(const Program &P,
+                                const std::vector<Configuration> &Inits,
+                                std::shared_ptr<StateArena> Arena,
+                                const EngineOptions &Opts) {
+  if (!Arena)
+    Arena = std::make_shared<StateArena>();
+  StateGraph G;
+  GraphAccess::arena(G) = Arena;
+  ArenaStats Before = Arena->stats();
+  Timer Total;
+  Engine E(P, Opts, *Arena, G);
+  E.run(Inits);
+  EngineStats &Stats = GraphAccess::stats(G);
+  Stats.TotalSeconds = Total.elapsed();
+  Stats.NumConfigurations = GraphAccess::nodes(G).size();
+  Stats.Threads = Opts.NumThreads ? Opts.NumThreads : 1;
+  ArenaStats After = Arena->stats();
+  Stats.InternedStores = After.Stores;
+  Stats.InternedPas = After.Pas;
+  Stats.InternedPaSets = After.PaSets;
+  Stats.InternedConfigs = After.Configs;
+  Stats.HashConsLookups = After.Lookups - Before.Lookups;
+  Stats.HashConsHits = After.Hits - Before.Hits;
+  Stats.TransitionCacheLookups = E.TransCache.lookups();
+  Stats.TransitionCacheHits = E.TransCache.hits();
+  return G;
+}

@@ -1,0 +1,159 @@
+//===- engine/StateGraph.h - Parallel frontier exploration -------*- C++ -*-===//
+///
+/// \file
+/// The shared state-space core: a breadth-first expansion of a program's
+/// configuration graph over interned ConfigIds. One engine serves every
+/// enumeration-based check in the system (Explorer, mover checks, IS
+/// conditions, refinement cross-checks).
+///
+/// The exploration is level-synchronous: each BFS level (frontier) is
+/// expanded by N worker threads into per-node successor lists, then a
+/// serial merge interns new nodes in (frontier position, successor
+/// enumeration) order. Because that order is exactly the order the
+/// classical FIFO BFS discovers nodes, the node list, failure verdict,
+/// counterexample trace and truncation point are bit-identical for every
+/// thread count — parallelism changes wall time, never answers.
+///
+/// Thread safety: workers intern through the sharded StateArena and the
+/// interned caches; the seen-index is written only by the serial merge and
+/// read (immutably) by workers for early duplicate pruning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_ENGINE_STATEGRAPH_H
+#define ISQ_ENGINE_STATEGRAPH_H
+
+#include "engine/StateArena.h"
+#include "semantics/Program.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isq {
+namespace engine {
+
+/// Knobs for exploreGraph(). Mirrors ExploreOptions plus the thread count.
+struct EngineOptions {
+  size_t MaxConfigurations = 2'000'000;
+  bool StopAtFirstFailure = false;
+  bool RecordParents = true;
+  /// Worker threads expanding each frontier. 1 = serial (no threads
+  /// spawned). Results are identical for every value.
+  unsigned NumThreads = 1;
+};
+
+/// Observability counters for one engine run (plus arena totals at the end
+/// of the run when the arena is shared).
+struct EngineStats {
+  size_t NumConfigurations = 0;
+  size_t NumTransitions = 0;
+  bool Truncated = false;
+
+  // Hash-consing (arena occupancy and hit rate at end of run).
+  size_t InternedStores = 0;
+  size_t InternedPas = 0;
+  size_t InternedPaSets = 0;
+  size_t InternedConfigs = 0;
+  size_t HashConsLookups = 0;
+  size_t HashConsHits = 0;
+
+  // Transition memoization.
+  size_t TransitionCacheLookups = 0;
+  size_t TransitionCacheHits = 0;
+
+  size_t FrontierPeak = 0;
+  unsigned Threads = 1;
+
+  // Per-phase wall time (support/Timer).
+  double ExpandSeconds = 0;
+  double MergeSeconds = 0;
+  double TotalSeconds = 0;
+
+  /// Fraction of intern calls that found an existing entry.
+  double hashConsHitRate() const {
+    return HashConsLookups ? static_cast<double>(HashConsHits) /
+                                 static_cast<double>(HashConsLookups)
+                           : 0.0;
+  }
+  /// Fraction of transition enumerations answered from cache.
+  double transitionCacheHitRate() const {
+    return TransitionCacheLookups
+               ? static_cast<double>(TransitionCacheHits) /
+                     static_cast<double>(TransitionCacheLookups)
+               : 0.0;
+  }
+
+  /// Merges \p Other into this (sums counters, maxes peaks, ors flags).
+  void accumulate(const EngineStats &Other);
+
+  /// One-line human-readable rendering for drivers and tools.
+  std::string str() const;
+};
+
+/// The result of one exploration: reachable nodes in deterministic BFS
+/// order plus parent links, failure, terminal and deadlock information,
+/// all expressed over the shared arena.
+class StateGraph {
+public:
+  /// Parent link of a node: the node index it was first discovered from
+  /// and the PA whose execution discovered it. Parent == UINT32_MAX for
+  /// roots. Populated only when EngineOptions::RecordParents.
+  struct Link {
+    uint32_t Parent = UINT32_MAX;
+    PaId Via = InvalidId;
+  };
+
+  StateArena &arena() { return *Arena; }
+  const StateArena &arena() const { return *Arena; }
+  const std::shared_ptr<StateArena> &arenaPtr() const { return Arena; }
+
+  /// Reachable non-failure configurations in BFS order.
+  const std::vector<ConfigId> &nodes() const { return Nodes; }
+  /// Parent links, index-aligned with nodes().
+  const std::vector<Link> &links() const { return Links; }
+
+  bool failureReachable() const { return FailureAt.has_value(); }
+  /// The first failing step in BFS order: (node index, failing PA).
+  const std::optional<std::pair<uint32_t, PaId>> &failureAt() const {
+    return FailureAt;
+  }
+
+  /// Distinct final stores of terminating executions, in discovery order.
+  const std::vector<StoreId> &terminalStores() const { return Terminals; }
+  /// Node indices of reachable non-terminating dead ends.
+  const std::vector<uint32_t> &deadlockNodes() const { return Deadlocks; }
+
+  const EngineStats &stats() const { return Stats; }
+
+  /// The view of this graph's nodes as a checker universe.
+  StateSpace space() const { return {Arena, Nodes}; }
+
+private:
+  /// Mutable access for the exploration engine (defined in StateGraph.cpp).
+  friend struct GraphAccess;
+
+  std::shared_ptr<StateArena> Arena;
+  std::vector<ConfigId> Nodes;
+  std::vector<Link> Links;
+  std::optional<std::pair<uint32_t, PaId>> FailureAt;
+  std::vector<StoreId> Terminals;
+  std::vector<uint32_t> Deadlocks;
+  EngineStats Stats;
+};
+
+/// Explores all configurations reachable from \p Inits under \p P,
+/// interning into \p Arena (a fresh arena is created when null). Passing
+/// one arena to several explorations (e.g. P and P[M ↦ I]) shares every
+/// interned store and multiset between them; ConfigIds then identify equal
+/// configurations across the runs.
+StateGraph exploreGraph(const Program &P,
+                        const std::vector<Configuration> &Inits,
+                        std::shared_ptr<StateArena> Arena = nullptr,
+                        const EngineOptions &Opts = EngineOptions());
+
+} // namespace engine
+} // namespace isq
+
+#endif // ISQ_ENGINE_STATEGRAPH_H

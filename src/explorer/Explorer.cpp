@@ -2,6 +2,7 @@
 
 #include "explorer/Explorer.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,7 +11,57 @@ using namespace isq;
 
 namespace {
 
-/// Internal BFS state shared between explore() and exploreAll().
+/// Canonical orders promised by the ExploreResult contract.
+void sortResults(ExploreResult &R) {
+  std::sort(R.TerminalStores.begin(), R.TerminalStores.end());
+  std::sort(R.Deadlocks.begin(), R.Deadlocks.end());
+}
+
+/// Reconstructs the failing execution ending at \p NodeIdx + \p FailVia
+/// from the graph's parent links (the engine-side mirror of Bfs::traceTo).
+Execution traceFromLinks(engine::StateGraph &G,
+                         const std::vector<Configuration> &Reachable,
+                         uint32_t NodeIdx, engine::PaId FailVia) {
+  const std::vector<engine::StateGraph::Link> &Links = G.links();
+  std::vector<uint32_t> Chain;
+  for (uint32_t I = NodeIdx; I != UINT32_MAX; I = Links[I].Parent)
+    Chain.push_back(I);
+  Execution E;
+  E.Initial = Reachable[Chain.back()];
+  for (size_t I = Chain.size() - 1; I > 0; --I) {
+    uint32_t Node = Chain[I - 1];
+    E.Steps.push_back({G.arena().pa(Links[Node].Via), Reachable[Node]});
+  }
+  E.Steps.push_back({G.arena().pa(FailVia), Configuration::failure()});
+  return E;
+}
+
+/// Materializes an engine StateGraph into the value-level ExploreResult.
+ExploreResult fromGraph(engine::StateGraph G, const ExploreOptions &Opts) {
+  ExploreResult R;
+  engine::StateArena &A = G.arena();
+  R.Reachable.reserve(G.nodes().size());
+  for (engine::ConfigId Cid : G.nodes())
+    R.Reachable.push_back(A.configuration(Cid));
+  R.FailureReachable = G.failureReachable();
+  if (G.failureAt() && Opts.RecordParents)
+    R.FailureTrace = traceFromLinks(G, R.Reachable, G.failureAt()->first,
+                                    G.failureAt()->second);
+  R.TerminalStores.reserve(G.terminalStores().size());
+  for (engine::StoreId S : G.terminalStores())
+    R.TerminalStores.push_back(A.store(S));
+  R.Deadlocks.reserve(G.deadlockNodes().size());
+  for (uint32_t Node : G.deadlockNodes())
+    R.Deadlocks.push_back(R.Reachable[Node]);
+  R.Engine = G.stats();
+  R.Stats.NumConfigurations = R.Engine.NumConfigurations;
+  R.Stats.NumTransitions = R.Engine.NumTransitions;
+  R.Stats.Truncated = R.Engine.Truncated;
+  sortResults(R);
+  return R;
+}
+
+/// Internal BFS state of the legacy value-level exploration.
 struct Bfs {
   const Program &P;
   const ExploreOptions &Opts;
@@ -112,6 +163,17 @@ ExploreResult isq::explore(const Program &P, const Configuration &Init,
 ExploreResult isq::exploreAll(const Program &P,
                               const std::vector<Configuration> &Inits,
                               const ExploreOptions &Opts) {
+  engine::EngineOptions EO;
+  EO.MaxConfigurations = Opts.MaxConfigurations;
+  EO.StopAtFirstFailure = Opts.StopAtFirstFailure;
+  EO.RecordParents = Opts.RecordParents;
+  EO.NumThreads = Opts.NumThreads;
+  return fromGraph(engine::exploreGraph(P, Inits, nullptr, EO), Opts);
+}
+
+ExploreResult isq::exploreAllLegacy(const Program &P,
+                                    const std::vector<Configuration> &Inits,
+                                    const ExploreOptions &Opts) {
   Bfs B(P, Opts);
   for (const Configuration &Init : Inits) {
     assert(!Init.isFailure() && "initial configuration cannot be failure");
@@ -119,6 +181,7 @@ ExploreResult isq::exploreAll(const Program &P,
   }
   B.run();
   B.Result.Stats.NumConfigurations = B.Result.Reachable.size();
+  sortResults(B.Result);
   return std::move(B.Result);
 }
 

@@ -13,6 +13,7 @@
 #ifndef ISQ_EXPLORER_EXPLORER_H
 #define ISQ_EXPLORER_EXPLORER_H
 
+#include "engine/StateGraph.h"
 #include "explorer/Trace.h"
 #include "semantics/Program.h"
 
@@ -30,6 +31,9 @@ struct ExploreOptions {
   bool StopAtFirstFailure = false;
   /// Keep parent pointers for counterexample extraction.
   bool RecordParents = true;
+  /// Worker threads for frontier expansion (1 = serial). Results are
+  /// bit-identical for every value; see engine/StateGraph.h.
+  unsigned NumThreads = 1;
 };
 
 /// Exploration statistics.
@@ -54,6 +58,8 @@ struct ExploreResult {
   /// were recorded.
   std::optional<Execution> FailureTrace;
   ExploreStats Stats;
+  /// Detailed engine observability (interning, caching, phase times).
+  engine::EngineStats Engine;
 
   /// True iff the program can fail from the explored initial
   /// configuration: ¬Good.
@@ -61,6 +67,9 @@ struct ExploreResult {
 };
 
 /// Explores all configurations reachable from \p Init under \p P.
+/// Implemented on the hash-consed engine (engine/StateGraph.h); Reachable
+/// is in deterministic BFS order, TerminalStores and Deadlocks are sorted
+/// canonically.
 ExploreResult explore(const Program &P, const Configuration &Init,
                       const ExploreOptions &Opts = ExploreOptions());
 
@@ -68,6 +77,14 @@ ExploreResult explore(const Program &P, const Configuration &Init,
 ExploreResult exploreAll(const Program &P,
                          const std::vector<Configuration> &Inits,
                          const ExploreOptions &Opts = ExploreOptions());
+
+/// The pre-engine value-level BFS, kept as a differential-testing oracle
+/// and benchmark baseline for the interned engine. Semantically identical
+/// to exploreAll() (modulo NumTransitions under StopAtFirstFailure, where
+/// the engine finishes counting the failing node's level).
+ExploreResult exploreAllLegacy(const Program &P,
+                               const std::vector<Configuration> &Inits,
+                               const ExploreOptions &Opts = ExploreOptions());
 
 /// Computes the pair (Good, Trans) of Definition 3.2 restricted to the
 /// initialized configuration with global store \p Init and Main arguments

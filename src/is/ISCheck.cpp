@@ -2,81 +2,79 @@
 
 #include "is/ISCheck.h"
 
+#include "engine/ActionCaches.h"
+#include "engine/StateGraph.h"
 #include "is/Sequentialize.h"
 #include "movers/MoverCheck.h"
-#include "semantics/ActionCache.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace isq;
+using namespace isq::engine;
 
 ISUniverse ISUniverse::build(const ISApplication &App,
                              const std::vector<InitialCondition> &Inits,
                              const ExploreOptions &Opts) {
   ISUniverse U;
-  std::unordered_set<Configuration> Seen;
+  U.Space.Arena = std::make_shared<StateArena>();
+  EngineOptions EO;
+  EO.MaxConfigurations = Opts.MaxConfigurations;
+  EO.StopAtFirstFailure = Opts.StopAtFirstFailure;
+  EO.RecordParents = false; // parents are never consulted for universes
+  EO.NumThreads = Opts.NumThreads;
+  // Both explorations intern into the one arena, so the union dedups by
+  // ConfigId and the configurations are shared with every later check.
+  std::unordered_set<ConfigId> Seen;
   auto Absorb = [&](const Program &P) {
     for (const InitialCondition &Init : Inits) {
-      ExploreResult R =
-          explore(P, initialConfiguration(Init.Global, Init.MainArgs), Opts);
-      for (Configuration &C : R.Reachable)
-        if (Seen.insert(C).second)
-          U.Configs.push_back(std::move(C));
+      StateGraph G = exploreGraph(
+          P, {initialConfiguration(Init.Global, Init.MainArgs)}, U.Space.Arena,
+          EO);
+      U.Stats.accumulate(G.stats());
+      for (ConfigId Cid : G.nodes())
+        if (Seen.insert(Cid).second)
+          U.Space.Configs.push_back(Cid);
     }
   };
   Absorb(App.P);
   // The partial sequentializations: P with M replaced by the invariant.
   Absorb(App.P.withAction(App.Invariant.withName(App.M.str())));
+  U.Configs.reserve(U.Space.Configs.size());
+  for (ConfigId Cid : U.Space.Configs)
+    U.Configs.push_back(U.Space.Arena->configuration(Cid));
   U.MCalls = collectContexts(U.Configs, App.M);
   return U;
 }
 
 namespace {
 
-std::string describeCall(const ActionContext &Ctx) {
-  std::string Out = "store=" + Ctx.Global.str() + " args=(";
-  for (size_t I = 0; I < Ctx.Args.size(); ++I) {
+std::string describeCall(const Store &Global, const std::vector<Value> &Args) {
+  std::string Out = "store=" + Global.str() + " args=(";
+  for (size_t I = 0; I < Args.size(); ++I) {
     if (I)
       Out += ", ";
-    Out += Ctx.Args[I].str();
+    Out += Args[I].str();
   }
   return Out + ")";
 }
 
-/// Constant-time membership tests for a transition set: indexes the
-/// invariant's transitions by (global store, created multiset).
-class TransitionSet {
-public:
-  explicit TransitionSet(const std::vector<Transition> &Transitions) {
-    for (const Transition &T : Transitions)
-      Index.insert(keyOf(T.Global, T.createdMultiset()));
-  }
-
-  bool contains(const Store &Global, const PaMultiset &Created) const {
-    return Index.count(keyOf(Global, Created)) > 0;
-  }
-
-private:
-  struct Key {
-    Store Global;
-    PaMultiset Created;
-    bool operator==(const Key &O) const {
-      return Global == O.Global && Created == O.Created;
-    }
-  };
-  struct KeyHash {
-    size_t operator()(const Key &K) const {
-      size_t Seed = K.Global.hash();
-      hashCombine(Seed, K.Created.hash());
-      return Seed;
-    }
-  };
-  static Key keyOf(const Store &Global, const PaMultiset &Created) {
-    return Key{Global, Created};
-  }
-
-  std::unordered_set<Key, KeyHash> Index;
+/// The invariant's transition relation at one (store, args) point, with
+/// value-level transitions (preserving the user's created-PA enumeration
+/// order for the choice function) alongside their interned images and an
+/// integer-keyed membership index. Shared across every Ω-variant of the
+/// same call point.
+struct InvPoint {
+  std::vector<Transition> Trans;
+  std::vector<StoreId> TGlobal;
+  std::vector<PaCountVec> TCreated;
+  /// (Global << 32) | CreatedSet per transition of I.
+  std::unordered_set<uint64_t> Index;
 };
+
+uint64_t packIds(uint32_t Hi, uint32_t Lo) {
+  return (static_cast<uint64_t>(Hi) << 32) | Lo;
+}
 
 } // namespace
 
@@ -84,6 +82,18 @@ ISCheckReport isq::checkIS(const ISApplication &App,
                            const ISUniverse &Universe) {
   ISCheckReport Report;
   const Program &P = App.P;
+
+  // The interned universe: shared with build(), or interned on the fly for
+  // hand-built universes.
+  StateSpace Space = Universe.Space;
+  if (!Space.Arena) {
+    Space.Arena = std::make_shared<StateArena>();
+    Space.Configs.reserve(Universe.Configs.size());
+    for (const Configuration &C : Universe.Configs)
+      if (!C.isFailure())
+        Space.Configs.push_back(Space.Arena->internConfig(C));
+  }
+  StateArena &Arena = *Space.Arena;
 
   // --- Side conditions --------------------------------------------------
   Report.SideConditions.countObligation();
@@ -116,11 +126,22 @@ ISCheckReport isq::checkIS(const ISApplication &App,
   if (!Report.SideConditions.ok())
     return Report;
 
+  // The interned M-call contexts. Derived from the value-level MCalls (not
+  // from Space) so hand-built universes behave identically; for built
+  // universes the two coincide.
+  InternedContextUniverse MCalls;
+  MCalls.Arena = Space.Arena;
+  MCalls.Items.reserve(Universe.MCalls.size());
+  for (const ActionContext &Ctx : Universe.MCalls)
+    MCalls.Items.push_back({Arena.internStore(Ctx.Global),
+                            Arena.internPa(PendingAsync(App.M, Ctx.Args)),
+                            Arena.internPaSet(Ctx.Omega)});
+
   // --- P(A) ≼ α(A) for A ∈ E ---------------------------------------------
   for (Symbol A : App.E) {
     if (!App.Abstractions.count(A))
       continue; // α(A) = P(A): refinement is reflexive
-    ContextUniverse Ctxs = collectContexts(Universe.Configs, A);
+    InternedContextUniverse Ctxs = collectContexts(Space, A);
     CheckResult R =
         checkActionRefinement(P.action(A), App.abstraction(A), Ctxs);
     if (!R.ok())
@@ -131,112 +152,148 @@ ISCheckReport isq::checkIS(const ISApplication &App,
 
   // --- (I1) base case: P(M) ≼ I --------------------------------------------
   Report.BaseCase =
-      checkActionRefinement(P.action(App.M), App.Invariant, Universe.MCalls);
+      checkActionRefinement(P.action(App.M), App.Invariant, MCalls);
 
   // --- (I2) conclusion: (ρI, {t ∈ τI | PAE(t) = ∅}) ≼ M' --------------------
   {
     Action Restricted = restrictInvariant(App);
     Action SeqM = sequentializedAction(App);
-    Report.Conclusion =
-        checkActionRefinement(Restricted, SeqM, Universe.MCalls);
+    Report.Conclusion = checkActionRefinement(Restricted, SeqM, MCalls);
   }
 
   // --- (I3) inductive step ---------------------------------------------------
-  for (const ActionContext &Call : Universe.MCalls) {
-    if (!App.Invariant.evalGate(Call.Global, Call.Args, Call.Omega))
-      continue; // t ∈ ρI ∘ τI only constrains gate-satisfying stores
-    // Ω after I's step: the executing M PA is consumed.
-    PendingAsync MPa(App.M, Call.Args);
-    std::vector<Transition> InvTransitions =
-        App.Invariant.transitions(Call.Global, Call.Args);
-    TransitionSet InvSet(InvTransitions);
-    TransitionCache AbsCache;
-    for (const Transition &T : InvTransitions) {
-      PaMultiset ToE = App.pasToE(T);
-      if (ToE.empty())
-        continue;
-      PendingAsync Chosen = App.Choice(Call.Global, Call.Args, T);
-      Report.SideConditions.countObligation();
-      if (!ToE.contains(Chosen)) {
-        Report.SideConditions.fail(
-            "choice function selected " + Chosen.str() +
-            " which is not a created PA to E at " + describeCall(Call));
-        continue;
-      }
-      const Action &Abs = App.abstraction(Chosen.Action);
+  {
+    // τI and its interned image, memoized per call point: Ω-variants of
+    // one (store, args) point share the enumeration and the index.
+    std::unordered_map<uint64_t, InvPoint> InvPoints;
+    InternedTransitionCache AbsCache(Arena);
+    for (const InternedActionContext &Call : MCalls.Items) {
+      const Store &CallStore = Arena.store(Call.Global);
+      const std::vector<Value> &CallArgs = Arena.pa(Call.ArgsPa).Args;
+      const PaMultiset &CallOmega = Arena.paSet(Call.Omega);
+      if (!App.Invariant.evalGate(CallStore, CallArgs, CallOmega))
+        continue; // t ∈ ρI ∘ τI only constrains gate-satisfying stores
 
-      PaMultiset OmegaAfter = Call.Omega;
-      OmegaAfter.erase(MPa);
-      for (const PendingAsync &New : T.Created)
-        OmegaAfter.insert(New);
-
-      // Gate of the abstraction must hold right after I's transition.
-      Report.InductiveStep.countObligation();
-      if (!Abs.evalGate(T.Global, Chosen.Args, OmegaAfter)) {
-        Report.InductiveStep.fail("gate of α(" + Chosen.Action.str() +
-                                  ") fails after invariant transition at " +
-                                  describeCall(Call) + " transition " +
-                                  T.str());
-        continue;
+      auto [PointIt, New] =
+          InvPoints.try_emplace(packIds(Call.Global, Call.ArgsPa));
+      InvPoint &Point = PointIt->second;
+      if (New) {
+        Point.Trans = App.Invariant.transitions(CallStore, CallArgs);
+        Point.TGlobal.reserve(Point.Trans.size());
+        Point.TCreated.reserve(Point.Trans.size());
+        for (const Transition &T : Point.Trans) {
+          StoreId TG = Arena.internStore(T.Global);
+          PaSetId TC = Arena.internPaSet(T.createdMultiset());
+          Point.TGlobal.push_back(TG);
+          Point.TCreated.push_back(Arena.paVec(TC));
+          Point.Index.insert(packIds(TG, TC));
+        }
       }
-      // Composing I's transition with the abstraction's transition must
-      // again be a transition of I.
-      PaMultiset Remaining = T.createdMultiset();
-      Remaining.erase(Chosen);
-      for (const Transition &TA : AbsCache.get(Abs, T.Global, Chosen.Args)) {
+
+      for (size_t TI = 0; TI < Point.Trans.size(); ++TI) {
+        const Transition &T = Point.Trans[TI];
+        PaMultiset ToE = App.pasToE(T);
+        if (ToE.empty())
+          continue;
+        PendingAsync Chosen = App.Choice(CallStore, CallArgs, T);
+        Report.SideConditions.countObligation();
+        if (!ToE.contains(Chosen)) {
+          Report.SideConditions.fail(
+              "choice function selected " + Chosen.str() +
+              " which is not a created PA to E at " +
+              describeCall(CallStore, CallArgs));
+          continue;
+        }
+        const Action &Abs = App.abstraction(Chosen.Action);
+        PaId ChosenPa = Arena.internPa(Chosen);
+
+        // Ω after I's step: the executing M PA is consumed and T's created
+        // PAs appear.
+        PaCountVec Rest(Arena.paVec(Call.Omega));
+        paCountVecErase(Rest, Call.ArgsPa);
+        const PaMultiset &OmegaAfter =
+            Arena.paSet(Arena.internPaVec(paCountVecUnion(
+                Rest, Point.TCreated[TI])));
+
+        // Gate of the abstraction must hold right after I's transition.
         Report.InductiveStep.countObligation();
-        PaMultiset Composed = Remaining;
-        for (const PendingAsync &New : TA.Created)
-          Composed.insert(New);
-        if (!InvSet.contains(TA.Global, Composed))
-          Report.InductiveStep.fail(
-              "invariant not inductive: composing with α(" +
-              Chosen.Action.str() + ") leaves τI at " + describeCall(Call));
+        if (!Abs.evalGate(Arena.store(Point.TGlobal[TI]), Chosen.Args,
+                          OmegaAfter)) {
+          Report.InductiveStep.fail("gate of α(" + Chosen.Action.str() +
+                                    ") fails after invariant transition at " +
+                                    describeCall(CallStore, CallArgs) +
+                                    " transition " + T.str());
+          continue;
+        }
+        // Composing I's transition with the abstraction's transition must
+        // again be a transition of I.
+        PaCountVec Remaining(Point.TCreated[TI]);
+        paCountVecErase(Remaining, ChosenPa);
+        for (const InternedTransition &TA :
+             AbsCache.get(Abs, Point.TGlobal[TI], ChosenPa)) {
+          Report.InductiveStep.countObligation();
+          PaSetId Composed =
+              Arena.internPaVec(paCountVecUnion(Remaining, TA.Created));
+          if (!Point.Index.count(packIds(TA.Global, Composed)))
+            Report.InductiveStep.fail(
+                "invariant not inductive: composing with α(" +
+                Chosen.Action.str() + ") leaves τI at " +
+                describeCall(CallStore, CallArgs));
+        }
       }
     }
   }
 
   // --- (LM) left movers --------------------------------------------------------
   for (Symbol A : App.E) {
-    CheckResult R =
-        checkLeftMover(A, App.abstraction(A), P, Universe.Configs);
+    CheckResult R = checkLeftMover(A, App.abstraction(A), P, Space);
     if (!R.ok())
       Report.LeftMovers.fail("α(" + A.str() + ") is not a left mover");
     Report.LeftMovers.merge(R);
   }
 
   // --- (CO) cooperation ----------------------------------------------------------
-  TransitionCache CoCache;
-  for (Symbol A : App.E) {
-    const Action &Abs = App.abstraction(A);
-    for (const Configuration &C : Universe.Configs) {
-      if (C.isFailure())
-        continue;
-      for (const auto &[PA, Count] : C.pendingAsyncs().entries()) {
-        (void)Count;
-        if (PA.Action != A)
-          continue;
-        if (!Abs.evalGate(C.global(), PA.Args, C.pendingAsyncs()))
-          continue;
-        Report.Cooperation.countObligation();
-        bool Decreases = false;
-        PaMultiset Rest = C.pendingAsyncs();
-        Rest.erase(PA);
-        for (const Transition &TA :
-             CoCache.get(Abs, C.global(), PA.Args)) {
-          PaMultiset Omega = Rest;
-          for (const PendingAsync &New : TA.Created)
-            Omega.insert(New);
-          Configuration Next(TA.Global, std::move(Omega));
-          if (App.WfMeasure.decreases(C, Next)) {
-            Decreases = true;
-            break;
+  {
+    InternedTransitionCache CoCache(Arena);
+    GateCache Gates(Arena);
+    for (Symbol A : App.E) {
+      const Action &Abs = App.abstraction(A);
+      for (ConfigId Cid : Space.Configs) {
+        auto [G, OmegaId] = Arena.config(Cid);
+        const PaCountVec &Entries = Arena.paVec(OmegaId);
+        // Materialized lazily: only configurations holding a PA to A (and
+        // the measure comparison) need value-level views. Value order for
+        // deterministic diagnostics under parallel universe builds.
+        for (PaId Pa : Arena.paOrder(OmegaId)) {
+          const PendingAsync &PA = Arena.pa(Pa);
+          if (PA.Action != A)
+            continue;
+          const PaMultiset &Omega = Arena.paSet(OmegaId);
+          bool GateOk = Abs.gateReadsOmega()
+                            ? Abs.evalGate(Arena.store(G), PA.Args, Omega)
+                            : Gates.get(Abs, G, Pa, Omega);
+          if (!GateOk)
+            continue;
+          Report.Cooperation.countObligation();
+          Configuration C(Arena.store(G), Omega);
+          bool Decreases = false;
+          PaCountVec Rest(Entries);
+          paCountVecErase(Rest, Pa);
+          for (const InternedTransition &TA : CoCache.get(Abs, G, Pa)) {
+            PaSetId NextOmega =
+                Arena.internPaVec(paCountVecUnion(Rest, TA.Created));
+            Configuration Next(Arena.store(TA.Global),
+                               Arena.paSet(NextOmega));
+            if (App.WfMeasure.decreases(C, Next)) {
+              Decreases = true;
+              break;
+            }
           }
+          if (!Decreases)
+            Report.Cooperation.fail(
+                "no measure-decreasing transition of α(" + A.str() +
+                ") for " + PA.str() + " in " + C.str());
         }
-        if (!Decreases)
-          Report.Cooperation.fail("no measure-decreasing transition of α(" +
-                                  A.str() + ") for " + PA.str() + " in " +
-                                  C.str());
       }
     }
   }

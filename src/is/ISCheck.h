@@ -32,6 +32,13 @@ struct ISUniverse {
   std::vector<Configuration> Configs;
   /// Contexts in which an M pending async executes (inputs to I).
   ContextUniverse MCalls;
+  /// The interned view of Configs over the shared arena both explorations
+  /// interned into. Checkers run over this; Configs/MCalls mirror it for
+  /// value-level consumers. Arena is null for hand-built universes (checkIS
+  /// interns on the fly in that case).
+  engine::StateSpace Space;
+  /// Accumulated engine statistics of the universe explorations.
+  engine::EngineStats Stats;
 
   /// Builds the universe by exploring P and P[M ↦ I] from \p Inits.
   static ISUniverse build(const ISApplication &App,

@@ -2,11 +2,13 @@
 
 #include "movers/MoverCheck.h"
 
-#include "semantics/ActionCache.h"
+#include "engine/ActionCaches.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 using namespace isq;
+using namespace isq::engine;
 
 const char *isq::moverTypeName(MoverType M) {
   switch (M) {
@@ -24,32 +26,47 @@ const char *isq::moverTypeName(MoverType M) {
 
 namespace {
 
-/// Looks for a transition in \p Set with global store \p Global and created
-/// multiset \p Created.
-bool hasTransition(const std::vector<Transition> &Set, const Store &Global,
-                   const PaMultiset &Created) {
-  for (const Transition &T : Set)
-    if (T.Global == Global && T.createdMultiset() == Created)
+/// Looks for an interned transition in \p Set with successor store
+/// \p Global and created multiset \p Created — two integer compares per
+/// element.
+bool hasTransition(const std::vector<InternedTransition> &Set, StoreId Global,
+                   PaSetId Created) {
+  for (const InternedTransition &T : Set)
+    if (T.Global == Global && T.CreatedSet == Created)
       return true;
   return false;
 }
 
-std::string describePair(const Configuration &C, const PendingAsync &Subject,
-                         const PendingAsync &Other) {
-  return "subject=" + Subject.str() + " other=" + Other.str() + " in " +
-         C.str();
+std::string describePair(StateArena &Arena, ConfigId Cid, PaId Subject,
+                         PaId Other) {
+  return "subject=" + Arena.pa(Subject).str() +
+         " other=" + Arena.pa(Other).str() + " in " +
+         Arena.configuration(Cid).str();
+}
+
+/// Multiplicity of \p Id in sorted \p Entries (which must contain it).
+uint64_t countOf(const PaCountVec &Entries, PaId Id) {
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Id,
+      [](const std::pair<PaId, uint64_t> &E, PaId I) { return E.first < I; });
+  return It->second;
 }
 
 /// Invokes \p Body for every ordered pair of distinct PA occurrences
-/// (SubjectPa, OtherPa) in \p C where SubjectPa has action \p Subject.
+/// (SubjectPa, OtherPa) in the multiset where SubjectPa has action
+/// \p Subject. Pairs are enumerated in canonical value order — the order
+/// is intrinsic to the PAs, so diagnostics are deterministic even when
+/// the universe was interned by concurrent workers.
 template <typename Fn>
-void forEachPair(const Configuration &C, Symbol Subject, Fn Body) {
-  const PaMultiset &Omega = C.pendingAsyncs();
-  for (const auto &[SubjectPa, SubjectCount] : Omega.entries()) {
-    if (SubjectPa.Action != Subject)
+void forEachPair(StateArena &Arena, PaSetId OmegaId, Symbol Subject,
+                 Fn Body) {
+  const PaCountVec &Entries = Arena.paVec(OmegaId);
+  const std::vector<PaId> &Order = Arena.paOrder(OmegaId);
+  for (PaId SubjectPa : Order) {
+    if (Arena.pa(SubjectPa).Action != Subject)
       continue;
-    for (const auto &[OtherPa, OtherCount] : Omega.entries()) {
-      (void)OtherCount;
+    uint64_t SubjectCount = countOf(Entries, SubjectPa);
+    for (PaId OtherPa : Order) {
       if (OtherPa == SubjectPa && SubjectCount < 2)
         continue; // the same single occurrence cannot pair with itself
       Body(SubjectPa, OtherPa);
@@ -57,69 +74,87 @@ void forEachPair(const Configuration &C, Symbol Subject, Fn Body) {
   }
 }
 
-/// Dedup key for obligations that do not depend on Ω: the store plus the
-/// participating PA instances.
-struct StorePaKey {
-  Store G;
-  PendingAsync A;
-  PendingAsync B;
+/// Dedup key for obligations that do not depend on Ω: the interned store
+/// plus the participating interned PAs. Three machine words.
+struct Key3 {
+  StoreId G;
+  PaId A;
+  PaId B;
 
-  bool operator==(const StorePaKey &O) const {
+  bool operator==(const Key3 &O) const {
     return G == O.G && A == O.A && B == O.B;
   }
 };
-struct StorePaKeyHash {
-  size_t operator()(const StorePaKey &K) const {
-    size_t Seed = K.G.hash();
-    hashCombine(Seed, K.A.hash());
-    hashCombine(Seed, K.B.hash());
+struct Key3Hash {
+  size_t operator()(const Key3 &K) const {
+    size_t Seed = K.G;
+    hashCombine(Seed, K.A);
+    hashCombine(Seed, K.B);
     return Seed;
   }
 };
 
-/// Shared engine for both directions. Direction == true checks left-mover
-/// commutation (other-then-subject reorders to subject-then-other);
-/// false checks the mirrored right-mover commutation.
+/// Shared engine for both directions, evaluated over the interned
+/// universe. Direction == true checks left-mover commutation
+/// (other-then-subject reorders to subject-then-other); false checks the
+/// mirrored right-mover commutation.
 CheckResult checkMover(Symbol Subject, const Action &SubjectAction,
-                       const Program &P,
-                       const std::vector<Configuration> &Universe,
+                       const Program &P, const StateSpace &Universe,
                        bool LeftDirection, bool RequireNonBlocking) {
   CheckResult Result;
-  TransitionCache Cache;
+  StateArena &Arena = *Universe.Arena;
+  InternedTransitionCache Cache(Arena);
+  GateCache Gates(Arena);
   // Commutation and non-blocking do not read Ω: check each distinct
   // (store, subject, other) point once across the universe.
-  std::unordered_set<StorePaKey, StorePaKeyHash> CommuteDone;
-  std::unordered_set<StorePaKey, StorePaKeyHash> NonBlockDone;
-  std::unordered_set<StorePaKey, StorePaKeyHash> ForwardDone;
-  std::unordered_set<StorePaKey, StorePaKeyHash> BackwardDone;
-  for (const Configuration &C : Universe) {
-    if (C.isFailure())
-      continue;
-    const Store &G = C.global();
-    const PaMultiset &Omega = C.pendingAsyncs();
+  std::unordered_set<Key3, Key3Hash> CommuteDone;
+  std::unordered_set<Key3, Key3Hash> NonBlockDone;
+  std::unordered_set<Key3, Key3Hash> ForwardDone;
+  std::unordered_set<Key3, Key3Hash> BackwardDone;
+
+  // Evaluates a gate at an interned point; Ω-independent gates hit the
+  // gate cache.
+  auto gateAt = [&](const Action &A, StoreId G, PaId Pa,
+                    const PaMultiset &Omega) {
+    return A.gateReadsOmega()
+               ? A.evalGate(Arena.store(G), Arena.pa(Pa).Args, Omega)
+               : Gates.get(A, G, Pa, Omega);
+  };
+  // Interns Ω − Executed ⊎ Created and returns its value form (for gates
+  // that observe Ω after a step).
+  auto omegaAfter = [&](const PaCountVec &Entries, PaId Executed,
+                        const InternedTransition &T) -> const PaMultiset & {
+    PaCountVec Rest(Entries);
+    paCountVecErase(Rest, Executed);
+    return Arena.paSet(Arena.internPaVec(paCountVecUnion(Rest, T.Created)));
+  };
+
+  for (ConfigId Cid : Universe.Configs) {
+    auto [G, OmegaId] = Arena.config(Cid);
+    const PaCountVec &Entries = Arena.paVec(OmegaId);
+    const PaMultiset &Omega = Arena.paSet(OmegaId);
 
     // (4) Non-blocking, checked once per subject occurrence.
     if (RequireNonBlocking) {
-      for (const auto &[SubjectPa, Count] : Omega.entries()) {
-        (void)Count;
-        if (SubjectPa.Action != Subject)
+      for (PaId SubjectPa : Arena.paOrder(OmegaId)) {
+        if (Arena.pa(SubjectPa).Action != Subject)
           continue;
-        if (!SubjectAction.evalGate(G, SubjectPa.Args, Omega))
+        if (!gateAt(SubjectAction, G, SubjectPa, Omega))
           continue;
         if (!NonBlockDone.insert({G, SubjectPa, SubjectPa}).second)
           continue;
         Result.countObligation();
-        if (Cache.get(SubjectAction, G, SubjectPa.Args).empty())
-          Result.fail("non-blocking violated: " + SubjectPa.str() +
-                      " enabled but has no transition in " + C.str());
+        if (Cache.get(SubjectAction, G, SubjectPa).empty())
+          Result.fail("non-blocking violated: " + Arena.pa(SubjectPa).str() +
+                      " enabled but has no transition in " +
+                      Arena.configuration(Cid).str());
       }
     }
 
-    forEachPair(C, Subject, [&](const PendingAsync &SubjectPa,
-                                const PendingAsync &OtherPa) {
-      const Action &Other = P.action(OtherPa.Action);
-      bool SubjectGate = SubjectAction.evalGate(G, SubjectPa.Args, Omega);
-      bool OtherGate = Other.evalGate(G, OtherPa.Args, Omega);
+    forEachPair(Arena, OmegaId, Subject, [&](PaId SubjectPa, PaId OtherPa) {
+      const Action &Other = P.action(Arena.pa(OtherPa).Action);
+      bool SubjectGate = gateAt(SubjectAction, G, SubjectPa, Omega);
+      bool OtherGate = gateAt(Other, G, OtherPa, Omega);
 
       // (1) Gate of the subject is forward-preserved by the other action.
       // When the subject's gate does not read Ω, the obligation only
@@ -127,23 +162,16 @@ CheckResult checkMover(Symbol Subject, const Action &SubjectAction,
       if (SubjectGate && OtherGate &&
           (SubjectAction.gateReadsOmega() ||
            ForwardDone.insert({G, SubjectPa, OtherPa}).second)) {
-        for (const Transition &TO : Cache.get(Other, G, OtherPa.Args)) {
+        for (const InternedTransition &TO : Cache.get(Other, G, OtherPa)) {
           Result.countObligation();
-          bool Preserved;
-          if (SubjectAction.gateReadsOmega()) {
-            PaMultiset OmegaAfter = Omega;
-            OmegaAfter.erase(OtherPa);
-            for (const PendingAsync &New : TO.Created)
-              OmegaAfter.insert(New);
-            Preserved =
-                SubjectAction.evalGate(TO.Global, SubjectPa.Args, OmegaAfter);
-          } else {
-            Preserved =
-                SubjectAction.evalGate(TO.Global, SubjectPa.Args, Omega);
-          }
+          bool Preserved =
+              SubjectAction.gateReadsOmega()
+                  ? gateAt(SubjectAction, TO.Global, SubjectPa,
+                           omegaAfter(Entries, OtherPa, TO))
+                  : gateAt(SubjectAction, TO.Global, SubjectPa, Omega);
           if (!Preserved)
             Result.fail("gate not forward-preserved: " +
-                        describePair(C, SubjectPa, OtherPa));
+                        describePair(Arena, Cid, SubjectPa, OtherPa));
         }
       }
 
@@ -151,22 +179,17 @@ CheckResult checkMover(Symbol Subject, const Action &SubjectAction,
       if (SubjectGate &&
           (Other.gateReadsOmega() ||
            BackwardDone.insert({G, SubjectPa, OtherPa}).second)) {
-        for (const Transition &TS :
-             Cache.get(SubjectAction, G, SubjectPa.Args)) {
+        for (const InternedTransition &TS :
+             Cache.get(SubjectAction, G, SubjectPa)) {
           Result.countObligation();
-          bool GateAfter;
-          if (Other.gateReadsOmega()) {
-            PaMultiset OmegaAfter = Omega;
-            OmegaAfter.erase(SubjectPa);
-            for (const PendingAsync &New : TS.Created)
-              OmegaAfter.insert(New);
-            GateAfter = Other.evalGate(TS.Global, OtherPa.Args, OmegaAfter);
-          } else {
-            GateAfter = Other.evalGate(TS.Global, OtherPa.Args, Omega);
-          }
+          bool GateAfter =
+              Other.gateReadsOmega()
+                  ? gateAt(Other, TS.Global, OtherPa,
+                           omegaAfter(Entries, SubjectPa, TS))
+                  : gateAt(Other, TS.Global, OtherPa, Omega);
           if (GateAfter && !OtherGate)
             Result.fail("gate not backward-preserved: " +
-                        describePair(C, SubjectPa, OtherPa));
+                        describePair(Arena, Cid, SubjectPa, OtherPa));
         }
       }
 
@@ -175,53 +198,48 @@ CheckResult checkMover(Symbol Subject, const Action &SubjectAction,
           CommuteDone.insert({G, SubjectPa, OtherPa}).second) {
         if (LeftDirection) {
           // other;subject must be reorderable to subject;other.
-          for (const Transition &TO : Cache.get(Other, G, OtherPa.Args)) {
-            PaMultiset CreatedO = TO.createdMultiset();
-            for (const Transition &TS : Cache.get(
-                     SubjectAction, TO.Global, SubjectPa.Args)) {
+          for (const InternedTransition &TO : Cache.get(Other, G, OtherPa)) {
+            for (const InternedTransition &TS :
+                 Cache.get(SubjectAction, TO.Global, SubjectPa)) {
               Result.countObligation();
-              PaMultiset CreatedS = TS.createdMultiset();
               bool Found = false;
-              for (const Transition &TS2 :
-                   Cache.get(SubjectAction, G, SubjectPa.Args)) {
-                if (TS2.createdMultiset() != CreatedS)
+              for (const InternedTransition &TS2 :
+                   Cache.get(SubjectAction, G, SubjectPa)) {
+                if (TS2.CreatedSet != TS.CreatedSet)
                   continue;
-                if (hasTransition(
-                        Cache.get(Other, TS2.Global, OtherPa.Args),
-                        TS.Global, CreatedO)) {
+                if (hasTransition(Cache.get(Other, TS2.Global, OtherPa),
+                                  TS.Global, TO.CreatedSet)) {
                   Found = true;
                   break;
                 }
               }
               if (!Found)
                 Result.fail("does not commute left: " +
-                            describePair(C, SubjectPa, OtherPa));
+                            describePair(Arena, Cid, SubjectPa, OtherPa));
             }
           }
         } else {
           // subject;other must be reorderable to other;subject.
-          for (const Transition &TS :
-               Cache.get(SubjectAction, G, SubjectPa.Args)) {
-            PaMultiset CreatedS = TS.createdMultiset();
-            for (const Transition &TO :
-                 Cache.get(Other, TS.Global, OtherPa.Args)) {
+          for (const InternedTransition &TS :
+               Cache.get(SubjectAction, G, SubjectPa)) {
+            for (const InternedTransition &TO :
+                 Cache.get(Other, TS.Global, OtherPa)) {
               Result.countObligation();
-              PaMultiset CreatedO = TO.createdMultiset();
               bool Found = false;
-              for (const Transition &TO2 :
-                   Cache.get(Other, G, OtherPa.Args)) {
-                if (TO2.createdMultiset() != CreatedO)
+              for (const InternedTransition &TO2 :
+                   Cache.get(Other, G, OtherPa)) {
+                if (TO2.CreatedSet != TO.CreatedSet)
                   continue;
                 if (hasTransition(
-                        Cache.get(SubjectAction, TO2.Global, SubjectPa.Args),
-                        TO.Global, CreatedS)) {
+                        Cache.get(SubjectAction, TO2.Global, SubjectPa),
+                        TO.Global, TS.CreatedSet)) {
                   Found = true;
                   break;
                 }
               }
               if (!Found)
                 Result.fail("does not commute right: " +
-                            describePair(C, SubjectPa, OtherPa));
+                            describePair(Arena, Cid, SubjectPa, OtherPa));
             }
           }
         }
@@ -231,24 +249,48 @@ CheckResult checkMover(Symbol Subject, const Action &SubjectAction,
   return Result;
 }
 
+/// Interns a value-level universe into a fresh arena, preserving order
+/// and multiplicity (failure configurations are skipped, as before).
+StateSpace internUniverse(const std::vector<Configuration> &Universe) {
+  StateSpace S;
+  S.Arena = std::make_shared<StateArena>();
+  S.Configs.reserve(Universe.size());
+  for (const Configuration &C : Universe)
+    if (!C.isFailure())
+      S.Configs.push_back(S.Arena->internConfig(C));
+  return S;
+}
+
 } // namespace
 
 CheckResult isq::checkLeftMover(Symbol Subject, const Action &LAction,
                                 const Program &P,
-                                const std::vector<Configuration> &Universe) {
+                                const StateSpace &Universe) {
   return checkMover(Subject, LAction, P, Universe, /*LeftDirection=*/true,
                     /*RequireNonBlocking=*/true);
+}
+
+CheckResult isq::checkLeftMover(Symbol Subject, const Action &LAction,
+                                const Program &P,
+                                const std::vector<Configuration> &Universe) {
+  return checkLeftMover(Subject, LAction, P, internUniverse(Universe));
+}
+
+CheckResult isq::checkRightMover(Symbol Subject, const Action &RAction,
+                                 const Program &P,
+                                 const StateSpace &Universe) {
+  return checkMover(Subject, RAction, P, Universe, /*LeftDirection=*/false,
+                    /*RequireNonBlocking=*/false);
 }
 
 CheckResult isq::checkRightMover(Symbol Subject, const Action &RAction,
                                  const Program &P,
                                  const std::vector<Configuration> &Universe) {
-  return checkMover(Subject, RAction, P, Universe, /*LeftDirection=*/false,
-                    /*RequireNonBlocking=*/false);
+  return checkRightMover(Subject, RAction, P, internUniverse(Universe));
 }
 
 MoverType isq::classifyMover(Symbol Subject, const Program &P,
-                             const std::vector<Configuration> &Universe) {
+                             const StateSpace &Universe) {
   const Action &A = P.action(Subject);
   bool Left = checkLeftMover(Subject, A, P, Universe).ok();
   bool Right = checkRightMover(Subject, A, P, Universe).ok();
@@ -259,4 +301,9 @@ MoverType isq::classifyMover(Symbol Subject, const Program &P,
   if (Right)
     return MoverType::Right;
   return MoverType::None;
+}
+
+MoverType isq::classifyMover(Symbol Subject, const Program &P,
+                             const std::vector<Configuration> &Universe) {
+  return classifyMover(Subject, P, internUniverse(Universe));
 }

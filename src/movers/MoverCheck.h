@@ -20,6 +20,7 @@
 #ifndef ISQ_MOVERS_MOVERCHECK_H
 #define ISQ_MOVERS_MOVERCHECK_H
 
+#include "engine/StateArena.h"
 #include "refine/Refinement.h"
 #include "semantics/Program.h"
 
@@ -42,6 +43,14 @@ CheckResult checkLeftMover(Symbol Subject, const Action &LAction,
                            const Program &P,
                            const std::vector<Configuration> &Universe);
 
+/// Interned form: evaluates the same obligations over a universe of
+/// ConfigIds in a shared arena. Dedup keys and transition-set membership
+/// are integer compares; value-level configurations are only materialized
+/// for failure messages.
+CheckResult checkLeftMover(Symbol Subject, const Action &LAction,
+                           const Program &P,
+                           const engine::StateSpace &Universe);
+
 /// Mirrored check: PAs named \p Subject are right movers w.r.t. every
 /// co-pending PA (commute to the right; gates preserved in the mirrored
 /// directions). Non-blocking is not required of right movers.
@@ -49,10 +58,19 @@ CheckResult checkRightMover(Symbol Subject, const Action &RAction,
                             const Program &P,
                             const std::vector<Configuration> &Universe);
 
+/// Interned form of checkRightMover (see checkLeftMover above).
+CheckResult checkRightMover(Symbol Subject, const Action &RAction,
+                            const Program &P,
+                            const engine::StateSpace &Universe);
+
 /// Classifies \p Subject (executed with its own program action) over
 /// \p Universe as Both/Left/Right/None by running both directed checks.
 MoverType classifyMover(Symbol Subject, const Program &P,
                         const std::vector<Configuration> &Universe);
+
+/// Interned form of classifyMover.
+MoverType classifyMover(Symbol Subject, const Program &P,
+                        const engine::StateSpace &Universe);
 
 } // namespace isq
 

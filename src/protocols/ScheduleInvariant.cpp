@@ -7,6 +7,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 
 using namespace isq;
@@ -57,7 +58,9 @@ Action protocols::makeScheduleInvariant(const std::string &Name,
                                         const Program &P, Symbol M,
                                         RankFn Rank, size_t MaxNodes) {
   // Memoized per (store, args); the cache is shared by all copies of the
-  // returned action (captured shared_ptr).
+  // returned action (captured shared_ptr). Guarded by a mutex: the same
+  // action instance may be enumerated from concurrent explorer workers
+  // (a racing double-compute is resolved by keeping the first result).
   using Key = std::pair<Store, std::vector<Value>>;
   struct KeyLess {
     bool operator()(const Key &A, const Key &B) const {
@@ -68,15 +71,20 @@ Action protocols::makeScheduleInvariant(const std::string &Name,
   };
   auto Cache =
       std::make_shared<std::map<Key, std::vector<Transition>, KeyLess>>();
+  auto CacheMutex = std::make_shared<std::mutex>();
 
   Action MAction = P.action(M);
-  Action::TransitionsFn Transitions = [P, MAction, Rank, MaxNodes, Cache](
+  Action::TransitionsFn Transitions = [P, MAction, Rank, MaxNodes, Cache,
+                                       CacheMutex](
                                           const Store &G,
                                           const std::vector<Value> &Args) {
     Key K{G, Args};
-    auto It = Cache->find(K);
-    if (It != Cache->end())
-      return It->second;
+    {
+      std::lock_guard<std::mutex> Lock(*CacheMutex);
+      auto It = Cache->find(K);
+      if (It != Cache->end())
+        return It->second;
+    }
 
     std::unordered_set<Node, NodeHash> Seen;
     std::deque<Node> Worklist;
@@ -123,6 +131,7 @@ Action protocols::makeScheduleInvariant(const std::string &Name,
       }
     }
 
+    std::lock_guard<std::mutex> Lock(*CacheMutex);
     Cache->emplace(std::move(K), Out);
     return Out;
   };

@@ -2,13 +2,14 @@
 
 #include "refine/Refinement.h"
 
-#include "semantics/ActionCache.h"
+#include "engine/ActionCaches.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
 #include <unordered_set>
 
 using namespace isq;
+using namespace isq::engine;
 
 void CheckResult::fail(const std::string &Message) {
   ++NumFailures;
@@ -34,6 +35,24 @@ std::string CheckResult::str() const {
   return Out;
 }
 
+InternedContextUniverse isq::collectContexts(const StateSpace &Space,
+                                             Symbol Name) {
+  InternedContextUniverse Universe;
+  Universe.Arena = Space.Arena;
+  StateArena &Arena = *Space.Arena;
+  for (ConfigId Cid : Space.Configs) {
+    auto [G, OmegaId] = Arena.config(Cid);
+    // Value order, not PaId order: context order stays deterministic even
+    // when the universe was interned by concurrent workers.
+    for (PaId Pa : Arena.paOrder(OmegaId)) {
+      if (Arena.pa(Pa).Action != Name)
+        continue;
+      Universe.Items.push_back({G, Pa, OmegaId});
+    }
+  }
+  return Universe;
+}
+
 ContextUniverse
 isq::collectContexts(const std::vector<Configuration> &Configs, Symbol Name) {
   // Configurations are already distinct, so only PAs repeated within one
@@ -55,37 +74,6 @@ isq::collectContexts(const std::vector<Configuration> &Configs, Symbol Name) {
 
 namespace {
 
-/// A (store, args) quantifier point with full-key equality, used to
-/// deduplicate Ω-independent obligations without hash-collision risk.
-struct StorePoint {
-  Store G;
-  std::vector<Value> Args;
-
-  bool operator==(const StorePoint &O) const {
-    return G == O.G && Args == O.Args;
-  }
-};
-struct StorePointHash {
-  size_t operator()(const StorePoint &P) const {
-    size_t Seed = P.G.hash();
-    for (const Value &V : P.Args)
-      hashCombine(Seed, V.hash());
-    return Seed;
-  }
-};
-
-/// Transition-set membership: is \p T contained in \p Set (comparing global
-/// store and created-PA multiset)?
-bool containsTransition(const std::vector<Transition> &Set,
-                        const Transition &T) {
-  PaMultiset Created = T.createdMultiset();
-  for (const Transition &Candidate : Set)
-    if (Candidate.Global == T.Global &&
-        Candidate.createdMultiset() == Created)
-      return true;
-  return false;
-}
-
 std::string describeContext(const ActionContext &Ctx) {
   std::string Out = "store=" + Ctx.Global.str() + " args=(";
   for (size_t I = 0; I < Ctx.Args.size(); ++I) {
@@ -99,36 +87,72 @@ std::string describeContext(const ActionContext &Ctx) {
 } // namespace
 
 CheckResult isq::checkActionRefinement(const Action &A1, const Action &A2,
-                                       const ContextUniverse &Universe) {
+                                       const InternedContextUniverse &Universe) {
   CheckResult Result;
   assert(A1.arity() == A2.arity() && "refinement requires equal arity");
-  TransitionCache Cache;
+  StateArena &Arena = *Universe.Arena;
+  InternedTransitionCache Cache(Arena);
   // Condition (2) does not read Ω: check each (store, args) point once.
-  std::unordered_set<StorePoint, StorePointHash> SimulationDone;
-  for (const ActionContext &Ctx : Universe) {
-    bool Gate2 = A2.evalGate(Ctx.Global, Ctx.Args, Ctx.Omega);
+  // The interned pair (StoreId, ArgsPa) identifies the point exactly.
+  std::unordered_set<uint64_t> SimulationDone;
+  auto describe = [&](const InternedActionContext &Ctx) {
+    return describeContext({Arena.store(Ctx.Global), Arena.pa(Ctx.ArgsPa).Args,
+                            Arena.paSet(Ctx.Omega)});
+  };
+  for (const InternedActionContext &Ctx : Universe.Items) {
+    const Store &G = Arena.store(Ctx.Global);
+    const std::vector<Value> &Args = Arena.pa(Ctx.ArgsPa).Args;
+    const PaMultiset &Omega = Arena.paSet(Ctx.Omega);
+    bool Gate2 = A2.evalGate(G, Args, Omega);
     // (1) ρ2 ⊆ ρ1: whenever the abstract gate holds, the concrete gate
     // holds (the abstraction preserves failures of the concrete action).
     Result.countObligation();
-    bool Gate1 = A1.evalGate(Ctx.Global, Ctx.Args, Ctx.Omega);
+    bool Gate1 = A1.evalGate(G, Args, Omega);
     if (Gate2 && !Gate1)
-      Result.fail("gate inclusion violated (ρ2 ⊄ ρ1) at " +
-                  describeContext(Ctx));
+      Result.fail("gate inclusion violated (ρ2 ⊄ ρ1) at " + describe(Ctx));
     if (!Gate2)
       continue; // (2) only constrains stores in ρ2
-    if (!SimulationDone.insert({Ctx.Global, Ctx.Args}).second)
+    uint64_t Point = (static_cast<uint64_t>(Ctx.Global) << 32) | Ctx.ArgsPa;
+    if (!SimulationDone.insert(Point).second)
       continue;
     // (2) ρ2 ∘ τ1 ⊆ τ2: every concrete transition is an abstract one.
-    const std::vector<Transition> &Abstract =
-        Cache.get(A2, Ctx.Global, Ctx.Args);
-    for (const Transition &T : Cache.get(A1, Ctx.Global, Ctx.Args)) {
+    const std::vector<InternedTransition> &Abstract =
+        Cache.get(A2, Ctx.Global, Ctx.ArgsPa);
+    for (const InternedTransition &T : Cache.get(A1, Ctx.Global, Ctx.ArgsPa)) {
       Result.countObligation();
-      if (!containsTransition(Abstract, T))
+      bool Found = false;
+      for (const InternedTransition &Candidate : Abstract)
+        if (Candidate.Global == T.Global &&
+            Candidate.CreatedSet == T.CreatedSet) {
+          Found = true;
+          break;
+        }
+      if (!Found)
         Result.fail("transition not simulated (ρ2 ∘ τ1 ⊄ τ2) at " +
-                    describeContext(Ctx) + " transition " + T.str());
+                    describe(Ctx) + " transition " +
+                    Transition(Arena.store(T.Global),
+                               Arena.paSet(T.CreatedSet).flatten())
+                        .str());
     }
   }
   return Result;
+}
+
+CheckResult isq::checkActionRefinement(const Action &A1, const Action &A2,
+                                       const ContextUniverse &Universe) {
+  // Intern the value-level contexts into a fresh arena. The carrier symbol
+  // fixes the interning identity of each argument tuple; dedup classes are
+  // unchanged, so obligation counts match the value-level evaluation.
+  InternedContextUniverse Interned;
+  Interned.Arena = std::make_shared<StateArena>();
+  Interned.Items.reserve(Universe.size());
+  Symbol Carrier = Symbol::get("<refine-args>");
+  for (const ActionContext &Ctx : Universe)
+    Interned.Items.push_back(
+        {Interned.Arena->internStore(Ctx.Global),
+         Interned.Arena->internPa(PendingAsync(Carrier, Ctx.Args)),
+         Interned.Arena->internPaSet(Ctx.Omega)});
+  return checkActionRefinement(A1, A2, Interned);
 }
 
 CheckResult

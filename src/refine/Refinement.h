@@ -63,15 +63,40 @@ struct ActionContext {
 /// A finite quantifier domain.
 using ContextUniverse = std::vector<ActionContext>;
 
+/// The interned form of one quantifier point: handles into a shared
+/// arena. ArgsPa carries the argument tuple (its action symbol is
+/// irrelevant to the check and only fixes the args' interning identity).
+struct InternedActionContext {
+  engine::StoreId Global;
+  engine::PaId ArgsPa;
+  engine::PaSetId Omega;
+};
+
+/// An interned quantifier domain over a shared arena.
+struct InternedContextUniverse {
+  std::shared_ptr<engine::StateArena> Arena;
+  std::vector<InternedActionContext> Items;
+};
+
 /// Extracts contexts for action \p Name from explored configurations: one
 /// context per PA to \p Name per configuration.
 ContextUniverse collectContexts(const std::vector<Configuration> &Configs,
                                 Symbol Name);
 
+/// Interned form: extracts contexts for \p Name directly from an explored
+/// state space, without materializing configurations.
+InternedContextUniverse collectContexts(const engine::StateSpace &Space,
+                                        Symbol Name);
+
 /// Checks Definition 3.1, a1 ≼ a2, over \p Universe:
 ///  (1) ρ2 ⊆ ρ1 and (2) ρ2 ∘ τ1 ⊆ τ2.
 CheckResult checkActionRefinement(const Action &A1, const Action &A2,
                                   const ContextUniverse &Universe);
+
+/// Interned form: same obligations with (store, args) dedup and
+/// transition-set membership as integer compares.
+CheckResult checkActionRefinement(const Action &A1, const Action &A2,
+                                  const InternedContextUniverse &Universe);
 
 /// An initial condition for program-level checks: a global store plus
 /// arguments for Main.

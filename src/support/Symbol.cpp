@@ -2,15 +2,20 @@
 
 #include "support/Symbol.h"
 
+#include <deque>
+#include <mutex>
 #include <unordered_map>
-#include <vector>
 
 using namespace isq;
 
 namespace {
+// Names live in a deque so str() can hand out references that stay valid
+// while other threads intern new symbols. All table access is serialized;
+// hot paths (comparison, hashing, store lookups) never touch the table.
 struct SymbolTable {
+  std::mutex M;
   std::unordered_map<std::string, uint32_t> Indices;
-  std::vector<std::string> Names;
+  std::deque<std::string> Names;
 };
 
 SymbolTable &table() {
@@ -21,6 +26,7 @@ SymbolTable &table() {
 
 Symbol Symbol::get(const std::string &Name) {
   SymbolTable &T = table();
+  std::lock_guard<std::mutex> Lock(T.M);
   auto It = T.Indices.find(Name);
   if (It != T.Indices.end())
     return Symbol(It->second);
@@ -32,5 +38,7 @@ Symbol Symbol::get(const std::string &Name) {
 
 const std::string &Symbol::str() const {
   assert(isValid() && "querying name of invalid symbol");
-  return table().Names[Index];
+  SymbolTable &T = table();
+  std::lock_guard<std::mutex> Lock(T.M);
+  return T.Names[Index];
 }

@@ -1,0 +1,301 @@
+//===- tests/engine_test.cpp - Hash-consed engine tests ----------------------===//
+//
+// Tests for the interning arena (engine/StateArena.h) and the parallel
+// frontier engine (engine/StateGraph.h): interning round-trips, determinism
+// of parallel exploration across thread counts, differential equivalence
+// with the legacy value-level BFS, and truncation reporting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/StateArena.h"
+#include "explorer/Explorer.h"
+#include "protocols/Broadcast.h"
+#include "protocols/PingPong.h"
+#include "protocols/TwoPhaseCommit.h"
+
+#include <gtest/gtest.h>
+
+using namespace isq;
+using namespace isq::engine;
+using namespace isq::protocols;
+
+namespace {
+
+Store makeStore(std::initializer_list<std::pair<std::string, int64_t>> KVs) {
+  Store S;
+  for (const auto &[K, V] : KVs)
+    S = S.set(Symbol::get(K), Value::integer(V));
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Interning round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(StateArenaTest, StoreInterningRoundTrips) {
+  StateArena Arena;
+  Store A = makeStore({{"x", 1}, {"y", 2}});
+  Store B = makeStore({{"y", 2}, {"x", 1}}); // same contents, other order
+  Store C = makeStore({{"x", 1}, {"y", 3}});
+
+  StoreId IdA = Arena.internStore(A);
+  StoreId IdB = Arena.internStore(B);
+  StoreId IdC = Arena.internStore(C);
+
+  EXPECT_EQ(IdA, IdB) << "equal stores must intern to the same handle";
+  EXPECT_NE(IdA, IdC);
+  EXPECT_EQ(Arena.store(IdA), A);
+  EXPECT_EQ(Arena.store(IdC), C);
+}
+
+TEST(StateArenaTest, PendingAsyncInterningRoundTrips) {
+  StateArena Arena;
+  PendingAsync P1(Symbol::get("Ping"), {Value::integer(1)});
+  PendingAsync P2(Symbol::get("Ping"), {Value::integer(2)});
+
+  PaId Id1 = Arena.internPa(P1);
+  PaId Id1Again = Arena.internPa(PendingAsync(Symbol::get("Ping"),
+                                              {Value::integer(1)}));
+  PaId Id2 = Arena.internPa(P2);
+
+  EXPECT_EQ(Id1, Id1Again);
+  EXPECT_NE(Id1, Id2);
+  EXPECT_EQ(Arena.pa(Id1), P1);
+  EXPECT_EQ(Arena.pa(Id2), P2);
+}
+
+TEST(StateArenaTest, PaSetInterningRoundTrips) {
+  StateArena Arena;
+  PendingAsync P1(Symbol::get("A"), {Value::integer(1)});
+  PendingAsync P2(Symbol::get("B"), {});
+  PaMultiset Omega;
+  Omega.insert(P1);
+  Omega.insert(P1);
+  Omega.insert(P2);
+
+  PaSetId Id = Arena.internPaSet(Omega);
+  PaSetId IdAgain = Arena.internPaSet(Omega);
+  EXPECT_EQ(Id, IdAgain);
+  EXPECT_NE(Id, Arena.emptyPaSet());
+
+  // Round-trip through the value form.
+  EXPECT_EQ(Arena.paSet(Id), Omega);
+
+  // The engine form is sorted by PaId with summed multiplicities.
+  const PaCountVec &Vec = Arena.paVec(Id);
+  ASSERT_EQ(Vec.size(), 2u);
+  EXPECT_TRUE(Vec[0].first < Vec[1].first);
+  uint64_t Total = 0;
+  for (const auto &[Pa, Count] : Vec) {
+    (void)Pa;
+    Total += Count;
+  }
+  EXPECT_EQ(Total, 3u);
+}
+
+TEST(StateArenaTest, ConfigInterningRoundTrips) {
+  StateArena Arena;
+  Store G = makeStore({{"x", 7}});
+  PaMultiset Omega;
+  Omega.insert(PendingAsync(Symbol::get("A"), {}));
+  Configuration C(G, Omega);
+
+  ConfigId Id = Arena.internConfig(C);
+  ConfigId IdAgain =
+      Arena.internConfig(Arena.internStore(G), Arena.internPaSet(Omega));
+  EXPECT_EQ(Id, IdAgain);
+  EXPECT_EQ(Arena.configuration(Id), C);
+
+  auto [StoreHandle, OmegaHandle] = Arena.config(Id);
+  EXPECT_EQ(Arena.store(StoreHandle), G);
+  EXPECT_EQ(Arena.paSet(OmegaHandle), Omega);
+}
+
+TEST(StateArenaTest, HashConsHitsAreCounted) {
+  StateArena Arena;
+  Store G = makeStore({{"x", 1}});
+  Arena.internStore(G);
+  size_t Before = Arena.stats().Hits;
+  Arena.internStore(G);
+  ArenaStats Stats = Arena.stats();
+  EXPECT_EQ(Stats.Hits, Before + 1);
+  EXPECT_EQ(Stats.Stores, 1u);
+  EXPECT_GE(Stats.Lookups, 2u);
+}
+
+TEST(StateArenaTest, PaCountVecOperations) {
+  StateArena Arena;
+  PaId A = Arena.internPa(PendingAsync(Symbol::get("A"), {}));
+  PaId B = Arena.internPa(PendingAsync(Symbol::get("B"), {}));
+  PaId Lo = std::min(A, B), Hi = std::max(A, B);
+
+  PaCountVec X{{Lo, 2}, {Hi, 1}};
+  PaCountVec Y{{Hi, 3}};
+  PaCountVec U = paCountVecUnion(X, Y);
+  ASSERT_EQ(U.size(), 2u);
+  EXPECT_EQ(U[0], (std::pair<PaId, uint64_t>{Lo, 2}));
+  EXPECT_EQ(U[1], (std::pair<PaId, uint64_t>{Hi, 4}));
+
+  paCountVecErase(X, Lo);
+  ASSERT_EQ(X.size(), 2u);
+  EXPECT_EQ(X[0].second, 1u);
+  paCountVecErase(X, Lo); // multiplicity drops to zero: entry removed
+  ASSERT_EQ(X.size(), 1u);
+  EXPECT_EQ(X[0].first, Hi);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel determinism
+//===----------------------------------------------------------------------===//
+
+struct Instance {
+  std::string Name;
+  Program P;
+  Store Init;
+};
+
+std::vector<Instance> tier1Instances() {
+  std::vector<Instance> Out;
+  PingPongParams PP{3};
+  Out.push_back({"pingpong", makePingPongProgram(PP),
+                 makePingPongInitialStore(PP)});
+  BroadcastParams BC{3, {}};
+  Out.push_back({"broadcast", makeBroadcastProgram(BC),
+                 makeBroadcastInitialStore(BC)});
+  TwoPhaseCommitParams TP{3};
+  Out.push_back({"2pc", makeTwoPhaseCommitProgram(TP),
+                 makeTwoPhaseCommitInitialStore(TP)});
+  return Out;
+}
+
+void expectIdentical(const ExploreResult &A, const ExploreResult &B,
+                     const std::string &Context) {
+  EXPECT_EQ(A.Reachable, B.Reachable) << Context;
+  EXPECT_EQ(A.FailureReachable, B.FailureReachable) << Context;
+  EXPECT_EQ(A.TerminalStores, B.TerminalStores) << Context;
+  EXPECT_EQ(A.Deadlocks, B.Deadlocks) << Context;
+  EXPECT_EQ(A.Stats.NumConfigurations, B.Stats.NumConfigurations) << Context;
+  EXPECT_EQ(A.Stats.NumTransitions, B.Stats.NumTransitions) << Context;
+  EXPECT_EQ(A.Stats.Truncated, B.Stats.Truncated) << Context;
+  ASSERT_EQ(A.FailureTrace.has_value(), B.FailureTrace.has_value()) << Context;
+  if (A.FailureTrace) {
+    EXPECT_EQ(A.FailureTrace->length(), B.FailureTrace->length()) << Context;
+    EXPECT_EQ(A.FailureTrace->scheduleStr(), B.FailureTrace->scheduleStr())
+        << Context;
+  }
+}
+
+TEST(ParallelExploreTest, ThreadCountDoesNotChangeResults) {
+  for (const Instance &I : tier1Instances()) {
+    ExploreOptions Serial;
+    Serial.NumThreads = 1;
+    ExploreResult Base = explore(I.P, initialConfiguration(I.Init), Serial);
+    EXPECT_GT(Base.Stats.NumConfigurations, 1u) << I.Name;
+
+    for (unsigned Threads : {2u, 8u}) {
+      ExploreOptions Par;
+      Par.NumThreads = Threads;
+      ExploreResult R = explore(I.P, initialConfiguration(I.Init), Par);
+      EXPECT_EQ(R.Engine.Threads, Threads) << I.Name;
+      expectIdentical(Base, R,
+                      I.Name + " with " + std::to_string(Threads) +
+                          " threads");
+    }
+  }
+}
+
+TEST(ParallelExploreTest, FailureTracesIdenticalAcrossThreadCounts) {
+  PingPongParams PP{3};
+  Program Buggy = makeBuggyPingPongProgram(PP);
+  Configuration Init = initialConfiguration(makePingPongInitialStore(PP));
+
+  ExploreOptions Serial;
+  ExploreResult Base = explore(Buggy, Init, Serial);
+  ASSERT_TRUE(Base.FailureReachable);
+  ASSERT_TRUE(Base.FailureTrace.has_value());
+
+  for (unsigned Threads : {2u, 8u}) {
+    ExploreOptions Par;
+    Par.NumThreads = Threads;
+    ExploreResult R = explore(Buggy, Init, Par);
+    expectIdentical(Base, R,
+                    "buggy pingpong with " + std::to_string(Threads) +
+                        " threads");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential testing against the legacy value-level BFS
+//===----------------------------------------------------------------------===//
+
+TEST(EngineDifferentialTest, MatchesLegacyExplorer) {
+  for (const Instance &I : tier1Instances()) {
+    std::vector<Configuration> Inits{initialConfiguration(I.Init)};
+    ExploreResult Legacy = exploreAllLegacy(I.P, Inits);
+    ExploreResult Engine = exploreAll(I.P, Inits);
+    EXPECT_EQ(Engine.Reachable, Legacy.Reachable) << I.Name;
+    EXPECT_EQ(Engine.FailureReachable, Legacy.FailureReachable) << I.Name;
+    EXPECT_EQ(Engine.TerminalStores, Legacy.TerminalStores) << I.Name;
+    EXPECT_EQ(Engine.Deadlocks, Legacy.Deadlocks) << I.Name;
+    EXPECT_EQ(Engine.Stats.NumConfigurations,
+              Legacy.Stats.NumConfigurations)
+        << I.Name;
+    EXPECT_EQ(Engine.Stats.NumTransitions, Legacy.Stats.NumTransitions)
+        << I.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Truncation
+//===----------------------------------------------------------------------===//
+
+TEST(EngineTruncationTest, MaxConfigurationsSetsTruncatedFlag) {
+  BroadcastParams BC{3, {}};
+  Program P = makeBroadcastProgram(BC);
+  Configuration Init = initialConfiguration(makeBroadcastInitialStore(BC));
+
+  ExploreOptions Full;
+  ExploreResult Complete = explore(P, Init, Full);
+  ASSERT_FALSE(Complete.Stats.Truncated);
+  ASSERT_GT(Complete.Stats.NumConfigurations, 4u);
+
+  for (unsigned Threads : {1u, 4u}) {
+    ExploreOptions Opts;
+    Opts.MaxConfigurations = 4;
+    Opts.NumThreads = Threads;
+    ExploreResult R = explore(P, Init, Opts);
+    EXPECT_TRUE(R.Stats.Truncated)
+        << Threads << " threads: cap must report truncation";
+    EXPECT_LE(R.Stats.NumConfigurations, 4u) << Threads << " threads";
+  }
+}
+
+TEST(EngineTruncationTest, CompleteExplorationIsNotTruncated) {
+  PingPongParams PP{2};
+  Program P = makePingPongProgram(PP);
+  ExploreResult R = explore(P, initialConfiguration(makePingPongInitialStore(PP)));
+  EXPECT_FALSE(R.Stats.Truncated);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine observability
+//===----------------------------------------------------------------------===//
+
+TEST(EngineStatsTest, StatsArePopulated) {
+  BroadcastParams BC{3, {}};
+  Program P = makeBroadcastProgram(BC);
+  ExploreResult R =
+      explore(P, initialConfiguration(makeBroadcastInitialStore(BC)));
+
+  EXPECT_EQ(R.Engine.NumConfigurations, R.Stats.NumConfigurations);
+  EXPECT_GT(R.Engine.InternedStores, 0u);
+  EXPECT_GT(R.Engine.InternedPaSets, 0u);
+  EXPECT_GT(R.Engine.FrontierPeak, 0u);
+  EXPECT_EQ(R.Engine.Threads, 1u);
+  EXPECT_GT(R.Engine.hashConsHitRate(), 0.0);
+  std::string S = R.Engine.str();
+  EXPECT_NE(S.find("configs="), std::string::npos);
+  EXPECT_NE(S.find("hashcons-hit="), std::string::npos);
+}
+
+} // namespace

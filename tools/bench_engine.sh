@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs the engine-vs-seed exploration benchmarks (bench_statespace.cpp,
+# BM_Engine*) and writes BENCH_engine.json, then prints the speedup of the
+# hash-consed engine (serial and 4-thread) over the seed value-level BFS
+# for each instance.
+#
+# Usage: tools/bench_engine.sh [BUILD_DIR] [OUT_JSON]
+
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_engine.json}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake --build "$BUILD" -j --target bench_statespace
+
+"$BUILD/bench/bench_statespace" \
+  --benchmark_filter='BM_Engine' \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+# Median real time per (benchmark family, mode). The mode is the last
+# /-separated argument: 0 = seed BFS, N >= 1 = engine with N threads.
+times = {}
+for b in report["benchmarks"]:
+    if b.get("aggregate_name") != "median":
+        continue
+    name = b["run_name"]
+    family, *args = name.split("/")
+    mode = int(args[-1])
+    key = (family, "/".join(args[:-1]))
+    times.setdefault(key, {})[mode] = b["real_time"]
+
+print()
+print(f"{'instance':<34} {'seed_ms':>10} {'engine_ms':>10} {'x1':>6} "
+      f"{'engine4_ms':>11} {'x4':>6}")
+for (family, inst), by_mode in sorted(times.items()):
+    seed = by_mode.get(0)
+    if seed is None:
+        continue
+    row = f"{family}/{inst:<12}".ljust(34)
+    row += f" {seed:>10.2f}"
+    e1 = by_mode.get(1)
+    row += f" {e1:>10.2f} {seed / e1:>5.2f}x" if e1 else " " * 18
+    e4 = by_mode.get(4)
+    row += f" {e4:>11.2f} {seed / e4:>5.2f}x" if e4 else ""
+    print(row)
+print()
+EOF
+
+echo "wrote $OUT"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI entry point: build and test the normal configuration, then the
+# sanitized (address + undefined) configuration. Both must pass.
+#
+# Usage: tools/ci.sh [JOBS]
+#
+# A thread-sanitized configuration for the parallel explorer is available
+# separately via -DISQ_SANITIZE=thread (slow; run locally when touching
+# the engine):
+#   cmake -B build-tsan -S . -DISQ_SANITIZE=thread
+#   cmake --build build-tsan -j && (cd build-tsan && ctest -R Engine)
+
+set -euo pipefail
+
+JOBS="${1:-$(nproc)}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+run_config() {
+  local dir="$1"; shift
+  echo "==== configure $dir ($*) ===="
+  cmake -B "$dir" -S . "$@"
+  echo "==== build $dir ===="
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== test $dir ===="
+  (cd "$dir" && ctest -j "$JOBS" --output-on-failure)
+}
+
+run_config build
+run_config build-asan -DISQ_SANITIZE=ON
+
+echo "==== CI OK ===="

@@ -14,6 +14,8 @@
 ///   --rewrite NAME            the action to rewrite (default: Main)
 ///   --abstract ACTION=ABS     use module action ABS as α(ACTION)
 ///   --weight ACTION=K         cooperation weight (default 1)
+///   --threads N               explorer worker threads (default 1);
+///                             verdicts are identical for any N
 ///   --no-cross-check          skip exploring P' / empirical refinement
 ///
 //===----------------------------------------------------------------------===//
@@ -36,7 +38,7 @@ void printUsage() {
       "usage: isq-verify FILE.asl --eliminate A,B,C [--const n=3]\n"
       "                  [--rewrite Main] [--abstract Action=Abs]\n"
       "                  [--weight Action=2] [--arg-major]\n"
-      "                  [--no-cross-check]\n");
+      "                  [--threads N] [--no-cross-check]\n");
 }
 
 std::vector<std::string> splitList(const std::string &S) {
@@ -98,6 +100,18 @@ int main(int argc, char **argv) {
       if (!V)
         return 2;
       Options.RewriteAction = V;
+      continue;
+    }
+    if (Arg == "--threads") {
+      const char *V = NeedValue();
+      if (!V)
+        return 2;
+      long N = std::atol(V);
+      if (N < 1) {
+        std::fprintf(stderr, "error: --threads expects a positive count\n");
+        return 2;
+      }
+      Options.NumThreads = static_cast<unsigned>(N);
       continue;
     }
     if (Arg == "--const" || Arg == "--abstract" || Arg == "--weight") {
