@@ -1,0 +1,105 @@
+//===- bench/bench_verify.cpp - End-to-end checker-phase benchmarks ----------------===//
+///
+/// \file
+/// Benchmarks the isq-verify pipeline end-to-end on the shipped Paxos
+/// module, isolating the obligation-checking phase: once exploration is
+/// parallel (PR 2), checking dominates wall-clock, and this is the
+/// workload the obligation scheduler exists for. Modes mirror the engine
+/// benchmarks: 0 = the serial reference checker loops
+/// (--no-parallel-check), N >= 1 = the obligation scheduler with N worker
+/// threads. Consumed by tools/bench_engine.sh, which emits the checker
+/// section of BENCH_engine.json and computes the speedups.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/VerifyDriver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace isq;
+using namespace isq::driver;
+
+namespace {
+
+std::string readExampleAsl(const char *Name) {
+  std::ifstream In(std::string(ISQ_SOURCE_DIR) + "/examples/asl/" + Name);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// Runs verifyModule once per iteration. The exploration phase is shared
+/// by all modes (and measured by BM_Engine*); the counters isolate the
+/// checking phase this benchmark is about.
+void reportVerify(benchmark::State &State, VerifyOptions Options,
+                  int64_t Mode) {
+  Options.CrossCheck = false; // exploration-bound; BM_Engine* covers it
+  if (Mode == 0) {
+    Options.ParallelCheck = false;
+    Options.NumThreads = 1;
+  } else {
+    Options.ParallelCheck = true;
+    Options.NumThreads = static_cast<unsigned>(Mode);
+  }
+  double CheckSeconds = 0, ExploreSeconds = 0;
+  size_t Obligations = 0;
+  for (auto _ : State) {
+    VerifyResult R = verifyModule(Options);
+    if (!R.Accepted) {
+      State.SkipWithError("proof unexpectedly rejected");
+      return;
+    }
+    ExploreSeconds = R.Engine.TotalSeconds;
+    CheckSeconds = R.TotalSeconds - ExploreSeconds;
+    const ISCheckReport &Rep = R.Report;
+    Obligations = Rep.SideConditions.obligations() +
+                  Rep.AbstractionRefinement.obligations() +
+                  Rep.BaseCase.obligations() + Rep.Conclusion.obligations() +
+                  Rep.InductiveStep.obligations() +
+                  Rep.LeftMovers.obligations() + Rep.Cooperation.obligations();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["check_seconds"] = CheckSeconds;
+  State.counters["explore_seconds"] = ExploreSeconds;
+  State.counters["obligations"] = static_cast<double>(Obligations);
+}
+
+/// Paxos with 2 rounds over N acceptors (N = 3 is the paper-scale
+/// instance; its universe has ~485k configurations and ~4.3M serial
+/// obligations).
+void BM_CheckerPaxos(benchmark::State &State) {
+  int64_t N = State.range(0);
+  VerifyOptions Options;
+  Options.Source = readExampleAsl("paxos.asl");
+  Options.Consts = {{"R", 2}, {"N", N}};
+  Options.Order = VerifyOptions::RankOrder::ArgMajor;
+  Options.Eliminate = {"StartRound", "Join", "Propose", "Vote", "Conclude"};
+  Options.Abstractions = {{"Join", "JoinAbs"},
+                          {"Propose", "ProposeAbs"},
+                          {"Vote", "VoteAbs"},
+                          {"Conclude", "ConcludeAbs"}};
+  // Weights must dominate the fan-out (see the module header).
+  Options.Weights = N >= 3
+                        ? std::map<std::string, uint64_t>{{"StartRound", 11},
+                                                          {"Propose", 6},
+                                                          {"Conclude", 2}}
+                        : std::map<std::string, uint64_t>{{"StartRound", 9},
+                                                          {"Propose", 5},
+                                                          {"Conclude", 2}};
+  reportVerify(State, std::move(Options), State.range(1));
+}
+BENCHMARK(BM_CheckerPaxos)
+    ->Args({2, 0}) // serial reference loops
+    ->Args({2, 1}) // scheduler, 1 worker
+    ->Args({2, 4}) // scheduler, 4 workers
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({3, 4})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

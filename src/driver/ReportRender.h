@@ -1,0 +1,56 @@
+//===- driver/ReportRender.h - Verdict report renderers ----------*- C++ -*-===//
+///
+/// \file
+/// Rendering of the structured verification verdict (VerifyResult) for
+/// the isq-verify surface. Both renderers are pure functions of the
+/// verdict struct: the text form is the human-readable summary the tool
+/// has always printed, the JSON form is the machine-readable report
+/// behind `isq-verify --format json`.
+///
+/// JSON schema (version 1):
+///   {
+///     "schema_version": 1,
+///     "tool": "isq-verify",
+///     "exit_code": 0|1|2,
+///     "compile_ok": bool, "input_ok": bool, "accepted": bool,
+///     "conditions": [ { "name", "label", "ok", "obligations",
+///                       "failures", "issues": [string], "jobs",
+///                       "seconds" } ],           // one per IS condition
+///     "cross_check": { "ran", "ok", "obligations", "failures",
+///                      "issues": [string], "configs_p",
+///                      "configs_p_prime", "seconds" },
+///     "engine":  { exploration statistics },
+///     "scheduler": { "threads", "jobs", "units", "dedup_discarded",
+///                    "cpu_seconds", "wall_seconds" },
+///     "diagnostics": [ { "message", "line", "column" } ],
+///     "total_seconds": number
+///   }
+/// The schema_version field only changes on breaking changes; adding
+/// fields is not breaking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_DRIVER_REPORTRENDER_H
+#define ISQ_DRIVER_REPORTRENDER_H
+
+#include "driver/VerifyDriver.h"
+
+#include <string>
+
+namespace isq {
+namespace driver {
+
+/// The version of the JSON report schema emitted by renderJson.
+constexpr int JsonSchemaVersion = 1;
+
+/// Renders the human-readable summary (the `--format text` output).
+std::string renderText(const VerifyResult &Result);
+
+/// Renders the schema-versioned JSON report (the `--format json`
+/// output), terminated by a newline.
+std::string renderJson(const VerifyResult &Result);
+
+} // namespace driver
+} // namespace isq
+
+#endif // ISQ_DRIVER_REPORTRENDER_H

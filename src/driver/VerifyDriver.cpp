@@ -2,6 +2,7 @@
 
 #include "driver/VerifyDriver.h"
 
+#include "driver/ReportRender.h"
 #include "explorer/Explorer.h"
 #include "is/Sequentialize.h"
 #include "protocols/ScheduleInvariant.h"
@@ -9,52 +10,80 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 using namespace isq;
 using namespace isq::driver;
+
+namespace {
+
+/// Validates the request against the compiled module. Every problem is
+/// reported (no first-failure bailout) as a driver diagnostic; the
+/// pipeline never asserts or silently ignores bad input.
+std::vector<asl::Diagnostic> validateRequest(const VerifyOptions &Options,
+                                             const Program &P) {
+  std::vector<asl::Diagnostic> Diags;
+  auto Bad = [&](const std::string &Message) {
+    Diags.push_back({Message, 0, 0});
+  };
+  if (!P.hasAction(Options.RewriteAction))
+    Bad("rewrite action '" + Options.RewriteAction + "' is not declared");
+  if (Options.Eliminate.empty())
+    Bad("no eliminated actions given");
+  std::unordered_set<std::string> Eliminated;
+  for (const std::string &Name : Options.Eliminate) {
+    if (!P.hasAction(Name))
+      Bad("eliminated action '" + Name + "' is not declared");
+    if (!Eliminated.insert(Name).second)
+      Bad("eliminated action '" + Name + "' listed more than once");
+  }
+  for (const auto &[Target, AbsName] : Options.Abstractions) {
+    if (!Eliminated.count(Target))
+      Bad("abstraction given for '" + Target + "', which is not eliminated");
+    if (!P.hasAction(AbsName)) {
+      Bad("abstraction action '" + AbsName + "' is not declared");
+      continue; // arity comparison needs the action
+    }
+    if (P.hasAction(Target) &&
+        P.action(AbsName).arity() != P.action(Target).arity())
+      Bad("abstraction '" + AbsName + "' has different arity than '" +
+          Target + "'");
+  }
+  for (const auto &[Name, Weight] : Options.Weights) {
+    (void)Weight;
+    if (!P.hasAction(Name))
+      Bad("weight given for '" + Name + "', which is not declared");
+  }
+  return Diags;
+}
+
+} // namespace
 
 VerifyResult driver::verifyModule(const VerifyOptions &Options) {
   VerifyResult Result;
   Timer Total;
 
-  auto Fail = [&](const std::string &Message) {
-    Result.Diags.push_back({Message, 0, 0});
-    Result.Summary += "error: " + Message + "\n";
-    return Result;
-  };
-
   // 1. Compile the module.
   std::optional<asl::CompiledModule> Compiled =
       asl::compileModule(Options.Source, Options.Consts, Result.Diags);
   if (!Compiled) {
-    Result.Summary = "compilation failed:\n";
-    for (const asl::Diagnostic &D : Result.Diags)
-      Result.Summary += "  " + D.str() + "\n";
+    Result.TotalSeconds = Total.elapsed();
+    Result.Summary = renderText(Result);
     return Result;
   }
   Result.CompileOk = true;
 
   // 2. Validate the request against the module.
-  if (!Compiled->P.hasAction(Options.RewriteAction))
-    return Fail("rewrite action '" + Options.RewriteAction +
-                "' is not declared");
-  if (Options.Eliminate.empty())
-    return Fail("no eliminated actions given");
-  for (const std::string &Name : Options.Eliminate)
-    if (!Compiled->P.hasAction(Name))
-      return Fail("eliminated action '" + Name + "' is not declared");
-  for (const auto &[Target, AbsName] : Options.Abstractions) {
-    if (std::find(Options.Eliminate.begin(), Options.Eliminate.end(),
-                  Target) == Options.Eliminate.end())
-      return Fail("abstraction given for '" + Target +
-                  "', which is not eliminated");
-    if (!Compiled->P.hasAction(AbsName))
-      return Fail("abstraction action '" + AbsName + "' is not declared");
-    if (Compiled->P.action(AbsName).arity() !=
-        Compiled->P.action(Target).arity())
-      return Fail("abstraction '" + AbsName + "' has different arity than '" +
-                  Target + "'");
+  std::vector<asl::Diagnostic> InputDiags =
+      validateRequest(Options, Compiled->P);
+  if (!InputDiags.empty()) {
+    Result.Diags.insert(Result.Diags.end(), InputDiags.begin(),
+                        InputDiags.end());
+    Result.TotalSeconds = Total.elapsed();
+    Result.Summary = renderText(Result);
+    return Result;
   }
+  Result.InputOk = true;
 
   // 3. Derive the IS artifacts from the declared sequentialization order.
   std::vector<Symbol> Order;
@@ -126,19 +155,23 @@ VerifyResult driver::verifyModule(const VerifyOptions &Options) {
       });
 
   // 4. Discharge the IS conditions. The universe is built explicitly so
-  // its engine statistics can be surfaced in the summary.
+  // its engine statistics can be surfaced in the summary; obligations run
+  // on the scheduler unless the serial reference path was requested.
   ExploreOptions Explore;
   Explore.NumThreads = Options.NumThreads;
   InitialCondition Init{Compiled->InitialStore, {}};
   ISUniverse Universe = ISUniverse::build(App, {Init}, Explore);
   Result.Engine.accumulate(Universe.Stats);
-  ISCheckReport Report = checkIS(App, Universe);
+  ISCheckOptions CheckOpts;
+  CheckOpts.NumThreads = Options.NumThreads;
+  CheckOpts.Parallel = Options.ParallelCheck;
+  ISCheckReport Report = checkIS(App, Universe, CheckOpts);
   Result.Report = Report;
   Result.Accepted = Report.ok();
-  Result.Summary += Report.str();
 
   // 5. Cross-check the conclusion on the instance.
   if (Report.ok() && Options.CrossCheck) {
+    Timer CrossTimer;
     Program PPrime = applyIS(App);
     ExploreResult RP =
         exploreAll(Compiled->P, {initialConfiguration(Init.Global)}, Explore);
@@ -146,17 +179,15 @@ VerifyResult driver::verifyModule(const VerifyOptions &Options) {
         exploreAll(PPrime, {initialConfiguration(Init.Global)}, Explore);
     Result.Engine.accumulate(RP.Engine);
     Result.Engine.accumulate(RS.Engine);
-    Result.Summary +=
-        "sequential reduction: " + std::to_string(RP.Stats.NumConfigurations) +
-        " configurations -> " + std::to_string(RS.Stats.NumConfigurations) +
-        "\n";
-    CheckResult Refines =
+    Result.CrossCheck.Ran = true;
+    Result.CrossCheck.ConfigsP = RP.Stats.NumConfigurations;
+    Result.CrossCheck.ConfigsPPrime = RS.Stats.NumConfigurations;
+    Result.CrossCheck.Refines =
         checkProgramRefinement(Compiled->P, PPrime, {Init}, Explore);
-    Result.Summary += "P ≼ P' (empirical): " + Refines.str() + "\n";
-    Result.Accepted = Result.Accepted && Refines.ok();
+    Result.CrossCheck.Seconds = CrossTimer.elapsed();
+    Result.Accepted = Result.Accepted && Result.CrossCheck.Refines.ok();
   }
-  Result.Summary += "engine: " + Result.Engine.str() + "\n";
-  Result.Summary +=
-      "total time: " + std::to_string(Total.elapsed()) + "s\n";
+  Result.TotalSeconds = Total.elapsed();
+  Result.Summary = renderText(Result);
   return Result;
 }

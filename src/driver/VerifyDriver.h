@@ -63,23 +63,64 @@ struct VerifyOptions {
   /// accepted.
   bool CrossCheck = true;
   /// Worker threads for the state-space explorations (universe build and
-  /// cross-check). Results are bit-identical for any thread count.
+  /// cross-check) and for the obligation scheduler. Results are
+  /// bit-identical for any thread count.
   unsigned NumThreads = 1;
+  /// When false, discharge the IS conditions with the serial reference
+  /// checker loops instead of the obligation scheduler (the
+  /// --no-parallel-check differential oracle). Verdicts are identical.
+  bool ParallelCheck = true;
 };
 
-/// The verification verdict.
+/// Outcome of the empirical P ≼ P' cross-check.
+struct CrossCheckInfo {
+  /// True when the cross-check actually ran (proof accepted and
+  /// VerifyOptions::CrossCheck set).
+  bool Ran = false;
+  /// The program-refinement result.
+  CheckResult Refines;
+  /// Explored configuration counts of P and of the sequentialization P'.
+  size_t ConfigsP = 0;
+  size_t ConfigsPPrime = 0;
+  /// Wall-clock of the cross-check phase (explorations + comparison).
+  double Seconds = 0;
+};
+
+/// The verification verdict. This is the stable, versioned surface the
+/// renderers (driver/ReportRender.h) serialize: text and JSON output are
+/// both pure functions of this struct.
 struct VerifyResult {
   bool CompileOk = false;
+  /// True when the request validated against the compiled module (action
+  /// names exist, no duplicate eliminations, abstractions well-formed).
+  /// Validation failures land in Diags — verifyModule never asserts on
+  /// bad driver input.
+  bool InputOk = false;
   bool Accepted = false;
-  /// Per-condition report (valid when CompileOk).
+  /// Per-condition report (valid when CompileOk && InputOk). Carries the
+  /// obligation-scheduler statistics of the checking phase.
   ISCheckReport Report;
-  /// Human-readable summary of the whole run.
+  /// Human-readable summary of the whole run; equals
+  /// renderText(*this) (kept as a field for convenience).
   std::string Summary;
-  /// Compiler/driver diagnostics.
+  /// Compiler and driver-input diagnostics. Compiler diagnostics carry
+  /// source locations; driver-input diagnostics use line 0.
   std::vector<asl::Diagnostic> Diags;
   /// Aggregated engine statistics across every exploration the run
   /// performed (universe build plus cross-check explorations).
   engine::EngineStats Engine;
+  /// Empirical P ≼ P' cross-check outcome.
+  CrossCheckInfo CrossCheck;
+  /// Wall-clock of the whole pipeline.
+  double TotalSeconds = 0;
+
+  /// The documented process exit code: 0 proof accepted, 1 proof
+  /// rejected, 2 compilation or driver-input error.
+  int exitCode() const {
+    if (!CompileOk || !InputOk)
+      return 2;
+    return Accepted ? 0 : 1;
+  }
 };
 
 /// Runs the pipeline.

@@ -14,7 +14,8 @@
 /// (g, args), which is what makes both caches sound (the same contract
 /// semantics/ActionCache.h relies on). User-supplied transition enumerators
 /// are not required to be thread-safe: cache misses serialize the
-/// underlying calls behind a single compute mutex.
+/// underlying calls behind a single compute mutex, unless the action
+/// declares Action::transitionsThreadSafe().
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,11 +70,15 @@ public:
         return *It->second;
       }
     }
-    // Miss: enumerate under the compute mutex (user enumerators may share
-    // internal memo state), intern, then publish.
+    // Miss: enumerate, intern, then publish. Enumerators that do not
+    // declare themselves thread-safe may share internal memo state and are
+    // serialized under the compute mutex; thread-safe ones (compiled ASL
+    // actions, derived schedule invariants) enumerate concurrently.
     std::vector<InternedTransition> Interned;
     {
-      std::lock_guard<std::mutex> Compute(ComputeMutex);
+      std::unique_lock<std::mutex> Compute(ComputeMutex, std::defer_lock);
+      if (!A.transitionsThreadSafe())
+        Compute.lock();
       const Store &Global = Arena.store(G);
       const std::vector<Value> &Args = Arena.pa(ArgsPa).Args;
       for (const Transition &T : A.transitions(Global, Args)) {
@@ -186,6 +191,65 @@ private:
   static size_t hashKey(const Key &K) {
     size_t Seed = reinterpret_cast<size_t>(K.Action);
     hashCombine(Seed, static_cast<size_t>(K.Sub));
+    return Seed;
+  }
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return hashKey(K); }
+  };
+
+  static constexpr size_t NumShards = 16;
+  struct Shard {
+    std::mutex M;
+    std::unordered_map<Key, bool, KeyHash> Map;
+  };
+
+  StateArena &Arena;
+  Shard Shards[NumShards];
+};
+
+/// Memoizes Ω-observing gate evaluations per (action instance, StoreId,
+/// args PaId, PaSetId of Ω). Gates are pure functions of (g, args, Ω) under
+/// the action contract, so keying on the interned Ω extends GateCache to
+/// exactly the gates it must refuse. The checker evaluates the same
+/// (gate, configuration) point once per mover pair and once per condition;
+/// this cache collapses those repeats into a single interpreter run.
+/// Thread-safe; a racing double-compute is benign (purity).
+class OmegaGateCache {
+public:
+  explicit OmegaGateCache(StateArena &Arena) : Arena(Arena) {}
+
+  /// Evaluates (and memoizes) \p A's gate at (\p G, args of \p ArgsPa,
+  /// multiset of \p Omega).
+  bool get(const Action &A, StoreId G, PaId ArgsPa, PaSetId Omega) {
+    Key K{&A, (static_cast<uint64_t>(G) << 32) | ArgsPa, Omega};
+    size_t Hash = hashKey(K);
+    auto &S = Shards[Hash % NumShards];
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(K);
+      if (It != S.Map.end())
+        return It->second;
+    }
+    bool Result =
+        A.evalGate(Arena.store(G), Arena.pa(ArgsPa).Args, Arena.paSet(Omega));
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Map.emplace(K, Result);
+    return Result;
+  }
+
+private:
+  struct Key {
+    const void *Action;
+    uint64_t Sub; // (StoreId << 32) | ArgsPa
+    PaSetId Omega;
+    bool operator==(const Key &O) const {
+      return Action == O.Action && Sub == O.Sub && Omega == O.Omega;
+    }
+  };
+  static size_t hashKey(const Key &K) {
+    size_t Seed = reinterpret_cast<size_t>(K.Action);
+    hashCombine(Seed, static_cast<size_t>(K.Sub));
+    hashCombine(Seed, static_cast<size_t>(K.Omega));
     return Seed;
   }
   struct KeyHash {

@@ -1,0 +1,257 @@
+//===- engine/ObligationScheduler.cpp - Parallel obligation checking ----------===//
+
+#include "engine/ObligationScheduler.h"
+
+#include "refine/Refinement.h"
+#include "support/Format.h"
+#include "support/Hashing.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+using namespace isq;
+using namespace isq::engine;
+
+static_assert(ObUnit::MaxIssues == CheckResult::MaxIssues,
+              "unit diagnostic cap must match CheckResult's");
+
+const char *engine::obConditionName(ObCondition C) {
+  switch (C) {
+  case ObCondition::SideConditions:
+    return "side_conditions";
+  case ObCondition::AbstractionRefinement:
+    return "abstraction_refinement";
+  case ObCondition::BaseCase:
+    return "base_case";
+  case ObCondition::Conclusion:
+    return "conclusion";
+  case ObCondition::InductiveStep:
+    return "inductive_step";
+  case ObCondition::LeftMovers:
+    return "left_movers";
+  case ObCondition::Cooperation:
+    return "cooperation";
+  case ObCondition::CrossCheck:
+    return "cross_check";
+  }
+  return "<invalid>";
+}
+
+const char *engine::obConditionLabel(ObCondition C) {
+  switch (C) {
+  case ObCondition::SideConditions:
+    return "side conditions";
+  case ObCondition::AbstractionRefinement:
+    return "P(A) ≼ α(A)";
+  case ObCondition::BaseCase:
+    return "(I1) base case";
+  case ObCondition::Conclusion:
+    return "(I2) conclusion";
+  case ObCondition::InductiveStep:
+    return "(I3) induction";
+  case ObCondition::LeftMovers:
+    return "(LM) left mover";
+  case ObCondition::Cooperation:
+    return "(CO) cooperation";
+  case ObCondition::CrossCheck:
+    return "P ≼ P' (empirical)";
+  }
+  return "<invalid>";
+}
+
+ObligationStats::Bucket ObligationStats::totals() const {
+  Bucket T;
+  for (const Bucket &B : PerCondition) {
+    T.Jobs += B.Jobs;
+    T.Units += B.Units;
+    T.UnitsDeduped += B.UnitsDeduped;
+    T.Obligations += B.Obligations;
+    T.Failures += B.Failures;
+    T.JobSeconds += B.JobSeconds;
+  }
+  return T;
+}
+
+void ObligationStats::accumulate(const ObligationStats &Other) {
+  for (size_t I = 0; I < NumObConditions; ++I) {
+    PerCondition[I].Jobs += Other.PerCondition[I].Jobs;
+    PerCondition[I].Units += Other.PerCondition[I].Units;
+    PerCondition[I].UnitsDeduped += Other.PerCondition[I].UnitsDeduped;
+    PerCondition[I].Obligations += Other.PerCondition[I].Obligations;
+    PerCondition[I].Failures += Other.PerCondition[I].Failures;
+    PerCondition[I].JobSeconds += Other.PerCondition[I].JobSeconds;
+  }
+  WallSeconds += Other.WallSeconds;
+  Threads = std::max(Threads, Other.Threads);
+}
+
+std::string ObligationStats::str() const {
+  Bucket T = totals();
+  std::string Out;
+  Out += "obligations=" + std::to_string(T.Obligations);
+  Out += " failures=" + std::to_string(T.Failures);
+  Out += " jobs=" + std::to_string(T.Jobs);
+  Out += " dedup-discarded=" + std::to_string(T.UnitsDeduped);
+  Out += " threads=" + std::to_string(Threads);
+  Out += " cpu=" + formatSeconds(T.JobSeconds) + "s";
+  Out += " wall=" + formatSeconds(WallSeconds) + "s";
+  return Out;
+}
+
+namespace {
+
+struct ObKeyHash {
+  size_t operator()(const ObKey &K) const {
+    size_t Seed = K.Tag;
+    hashCombine(Seed, K.A);
+    hashCombine(Seed, K.B);
+    hashCombine(Seed, K.C);
+    return Seed;
+  }
+};
+
+} // namespace
+
+/// An ordered group of jobs sharing one dedup namespace. Channel I folds
+/// under Conditions[I].
+class ObligationScheduler::Group {
+public:
+  explicit Group(std::vector<ObCondition> Conditions)
+      : Conditions(std::move(Conditions)) {
+    Results.resize(this->Conditions.size());
+  }
+
+  std::vector<ObCondition> Conditions;
+  /// Global indices into the scheduler's job list, in submission order.
+  std::vector<size_t> JobIndices;
+  std::vector<CheckResult> Results;
+};
+
+struct ObligationScheduler::JobSlot {
+  std::function<void(ObSink &)> Fn;
+  ObCondition Cond; // condition of channel 0, for timing attribution
+  ObSink Sink;
+  double Seconds = 0;
+};
+
+ObligationScheduler::ObligationScheduler(unsigned NumThreads)
+    : Threads(NumThreads ? NumThreads : 1) {
+  Stats.Threads = Threads;
+}
+
+ObligationScheduler::~ObligationScheduler() = default;
+
+ObligationScheduler::Group *
+ObligationScheduler::group(std::vector<ObCondition> Conditions) {
+  assert(!Ran && "cannot create groups after run()");
+  assert(!Conditions.empty() && "a group needs at least one channel");
+  Groups.emplace_back(std::move(Conditions));
+  return &Groups.back();
+}
+
+void ObligationScheduler::add(Group *G,
+                              std::function<void(ObSink &)> Job) {
+  assert(!Ran && "cannot submit jobs after run()");
+  G->JobIndices.push_back(Jobs.size());
+  Jobs.push_back(JobSlot{std::move(Job), G->Conditions[0], ObSink(), 0});
+}
+
+void ObligationScheduler::run() {
+  assert(!Ran && "run() may be called once");
+  Ran = true;
+  Timer Wall;
+
+  size_t NumJobs = Jobs.size();
+  unsigned Workers =
+      static_cast<unsigned>(std::min<size_t>(Threads, NumJobs));
+  if (Workers <= 1) {
+    for (JobSlot &J : Jobs) {
+      Timer T;
+      J.Fn(J.Sink);
+      J.Seconds = T.elapsed();
+    }
+  } else {
+    std::atomic<size_t> Next{0};
+    std::exception_ptr Error;
+    std::mutex ErrorMutex;
+    auto Work = [&]() {
+      try {
+        for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+             I < NumJobs; I = Next.fetch_add(1, std::memory_order_relaxed)) {
+          Timer T;
+          Jobs[I].Fn(Jobs[I].Sink);
+          Jobs[I].Seconds = T.elapsed();
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(ErrorMutex);
+        if (!Error)
+          Error = std::current_exception();
+      }
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers - 1);
+    for (unsigned I = 0; I + 1 < Workers; ++I)
+      Pool.emplace_back(Work);
+    Work();
+    for (std::thread &T : Pool)
+      T.join();
+    if (Error)
+      std::rethrow_exception(Error);
+  }
+
+  for (JobSlot &J : Jobs) {
+    size_t CI = static_cast<size_t>(J.Cond);
+    ++Stats.PerCondition[CI].Jobs;
+    Stats.PerCondition[CI].JobSeconds += J.Seconds;
+  }
+  for (Group &G : Groups)
+    reconcile(G);
+  Stats.WallSeconds = Wall.elapsed();
+}
+
+void ObligationScheduler::reconcile(Group &G) {
+  // Replay every unit in (job submission, within-job emission) order
+  // against the group-wide dedup set: the surviving unit per key is
+  // exactly the serial loop's. See the header's determinism argument.
+  std::unordered_set<ObKey, ObKeyHash> Consumed;
+  for (size_t JobIdx : G.JobIndices) {
+    JobSlot &J = Jobs[JobIdx];
+    for (ObUnit &U : J.Sink.Units) {
+      assert(U.Channel < G.Results.size() && "unit channel out of range");
+      size_t CI = static_cast<size_t>(G.Conditions[U.Channel]);
+      ++Stats.PerCondition[CI].Units;
+      if (!U.Key.keyless() && !Consumed.insert(U.Key).second) {
+        ++Stats.PerCondition[CI].UnitsDeduped;
+        continue;
+      }
+      CheckResult &R = G.Results[U.Channel];
+      R.addObligations(U.Obligations);
+      uint32_t Reported = 0;
+      for (std::string &Issue : U.Issues) {
+        R.fail(std::move(Issue));
+        ++Reported;
+      }
+      // Failures beyond the retained diagnostics still count.
+      for (uint32_t I = Reported; I < U.Failures; ++I)
+        R.fail(std::string());
+      Stats.PerCondition[CI].Obligations += U.Obligations;
+      Stats.PerCondition[CI].Failures += U.Failures;
+    }
+    // Units are folded; release the memory before later groups reconcile.
+    J.Sink.Units.clear();
+    J.Sink.Units.shrink_to_fit();
+  }
+}
+
+const CheckResult &ObligationScheduler::result(const Group *G,
+                                               uint8_t Channel) const {
+  assert(Ran && "result() requires run()");
+  assert(Channel < G->Results.size() && "channel out of range");
+  return G->Results[Channel];
+}

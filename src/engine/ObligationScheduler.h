@@ -1,0 +1,225 @@
+//===- engine/ObligationScheduler.h - Parallel obligation checking -*- C++ -*-===//
+///
+/// \file
+/// The obligation scheduler: the parallel execution substrate for every
+/// checker pass (IS conditions, mover checks, refinement, cooperation).
+/// Checker passes enumerate their work as *jobs* — closures tagged with a
+/// condition that emit ordered *obligation units* into a sink — and the
+/// scheduler runs the jobs on a worker pool sharing the driver's thread
+/// budget, then folds the units back together in canonical submission
+/// order. Verdicts, obligation counts and counterexample diagnostics are
+/// bit-identical for any thread count (the same determinism contract as
+/// the frontier merge in engine/StateGraph.h).
+///
+/// Determinism under deduplication. The serial checker loops deduplicate
+/// obligations whose outcome only depends on a store point (e.g. the
+/// commutation checks of the mover engine) by consuming a key at the
+/// first *gate-passing* occurrence in universe order. Whether a key is
+/// consumed at an occurrence can depend on that occurrence's Ω, so the
+/// consuming occurrence cannot be precomputed without evaluating gates —
+/// the very work we want to parallelize. The scheduler instead runs
+/// *speculative dedup with ordered reconciliation*: each job processes a
+/// contiguous slice of the universe with a job-local dedup set, emitting
+/// one unit per consumed key; the serial reconciliation then replays all
+/// units in (job submission, within-job emission) order against a
+/// group-wide dedup set and discards units whose key was already
+/// consumed. Because job slices are contiguous and ordered, the surviving
+/// unit for every key is exactly the one the serial loop would have
+/// produced — at the cost of some duplicated (discarded) work when a key
+/// spans slices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_ENGINE_OBLIGATIONSCHEDULER_H
+#define ISQ_ENGINE_OBLIGATIONSCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace isq {
+
+class CheckResult; // refine/Refinement.h
+
+namespace engine {
+
+/// The verification condition an obligation belongs to. Mirrors the
+/// per-condition decomposition of ISCheckReport plus the program-level
+/// cross-check; used to attribute counts and wall time per condition.
+enum class ObCondition : uint8_t {
+  SideConditions,
+  AbstractionRefinement,
+  BaseCase,      ///< (I1)
+  Conclusion,    ///< (I2)
+  InductiveStep, ///< (I3)
+  LeftMovers,    ///< (LM)
+  Cooperation,   ///< (CO)
+  CrossCheck,    ///< empirical P ≼ P'
+};
+constexpr size_t NumObConditions = 8;
+
+/// Stable machine name ("side_conditions", "base_case", ...).
+const char *obConditionName(ObCondition C);
+/// Human-readable report label ("side conditions", "(I1) base case", ...).
+const char *obConditionLabel(ObCondition C);
+
+/// Dedup key of an obligation unit: a small tag naming the dedup namespace
+/// within the group (e.g. forward-preservation vs commutation) plus up to
+/// three interned handles identifying the store point. Keyless units are
+/// always applied by the reconciliation.
+struct ObKey {
+  static constexpr uint32_t NoDedup = UINT32_MAX;
+  uint32_t Tag = NoDedup;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+
+  bool keyless() const { return Tag == NoDedup; }
+  bool operator==(const ObKey &O) const {
+    return Tag == O.Tag && A == O.A && B == O.B && C == O.C;
+  }
+};
+
+/// One reconciliation-atomic group of obligations: every obligation that
+/// shares one dedup decision (or a keyless singleton). Jobs emit units in
+/// the exact order the serial checker loop evaluates them.
+struct ObUnit {
+  /// Cap on diagnostics carried per unit. Equals CheckResult::MaxIssues
+  /// (statically asserted in the .cpp): the reconciliation retains at
+  /// most that many per channel, so carrying more would be waste.
+  static constexpr size_t MaxIssues = 8;
+
+  ObKey Key;
+  /// Which result channel of the group this unit folds into (checker
+  /// passes whose loop feeds several conditions — e.g. (I3) also
+  /// discharging choice-function side conditions — use one channel per
+  /// condition).
+  uint8_t Channel = 0;
+  uint32_t Obligations = 0;
+  uint32_t Failures = 0;
+  /// Diagnostics for the failures, capped at MaxIssues.
+  std::vector<std::string> Issues;
+};
+
+/// The sink a job emits its units into. Not thread-safe; each job owns its
+/// sink for the duration of the call.
+class ObSink {
+public:
+  /// Opens a unit. Units are reconciliation-atomic: either every
+  /// obligation recorded until the next begin() counts, or none does.
+  void begin(ObKey Key = ObKey(), uint8_t Channel = 0) {
+    Units.push_back({Key, Channel, 0, 0, {}});
+  }
+  /// Records one evaluated obligation in the current unit.
+  void countObligation() {
+    ensureOpen();
+    ++Units.back().Obligations;
+  }
+  /// Records a failed obligation with a diagnostic.
+  void fail(std::string Message) {
+    ensureOpen();
+    ObUnit &U = Units.back();
+    ++U.Failures;
+    if (U.Issues.size() < ObUnit::MaxIssues)
+      U.Issues.push_back(std::move(Message));
+  }
+
+private:
+  friend class ObligationScheduler;
+  void ensureOpen() {
+    if (Units.empty())
+      Units.push_back({});
+  }
+  std::vector<ObUnit> Units;
+};
+
+/// Per-condition and aggregate observability of one scheduler run (or of
+/// several runs accumulated by the driver).
+struct ObligationStats {
+  struct Bucket {
+    size_t Jobs = 0;
+    size_t Units = 0;
+    /// Units discarded by the dedup reconciliation (speculative work).
+    size_t UnitsDeduped = 0;
+    size_t Obligations = 0;
+    size_t Failures = 0;
+    /// Summed per-job wall time (CPU-side cost of the condition).
+    double JobSeconds = 0;
+  };
+  Bucket PerCondition[NumObConditions];
+  /// Wall-clock of the scheduler run()s (all conditions together).
+  double WallSeconds = 0;
+  unsigned Threads = 1;
+
+  Bucket totals() const;
+  /// Merges \p Other into this (sums counters, maxes threads).
+  void accumulate(const ObligationStats &Other);
+  /// One-line human-readable rendering.
+  std::string str() const;
+};
+
+/// The scheduler. Typical use:
+///
+///   ObligationScheduler Sched(Threads);
+///   auto *G = Sched.group(ObCondition::LeftMovers);
+///   for (slice : universeSlices)
+///     Sched.add(G, [=](ObSink &S) { ... emit units for slice ... });
+///   ... more groups ...
+///   Sched.run();
+///   CheckResult R = Sched.result(G);
+///
+/// Jobs across all groups share one pool; groups reconcile independently.
+/// run() may be called once per scheduler instance.
+class ObligationScheduler {
+public:
+  /// A group: an ordered sequence of jobs sharing one dedup namespace and
+  /// folding into per-channel CheckResults under one condition each.
+  class Group;
+
+  /// \p NumThreads == 0 is treated as 1. Jobs run inline (no threads
+  /// spawned) when the effective thread count is 1.
+  explicit ObligationScheduler(unsigned NumThreads);
+  ~ObligationScheduler();
+  ObligationScheduler(const ObligationScheduler &) = delete;
+  ObligationScheduler &operator=(const ObligationScheduler &) = delete;
+
+  /// Creates a group whose channel \p Channel folds under \p Conditions[Channel].
+  /// Most groups have the single channel 0.
+  Group *group(std::vector<ObCondition> Conditions);
+  Group *group(ObCondition Condition) {
+    return group(std::vector<ObCondition>{Condition});
+  }
+
+  /// Appends a job to \p G. Jobs must be safe to run concurrently with
+  /// every other submitted job (shared arenas/caches are; job-local state
+  /// must not be shared).
+  void add(Group *G, std::function<void(ObSink &)> Job);
+
+  /// Runs every submitted job on the pool, then reconciles each group.
+  void run();
+
+  /// After run(): the merged result of \p G's channel \p Channel.
+  const CheckResult &result(const Group *G, uint8_t Channel = 0) const;
+
+  /// After run(): counts, failures and timings per condition.
+  const ObligationStats &stats() const { return Stats; }
+
+  unsigned threads() const { return Threads; }
+
+private:
+  struct JobSlot;
+  void reconcile(Group &G);
+
+  unsigned Threads;
+  std::deque<Group> Groups;
+  std::vector<JobSlot> Jobs;
+  ObligationStats Stats;
+  bool Ran = false;
+};
+
+} // namespace engine
+} // namespace isq
+
+#endif // ISQ_ENGINE_OBLIGATIONSCHEDULER_H

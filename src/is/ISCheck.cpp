@@ -7,6 +7,8 @@
 #include "is/Sequentialize.h"
 #include "movers/MoverCheck.h"
 
+#include <deque>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -76,6 +78,85 @@ uint64_t packIds(uint32_t Hi, uint32_t Lo) {
   return (static_cast<uint64_t>(Hi) << 32) | Lo;
 }
 
+/// The structural side conditions on the application itself (everything
+/// checked before any universe-quantified obligation). Shared between the
+/// serial and scheduled checkers — these are O(|E|) bookkeeping checks,
+/// not obligation loops.
+CheckResult staticSideConditions(const ISApplication &App) {
+  const Program &P = App.P;
+  CheckResult R;
+  R.countObligation();
+  if (!P.hasAction(App.M))
+    R.fail("M = " + App.M.str() + " not in dom(P)");
+  for (Symbol A : App.E) {
+    R.countObligation();
+    if (!P.hasAction(A))
+      R.fail("E member " + A.str() + " not in dom(P)");
+  }
+  R.countObligation();
+  if (P.hasAction(App.M) && App.Invariant.arity() != P.action(App.M).arity())
+    R.fail("invariant arity differs from M's arity");
+  for (const auto &[Name, Abs] : App.Abstractions) {
+    R.countObligation();
+    if (!App.eliminates(Name))
+      R.fail("abstraction for " + Name.str() + " which is not in E");
+    else if (Abs.arity() != P.action(Name).arity())
+      R.fail("abstraction arity mismatch for " + Name.str());
+  }
+  R.countObligation();
+  if (!App.WfMeasure.isValid())
+    R.fail("no well-founded measure supplied");
+  R.countObligation();
+  if (!App.Choice)
+    R.fail("no choice function supplied");
+  return R;
+}
+
+/// Thread-safe memo of τI per (store, args) call point, for the scheduled
+/// (I3). Enumerations of invariants that do not declare thread-safe
+/// transitions are serialized behind a compute mutex; a racing
+/// double-compute of the same key is benign (first insert wins).
+class InvPointMemo {
+public:
+  InvPointMemo(const Action &Inv, StateArena &Arena)
+      : Inv(Inv), Arena(Arena) {}
+
+  const InvPoint &get(StoreId G, PaId ArgsPa) {
+    uint64_t K = packIds(G, ArgsPa);
+    {
+      std::lock_guard<std::mutex> Lock(MapMutex);
+      auto It = Points.find(K);
+      if (It != Points.end())
+        return It->second;
+    }
+    InvPoint P;
+    {
+      std::unique_lock<std::mutex> Compute(ComputeMutex, std::defer_lock);
+      if (!Inv.transitionsThreadSafe())
+        Compute.lock();
+      P.Trans = Inv.transitions(Arena.store(G), Arena.pa(ArgsPa).Args);
+    }
+    P.TGlobal.reserve(P.Trans.size());
+    P.TCreated.reserve(P.Trans.size());
+    for (const Transition &T : P.Trans) {
+      StoreId TG = Arena.internStore(T.Global);
+      PaSetId TC = Arena.internPaSet(T.createdMultiset());
+      P.TGlobal.push_back(TG);
+      P.TCreated.push_back(Arena.paVec(TC));
+      P.Index.insert(packIds(TG, TC));
+    }
+    std::lock_guard<std::mutex> Lock(MapMutex);
+    return Points.try_emplace(K, std::move(P)).first->second;
+  }
+
+private:
+  const Action &Inv;
+  StateArena &Arena;
+  std::mutex MapMutex;
+  std::mutex ComputeMutex;
+  std::unordered_map<uint64_t, InvPoint> Points;
+};
+
 } // namespace
 
 ISCheckReport isq::checkIS(const ISApplication &App,
@@ -96,33 +177,7 @@ ISCheckReport isq::checkIS(const ISApplication &App,
   StateArena &Arena = *Space.Arena;
 
   // --- Side conditions --------------------------------------------------
-  Report.SideConditions.countObligation();
-  if (!P.hasAction(App.M))
-    Report.SideConditions.fail("M = " + App.M.str() + " not in dom(P)");
-  for (Symbol A : App.E) {
-    Report.SideConditions.countObligation();
-    if (!P.hasAction(A))
-      Report.SideConditions.fail("E member " + A.str() + " not in dom(P)");
-  }
-  Report.SideConditions.countObligation();
-  if (P.hasAction(App.M) &&
-      App.Invariant.arity() != P.action(App.M).arity())
-    Report.SideConditions.fail("invariant arity differs from M's arity");
-  for (const auto &[Name, Abs] : App.Abstractions) {
-    Report.SideConditions.countObligation();
-    if (!App.eliminates(Name))
-      Report.SideConditions.fail("abstraction for " + Name.str() +
-                                 " which is not in E");
-    else if (Abs.arity() != P.action(Name).arity())
-      Report.SideConditions.fail("abstraction arity mismatch for " +
-                                 Name.str());
-  }
-  Report.SideConditions.countObligation();
-  if (!App.WfMeasure.isValid())
-    Report.SideConditions.fail("no well-founded measure supplied");
-  Report.SideConditions.countObligation();
-  if (!App.Choice)
-    Report.SideConditions.fail("no choice function supplied");
+  Report.SideConditions = staticSideConditions(App);
   if (!Report.SideConditions.ok())
     return Report;
 
@@ -299,6 +354,268 @@ ISCheckReport isq::checkIS(const ISApplication &App,
   }
 
   return Report;
+}
+
+namespace {
+
+/// The scheduled checker: submits every universe-quantified obligation of
+/// the IS rule into one ObligationScheduler and assembles the report from
+/// the reconciled group results. Deliberately separate from the serial
+/// loops above, which survive as the --no-parallel-check differential
+/// oracle. Transition caches are shared across all conditions; that only
+/// changes who computes an entry, never any obligation outcome.
+ISCheckReport checkISScheduled(const ISApplication &App,
+                               const ISUniverse &Universe,
+                               unsigned NumThreads) {
+  ISCheckReport Report;
+  const Program &P = App.P;
+
+  StateSpace Space = Universe.Space;
+  if (!Space.Arena) {
+    Space.Arena = std::make_shared<StateArena>();
+    Space.Configs.reserve(Universe.Configs.size());
+    for (const Configuration &C : Universe.Configs)
+      if (!C.isFailure())
+        Space.Configs.push_back(Space.Arena->internConfig(C));
+  }
+  StateArena &Arena = *Space.Arena;
+
+  Report.SideConditions = staticSideConditions(App);
+  if (!Report.SideConditions.ok())
+    return Report;
+
+  InternedContextUniverse MCalls;
+  MCalls.Arena = Space.Arena;
+  MCalls.Items.reserve(Universe.MCalls.size());
+  for (const ActionContext &Ctx : Universe.MCalls)
+    MCalls.Items.push_back({Arena.internStore(Ctx.Global),
+                            Arena.internPa(PendingAsync(App.M, Ctx.Args)),
+                            Arena.internPaSet(Ctx.Omega)});
+
+  ObligationScheduler Sched(NumThreads);
+  InternedTransitionCache Cache(Arena);
+  GateCache Gates(Arena);
+  OmegaGateCache OmegaGates(Arena);
+
+  // --- P(A) ≼ α(A) for A ∈ E ---------------------------------------------
+  // Context universes live in a deque: jobs hold pointers into them.
+  std::deque<InternedContextUniverse> AbsCtxs;
+  std::vector<std::pair<Symbol, ObligationScheduler::Group *>> AbsGroups;
+  for (Symbol A : App.E) {
+    if (!App.Abstractions.count(A))
+      continue; // α(A) = P(A): refinement is reflexive
+    AbsCtxs.push_back(collectContexts(Space, A));
+    AbsGroups.emplace_back(
+        A, scheduleActionRefinement(Sched,
+                                    ObCondition::AbstractionRefinement,
+                                    P.action(A), App.abstraction(A),
+                                    AbsCtxs.back(), Cache, Gates, OmegaGates));
+  }
+
+  // --- (I1) base case: P(M) ≼ I --------------------------------------------
+  ObligationScheduler::Group *BaseGroup = scheduleActionRefinement(
+      Sched, ObCondition::BaseCase, P.action(App.M), App.Invariant, MCalls,
+      Cache, Gates, OmegaGates);
+
+  // --- (I2) conclusion: (ρI, {t ∈ τI | PAE(t) = ∅}) ≼ M' --------------------
+  Action Restricted = restrictInvariant(App);
+  Action SeqM = sequentializedAction(App);
+  ObligationScheduler::Group *ConclGroup = scheduleActionRefinement(
+      Sched, ObCondition::Conclusion, Restricted, SeqM, MCalls, Cache, Gates,
+      OmegaGates);
+
+  // --- (I3) inductive step ---------------------------------------------------
+  // Channel 0 folds under (I3); channel 1 carries the choice-function
+  // obligations the serial loop reports as side conditions.
+  constexpr uint8_t ChanStep = 0;
+  constexpr uint8_t ChanChoice = 1;
+  ObligationScheduler::Group *StepGroup = Sched.group(
+      {ObCondition::InductiveStep, ObCondition::SideConditions});
+  InvPointMemo InvPoints(App.Invariant, Arena);
+  {
+    const ISApplication *AppP = &App;
+    const InternedContextUniverse *MCallsP = &MCalls;
+    InvPointMemo *MemoP = &InvPoints;
+    InternedTransitionCache *CacheP = &Cache;
+    GateCache *GatesP = &Gates;
+    OmegaGateCache *OmegaGatesP = &OmegaGates;
+    StateArena *ArenaP = &Arena;
+    constexpr size_t ChunkSize = 64;
+    size_t N = MCalls.Items.size();
+    for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
+      size_t End = std::min(N, Begin + ChunkSize);
+      Sched.add(StepGroup, [=](ObSink &Sink) {
+        StateArena &Arena = *ArenaP;
+        for (size_t I = Begin; I < End; ++I) {
+          const InternedActionContext &Call = MCallsP->Items[I];
+          const Store &CallStore = Arena.store(Call.Global);
+          const std::vector<Value> &CallArgs = Arena.pa(Call.ArgsPa).Args;
+          const PaMultiset &CallOmega = Arena.paSet(Call.Omega);
+          if (!AppP->Invariant.evalGate(CallStore, CallArgs, CallOmega))
+            continue; // t ∈ ρI ∘ τI only constrains gate-satisfying stores
+          const InvPoint &Point = MemoP->get(Call.Global, Call.ArgsPa);
+
+          for (size_t TI = 0; TI < Point.Trans.size(); ++TI) {
+            const Transition &T = Point.Trans[TI];
+            PaMultiset ToE = AppP->pasToE(T);
+            if (ToE.empty())
+              continue;
+            PendingAsync Chosen = AppP->Choice(CallStore, CallArgs, T);
+            Sink.begin(ObKey(), ChanChoice);
+            Sink.countObligation();
+            if (!ToE.contains(Chosen)) {
+              Sink.fail("choice function selected " + Chosen.str() +
+                        " which is not a created PA to E at " +
+                        describeCall(CallStore, CallArgs));
+              continue;
+            }
+            const Action &Abs = AppP->abstraction(Chosen.Action);
+            PaId ChosenPa = Arena.internPa(Chosen);
+
+            // Ω after I's step: the executing M PA is consumed and T's
+            // created PAs appear.
+            PaCountVec Rest(Arena.paVec(Call.Omega));
+            paCountVecErase(Rest, Call.ArgsPa);
+            PaSetId OmegaAfter = Arena.internPaVec(
+                paCountVecUnion(Rest, Point.TCreated[TI]));
+
+            // Gate of the abstraction must hold right after I's
+            // transition. Gates are pure, so the evaluation goes through
+            // the shared caches keyed on the interned point.
+            Sink.begin(ObKey(), ChanStep);
+            Sink.countObligation();
+            bool AbsGateOk =
+                Abs.gateReadsOmega()
+                    ? OmegaGatesP->get(Abs, Point.TGlobal[TI], ChosenPa,
+                                       OmegaAfter)
+                    : GatesP->get(Abs, Point.TGlobal[TI], ChosenPa,
+                                  Arena.paSet(OmegaAfter));
+            if (!AbsGateOk) {
+              Sink.fail("gate of α(" + Chosen.Action.str() +
+                        ") fails after invariant transition at " +
+                        describeCall(CallStore, CallArgs) + " transition " +
+                        T.str());
+              continue;
+            }
+            // Composing I's transition with the abstraction's transition
+            // must again be a transition of I.
+            PaCountVec Remaining(Point.TCreated[TI]);
+            paCountVecErase(Remaining, ChosenPa);
+            for (const InternedTransition &TA :
+                 CacheP->get(Abs, Point.TGlobal[TI], ChosenPa)) {
+              Sink.countObligation();
+              PaSetId Composed =
+                  Arena.internPaVec(paCountVecUnion(Remaining, TA.Created));
+              if (!Point.Index.count(packIds(TA.Global, Composed)))
+                Sink.fail("invariant not inductive: composing with α(" +
+                          Chosen.Action.str() + ") leaves τI at " +
+                          describeCall(CallStore, CallArgs));
+            }
+          }
+        }
+      });
+    }
+  }
+
+  // --- (LM) left movers --------------------------------------------------------
+  std::vector<std::pair<Symbol, ObligationScheduler::Group *>> LMGroups;
+  for (Symbol A : App.E)
+    LMGroups.emplace_back(
+        A, scheduleLeftMover(Sched, ObCondition::LeftMovers, A,
+                             App.abstraction(A), P, Space, Cache, Gates,
+                             OmegaGates));
+
+  // --- (CO) cooperation ----------------------------------------------------------
+  ObligationScheduler::Group *CoGroup =
+      Sched.group(ObCondition::Cooperation);
+  {
+    const ISApplication *AppP = &App;
+    const StateSpace *SpaceP = &Space;
+    InternedTransitionCache *CacheP = &Cache;
+    GateCache *GatesP = &Gates;
+    OmegaGateCache *OmegaGatesP = &OmegaGates;
+    StateArena *ArenaP = &Arena;
+    constexpr size_t ChunkSize = 16;
+    size_t N = Space.Configs.size();
+    for (Symbol A : App.E) {
+      const Action *AbsP = &App.abstraction(A);
+      for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
+        size_t End = std::min(N, Begin + ChunkSize);
+        Sched.add(CoGroup, [=](ObSink &Sink) {
+          StateArena &Arena = *ArenaP;
+          const Action &Abs = *AbsP;
+          for (size_t CI = Begin; CI < End; ++CI) {
+            ConfigId Cid = SpaceP->Configs[CI];
+            auto [G, OmegaId] = Arena.config(Cid);
+            const PaCountVec &Entries = Arena.paVec(OmegaId);
+            for (PaId Pa : Arena.paOrder(OmegaId)) {
+              const PendingAsync &PA = Arena.pa(Pa);
+              if (PA.Action != A)
+                continue;
+              bool GateOk =
+                  Abs.gateReadsOmega()
+                      ? OmegaGatesP->get(Abs, G, Pa, OmegaId)
+                      : GatesP->get(Abs, G, Pa, Arena.paSet(OmegaId));
+              if (!GateOk)
+                continue;
+              Sink.begin();
+              Sink.countObligation();
+              Configuration C(Arena.store(G), Arena.paSet(OmegaId));
+              bool Decreases = false;
+              PaCountVec Rest(Entries);
+              paCountVecErase(Rest, Pa);
+              for (const InternedTransition &TA : CacheP->get(Abs, G, Pa)) {
+                PaSetId NextOmega =
+                    Arena.internPaVec(paCountVecUnion(Rest, TA.Created));
+                Configuration Next(Arena.store(TA.Global),
+                                   Arena.paSet(NextOmega));
+                if (AppP->WfMeasure.decreases(C, Next)) {
+                  Decreases = true;
+                  break;
+                }
+              }
+              if (!Decreases)
+                Sink.fail("no measure-decreasing transition of α(" +
+                          A.str() + ") for " + PA.str() + " in " + C.str());
+            }
+          }
+        });
+      }
+    }
+  }
+
+  Sched.run();
+
+  for (auto &[A, Group] : AbsGroups) {
+    const CheckResult &R = Sched.result(Group);
+    if (!R.ok())
+      Report.AbstractionRefinement.fail("P(" + A.str() + ") ⋠ α(" +
+                                        A.str() + ")");
+    Report.AbstractionRefinement.merge(R);
+  }
+  Report.BaseCase = Sched.result(BaseGroup);
+  Report.Conclusion = Sched.result(ConclGroup);
+  Report.InductiveStep = Sched.result(StepGroup, ChanStep);
+  Report.SideConditions.merge(Sched.result(StepGroup, ChanChoice));
+  for (auto &[A, Group] : LMGroups) {
+    const CheckResult &R = Sched.result(Group);
+    if (!R.ok())
+      Report.LeftMovers.fail("α(" + A.str() + ") is not a left mover");
+    Report.LeftMovers.merge(R);
+  }
+  Report.Cooperation = Sched.result(CoGroup);
+  Report.Scheduler = Sched.stats();
+  return Report;
+}
+
+} // namespace
+
+ISCheckReport isq::checkIS(const ISApplication &App,
+                           const ISUniverse &Universe,
+                           const ISCheckOptions &Opts) {
+  if (!Opts.Parallel)
+    return checkIS(App, Universe);
+  return checkISScheduled(App, Universe, Opts.NumThreads);
 }
 
 ISCheckReport isq::checkIS(const ISApplication &App,

@@ -46,6 +46,16 @@ struct ISUniverse {
                           const ExploreOptions &Opts = ExploreOptions());
 };
 
+/// Options for checkIS.
+struct ISCheckOptions {
+  /// Worker threads for the obligation scheduler. 0 is treated as 1.
+  unsigned NumThreads = 1;
+  /// When false, runs the serial reference checker loops instead of the
+  /// obligation scheduler (the --no-parallel-check differential oracle).
+  /// Results are bit-identical either way; only ObligationStats differ.
+  bool Parallel = true;
+};
+
 /// Per-condition results of one IS application.
 struct ISCheckReport {
   CheckResult SideConditions;
@@ -55,6 +65,10 @@ struct ISCheckReport {
   CheckResult InductiveStep;         ///< (I3)
   CheckResult LeftMovers;            ///< (LM)
   CheckResult Cooperation;           ///< (CO)
+
+  /// Obligation-scheduler observability of the run (zeroed for the serial
+  /// reference path, which does not run the scheduler).
+  engine::ObligationStats Scheduler;
 
   bool ok() const {
     return SideConditions.ok() && AbstractionRefinement.ok() &&
@@ -73,8 +87,18 @@ struct ISCheckReport {
   std::string str() const;
 };
 
-/// Checks every condition of the IS rule for \p App over \p Universe.
+/// Checks every condition of the IS rule for \p App over \p Universe using
+/// the serial reference loops.
 ISCheckReport checkIS(const ISApplication &App, const ISUniverse &Universe);
+
+/// Checks every condition of the IS rule for \p App over \p Universe.
+/// With Opts.Parallel, obligations run on the obligation scheduler across
+/// Opts.NumThreads workers; verdicts, counts and diagnostics are
+/// bit-identical to the serial loops for any thread count. Requires the
+/// application's choice function and measure to be pure (they are invoked
+/// concurrently), which every protocol in this repo satisfies.
+ISCheckReport checkIS(const ISApplication &App, const ISUniverse &Universe,
+                      const ISCheckOptions &Opts);
 
 /// Convenience: builds the universe from \p Inits and checks.
 ISCheckReport checkIS(const ISApplication &App,

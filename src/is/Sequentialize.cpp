@@ -32,8 +32,11 @@ Action isq::restrictInvariant(const ISApplication &App) {
         }
         return Out;
       };
+  // Filtering is pure, so the restriction is concurrently enumerable
+  // exactly when the invariant is.
   return Action(App.M.str(), App.Invariant.arity(), std::move(Gate),
-                std::move(Transitions), App.Invariant.gateReadsOmega());
+                std::move(Transitions), App.Invariant.gateReadsOmega(),
+                App.Invariant.transitionsThreadSafe());
 }
 
 Action isq::sequentializedAction(const ISApplication &App) {

@@ -122,8 +122,11 @@ asl::compileModule(const std::string &Source,
                                    const std::vector<Value> &Args) {
           return runBody(Decl->Body, G, BindLocals(Args)).Transitions;
         };
+    // The evaluator is a pure function of (AST, store, locals), so the
+    // enumerator may run from concurrent checker jobs.
     Result.P.addAction(Action(A.Name, Arity, std::move(Gate),
-                              std::move(Transitions), UsesPending));
+                              std::move(Transitions), UsesPending,
+                              /*TransitionsThreadSafe=*/true));
   }
   return Result;
 }

@@ -249,6 +249,206 @@ CheckResult checkMover(Symbol Subject, const Action &SubjectAction,
   return Result;
 }
 
+/// Dedup namespaces of the mover obligation units. Keys mirror the serial
+/// Key3 sets: (tag, StoreId, SubjectPa, OtherPa).
+constexpr uint32_t TagNonBlock = 1;
+constexpr uint32_t TagForward = 2;
+constexpr uint32_t TagBackward = 3;
+constexpr uint32_t TagCommute = 4;
+
+/// Obligation-scheduler form of checkMover. Deliberately a separate copy
+/// of the serial loop (not a shared template): the serial path survives
+/// as an independent differential oracle behind --no-parallel-check, so
+/// the two implementations must not share obligation-emission code. Each
+/// job processes a contiguous slice of the universe with job-local dedup
+/// sets; the reconciliation replays units in order so the surviving unit
+/// per key is the serial loop's (see engine/ObligationScheduler.h).
+ObligationScheduler::Group *
+scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
+              const Action &SubjectAction, const Program &P,
+              const StateSpace &Universe, bool LeftDirection,
+              bool RequireNonBlocking, InternedTransitionCache &Cache,
+              GateCache &Gates, OmegaGateCache &OmegaGates) {
+  ObligationScheduler::Group *Group = Sched.group(Cond);
+  // Slice size is thread-count independent so unit/dedup statistics are
+  // identical for any --threads value, not just the verdicts.
+  constexpr size_t ChunkSize = 8;
+  // Jobs run after this function returns: capture the referents as
+  // pointers by value, never the reference parameters themselves.
+  const Action *SubjectActionP = &SubjectAction;
+  const Program *ProgP = &P;
+  const StateSpace *UniverseP = &Universe;
+  InternedTransitionCache *CacheP = &Cache;
+  GateCache *GatesP = &Gates;
+  OmegaGateCache *OmegaGatesP = &OmegaGates;
+  size_t N = Universe.Configs.size();
+  for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
+    size_t End = std::min(N, Begin + ChunkSize);
+    Sched.add(Group, [=](ObSink &Sink) {
+      const Action &SubjectAction = *SubjectActionP;
+      const Program &P = *ProgP;
+      const StateSpace &Universe = *UniverseP;
+      InternedTransitionCache &Cache = *CacheP;
+      GateCache &Gates = *GatesP;
+      OmegaGateCache &OmegaGates = *OmegaGatesP;
+      StateArena &Arena = *Universe.Arena;
+      std::unordered_set<Key3, Key3Hash> CommuteDone;
+      std::unordered_set<Key3, Key3Hash> NonBlockDone;
+      std::unordered_set<Key3, Key3Hash> ForwardDone;
+      std::unordered_set<Key3, Key3Hash> BackwardDone;
+
+      // Gate results are pure functions of the interned point, so every
+      // evaluation goes through the shared caches: Ω-observing gates key
+      // on (store, args, Ω), Ω-independent ones on (store, args) alone.
+      auto gateAt = [&](const Action &A, StoreId G, PaId Pa, PaSetId Omega) {
+        return A.gateReadsOmega()
+                   ? OmegaGates.get(A, G, Pa, Omega)
+                   : Gates.get(A, G, Pa, Arena.paSet(Omega));
+      };
+      // Interns Ω − Executed ⊎ Created (for gates that observe Ω after a
+      // step); the id keys the gate cache without materializing the value.
+      auto omegaAfter = [&](const PaCountVec &Entries, PaId Executed,
+                            const InternedTransition &T) -> PaSetId {
+        PaCountVec Rest(Entries);
+        paCountVecErase(Rest, Executed);
+        return Arena.internPaVec(paCountVecUnion(Rest, T.Created));
+      };
+
+      for (size_t CI = Begin; CI < End; ++CI) {
+        ConfigId Cid = Universe.Configs[CI];
+        auto [G, OmegaId] = Arena.config(Cid);
+        const PaCountVec &Entries = Arena.paVec(OmegaId);
+
+        // (4) Non-blocking, checked once per subject occurrence.
+        if (RequireNonBlocking) {
+          for (PaId SubjectPa : Arena.paOrder(OmegaId)) {
+            if (Arena.pa(SubjectPa).Action != Subject)
+              continue;
+            if (!gateAt(SubjectAction, G, SubjectPa, OmegaId))
+              continue;
+            if (!NonBlockDone.insert({G, SubjectPa, SubjectPa}).second)
+              continue;
+            Sink.begin(ObKey{TagNonBlock, G, SubjectPa, SubjectPa});
+            Sink.countObligation();
+            if (Cache.get(SubjectAction, G, SubjectPa).empty())
+              Sink.fail("non-blocking violated: " + Arena.pa(SubjectPa).str() +
+                        " enabled but has no transition in " +
+                        Arena.configuration(Cid).str());
+          }
+        }
+
+        forEachPair(Arena, OmegaId, Subject, [&](PaId SubjectPa,
+                                                 PaId OtherPa) {
+          const Action &Other = P.action(Arena.pa(OtherPa).Action);
+          bool SubjectGate = gateAt(SubjectAction, G, SubjectPa, OmegaId);
+          bool OtherGate = gateAt(Other, G, OtherPa, OmegaId);
+
+          // (1) Gate of the subject is forward-preserved by the other
+          // action; Ω-observing subject gates skip dedup (keyless unit).
+          if (SubjectGate && OtherGate &&
+              (SubjectAction.gateReadsOmega() ||
+               ForwardDone.insert({G, SubjectPa, OtherPa}).second)) {
+            if (SubjectAction.gateReadsOmega())
+              Sink.begin();
+            else
+              Sink.begin(ObKey{TagForward, G, SubjectPa, OtherPa});
+            for (const InternedTransition &TO :
+                 Cache.get(Other, G, OtherPa)) {
+              Sink.countObligation();
+              bool Preserved =
+                  SubjectAction.gateReadsOmega()
+                      ? gateAt(SubjectAction, TO.Global, SubjectPa,
+                               omegaAfter(Entries, OtherPa, TO))
+                      : gateAt(SubjectAction, TO.Global, SubjectPa, OmegaId);
+              if (!Preserved)
+                Sink.fail("gate not forward-preserved: " +
+                          describePair(Arena, Cid, SubjectPa, OtherPa));
+            }
+          }
+
+          // (2) Gate of the other action is backward-preserved by the
+          // subject.
+          if (SubjectGate &&
+              (Other.gateReadsOmega() ||
+               BackwardDone.insert({G, SubjectPa, OtherPa}).second)) {
+            if (Other.gateReadsOmega())
+              Sink.begin();
+            else
+              Sink.begin(ObKey{TagBackward, G, SubjectPa, OtherPa});
+            for (const InternedTransition &TS :
+                 Cache.get(SubjectAction, G, SubjectPa)) {
+              Sink.countObligation();
+              bool GateAfter =
+                  Other.gateReadsOmega()
+                      ? gateAt(Other, TS.Global, OtherPa,
+                               omegaAfter(Entries, SubjectPa, TS))
+                      : gateAt(Other, TS.Global, OtherPa, OmegaId);
+              if (GateAfter && !OtherGate)
+                Sink.fail("gate not backward-preserved: " +
+                          describePair(Arena, Cid, SubjectPa, OtherPa));
+            }
+          }
+
+          // (3) Commutation (Ω-independent: deduplicated across Ω's).
+          if (SubjectGate && OtherGate &&
+              CommuteDone.insert({G, SubjectPa, OtherPa}).second) {
+            Sink.begin(ObKey{TagCommute, G, SubjectPa, OtherPa});
+            if (LeftDirection) {
+              // other;subject must be reorderable to subject;other.
+              for (const InternedTransition &TO :
+                   Cache.get(Other, G, OtherPa)) {
+                for (const InternedTransition &TS :
+                     Cache.get(SubjectAction, TO.Global, SubjectPa)) {
+                  Sink.countObligation();
+                  bool Found = false;
+                  for (const InternedTransition &TS2 :
+                       Cache.get(SubjectAction, G, SubjectPa)) {
+                    if (TS2.CreatedSet != TS.CreatedSet)
+                      continue;
+                    if (hasTransition(Cache.get(Other, TS2.Global, OtherPa),
+                                      TS.Global, TO.CreatedSet)) {
+                      Found = true;
+                      break;
+                    }
+                  }
+                  if (!Found)
+                    Sink.fail("does not commute left: " +
+                              describePair(Arena, Cid, SubjectPa, OtherPa));
+                }
+              }
+            } else {
+              // subject;other must be reorderable to other;subject.
+              for (const InternedTransition &TS :
+                   Cache.get(SubjectAction, G, SubjectPa)) {
+                for (const InternedTransition &TO :
+                     Cache.get(Other, TS.Global, OtherPa)) {
+                  Sink.countObligation();
+                  bool Found = false;
+                  for (const InternedTransition &TO2 :
+                       Cache.get(Other, G, OtherPa)) {
+                    if (TO2.CreatedSet != TO.CreatedSet)
+                      continue;
+                    if (hasTransition(
+                            Cache.get(SubjectAction, TO2.Global, SubjectPa),
+                            TO.Global, TS.CreatedSet)) {
+                      Found = true;
+                      break;
+                    }
+                  }
+                  if (!Found)
+                    Sink.fail("does not commute right: " +
+                              describePair(Arena, Cid, SubjectPa, OtherPa));
+                }
+              }
+            }
+          }
+        });
+      }
+    });
+  }
+  return Group;
+}
+
 /// Interns a value-level universe into a fresh arena, preserving order
 /// and multiplicity (failure configurations are skipped, as before).
 StateSpace internUniverse(const std::vector<Configuration> &Universe) {
@@ -287,6 +487,28 @@ CheckResult isq::checkRightMover(Symbol Subject, const Action &RAction,
                                  const Program &P,
                                  const std::vector<Configuration> &Universe) {
   return checkRightMover(Subject, RAction, P, internUniverse(Universe));
+}
+
+ObligationScheduler::Group *
+isq::scheduleLeftMover(ObligationScheduler &Sched, ObCondition Cond,
+                       Symbol Subject, const Action &LAction, const Program &P,
+                       const StateSpace &Universe,
+                       InternedTransitionCache &Cache, GateCache &Gates,
+                       OmegaGateCache &OmegaGates) {
+  return scheduleMover(Sched, Cond, Subject, LAction, P, Universe,
+                       /*LeftDirection=*/true, /*RequireNonBlocking=*/true,
+                       Cache, Gates, OmegaGates);
+}
+
+ObligationScheduler::Group *
+isq::scheduleRightMover(ObligationScheduler &Sched, ObCondition Cond,
+                        Symbol Subject, const Action &RAction, const Program &P,
+                        const StateSpace &Universe,
+                        InternedTransitionCache &Cache, GateCache &Gates,
+                        OmegaGateCache &OmegaGates) {
+  return scheduleMover(Sched, Cond, Subject, RAction, P, Universe,
+                       /*LeftDirection=*/false, /*RequireNonBlocking=*/false,
+                       Cache, Gates, OmegaGates);
 }
 
 MoverType isq::classifyMover(Symbol Subject, const Program &P,

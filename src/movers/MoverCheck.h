@@ -63,6 +63,29 @@ CheckResult checkRightMover(Symbol Subject, const Action &RAction,
                             const Program &P,
                             const engine::StateSpace &Universe);
 
+/// Obligation-scheduler form of checkLeftMover: submits the same
+/// obligations as sliced jobs under \p Cond and returns the group handle;
+/// after Sched.run(), Sched.result(group) is bit-identical to the serial
+/// check for any thread count. \p LAction, \p P, \p Universe and the
+/// caches must outlive the run. The caches may be shared across groups —
+/// gates and transition relations are pure, so sharing only changes who
+/// computes an entry, never any obligation outcome.
+engine::ObligationScheduler::Group *
+scheduleLeftMover(engine::ObligationScheduler &Sched, engine::ObCondition Cond,
+                  Symbol Subject, const Action &LAction, const Program &P,
+                  const engine::StateSpace &Universe,
+                  engine::InternedTransitionCache &Cache,
+                  engine::GateCache &Gates, engine::OmegaGateCache &OmegaGates);
+
+/// Obligation-scheduler form of checkRightMover (see scheduleLeftMover).
+engine::ObligationScheduler::Group *
+scheduleRightMover(engine::ObligationScheduler &Sched, engine::ObCondition Cond,
+                   Symbol Subject, const Action &RAction, const Program &P,
+                   const engine::StateSpace &Universe,
+                   engine::InternedTransitionCache &Cache,
+                   engine::GateCache &Gates,
+                   engine::OmegaGateCache &OmegaGates);
+
 /// Classifies \p Subject (executed with its own program action) over
 /// \p Universe as Both/Left/Right/None by running both directed checks.
 MoverType classifyMover(Symbol Subject, const Program &P,

@@ -57,6 +57,13 @@ std::optional<PendingAsync> minRankPending(const PaMultiset &Omega,
 Action protocols::makeScheduleInvariant(const std::string &Name,
                                         const Program &P, Symbol M,
                                         RankFn Rank, size_t MaxNodes) {
+  // The schedule tree is enumerated with P's own transition relations, so
+  // the derived invariant may run from concurrent checker jobs exactly
+  // when every action of P may (e.g. compiled ASL modules). Distinct
+  // (store, args) points then expand their trees in parallel.
+  bool ThreadSafe = true;
+  for (Symbol A : P.actionNames())
+    ThreadSafe = ThreadSafe && P.action(A).transitionsThreadSafe();
   // Memoized per (store, args); the cache is shared by all copies of the
   // returned action (captured shared_ptr). Guarded by a mutex: the same
   // action instance may be enumerated from concurrent explorer workers
@@ -80,10 +87,17 @@ Action protocols::makeScheduleInvariant(const std::string &Name,
                                           const std::vector<Value> &Args) {
     Key K{G, Args};
     {
-      std::lock_guard<std::mutex> Lock(*CacheMutex);
-      auto It = Cache->find(K);
-      if (It != Cache->end())
-        return It->second;
+      // Map nodes are stable and values immutable once inserted, so the
+      // (potentially large) result copy happens outside the lock.
+      const std::vector<Transition> *Found = nullptr;
+      {
+        std::lock_guard<std::mutex> Lock(*CacheMutex);
+        auto It = Cache->find(K);
+        if (It != Cache->end())
+          Found = &It->second;
+      }
+      if (Found)
+        return *Found;
     }
 
     std::unordered_set<Node, NodeHash> Seen;
@@ -131,13 +145,18 @@ Action protocols::makeScheduleInvariant(const std::string &Name,
       }
     }
 
-    std::lock_guard<std::mutex> Lock(*CacheMutex);
-    Cache->emplace(std::move(K), Out);
-    return Out;
+    const std::vector<Transition> *Inserted;
+    {
+      std::lock_guard<std::mutex> Lock(*CacheMutex);
+      // A racing double-compute keeps the first result.
+      Inserted = &Cache->emplace(std::move(K), std::move(Out)).first->second;
+    }
+    return *Inserted;
   };
 
   return Action(Name, MAction.arity(), Action::alwaysEnabled(),
-                std::move(Transitions));
+                std::move(Transitions), /*GateReadsOmega=*/false,
+                ThreadSafe);
 }
 
 ChoiceFn protocols::chooseMinRank(RankFn Rank) {

@@ -138,6 +138,89 @@ CheckResult isq::checkActionRefinement(const Action &A1, const Action &A2,
   return Result;
 }
 
+ObligationScheduler::Group *
+isq::scheduleActionRefinement(ObligationScheduler &Sched, ObCondition Cond,
+                              const Action &A1, const Action &A2,
+                              const InternedContextUniverse &Universe,
+                              InternedTransitionCache &Cache, GateCache &Gates,
+                              OmegaGateCache &OmegaGates) {
+  assert(A1.arity() == A2.arity() && "refinement requires equal arity");
+  ObligationScheduler::Group *Group = Sched.group(Cond);
+  // Slice size is thread-count independent so unit/dedup statistics are
+  // identical for any --threads value, not just the verdicts.
+  constexpr size_t ChunkSize = 64;
+  // Dedup namespace of the condition-(2) simulation units.
+  constexpr uint32_t TagSim = 1;
+  // Jobs run after this function returns: capture the referents as
+  // pointers by value, never the reference parameters themselves.
+  const Action *A1P = &A1;
+  const Action *A2P = &A2;
+  const InternedContextUniverse *UniP = &Universe;
+  InternedTransitionCache *CacheP = &Cache;
+  GateCache *GatesP = &Gates;
+  OmegaGateCache *OmegaGatesP = &OmegaGates;
+  size_t N = Universe.Items.size();
+  for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
+    size_t End = std::min(N, Begin + ChunkSize);
+    Sched.add(Group, [=](ObSink &Sink) {
+      StateArena &Arena = *UniP->Arena;
+      std::unordered_set<uint64_t> SimulationDone;
+      // Gate results are pure functions of the interned point, so every
+      // evaluation goes through the shared caches: Ω-observing gates key
+      // on (store, args, Ω), Ω-independent ones on (store, args) alone.
+      auto gateAt = [&](const Action &A, const InternedActionContext &Ctx) {
+        return A.gateReadsOmega()
+                   ? OmegaGatesP->get(A, Ctx.Global, Ctx.ArgsPa, Ctx.Omega)
+                   : GatesP->get(A, Ctx.Global, Ctx.ArgsPa,
+                                 Arena.paSet(Ctx.Omega));
+      };
+      auto describe = [&](const InternedActionContext &Ctx) {
+        return describeContext({Arena.store(Ctx.Global),
+                                Arena.pa(Ctx.ArgsPa).Args,
+                                Arena.paSet(Ctx.Omega)});
+      };
+      for (size_t I = Begin; I < End; ++I) {
+        const InternedActionContext &Ctx = UniP->Items[I];
+        bool Gate2 = gateAt(*A2P, Ctx);
+        // (1) ρ2 ⊆ ρ1 — evaluated at every context, never deduplicated.
+        Sink.begin();
+        Sink.countObligation();
+        bool Gate1 = gateAt(*A1P, Ctx);
+        if (Gate2 && !Gate1)
+          Sink.fail("gate inclusion violated (ρ2 ⊄ ρ1) at " + describe(Ctx));
+        if (!Gate2)
+          continue; // (2) only constrains stores in ρ2
+        uint64_t Point = (static_cast<uint64_t>(Ctx.Global) << 32) | Ctx.ArgsPa;
+        if (!SimulationDone.insert(Point).second)
+          continue;
+        // (2) ρ2 ∘ τ1 ⊆ τ2 — one unit per (store, args) point; the
+        // reconciliation keeps the first gate-passing occurrence.
+        Sink.begin(ObKey{TagSim, Ctx.Global, Ctx.ArgsPa, 0});
+        const std::vector<InternedTransition> &Abstract =
+            CacheP->get(*A2P, Ctx.Global, Ctx.ArgsPa);
+        for (const InternedTransition &T :
+             CacheP->get(*A1P, Ctx.Global, Ctx.ArgsPa)) {
+          Sink.countObligation();
+          bool Found = false;
+          for (const InternedTransition &Candidate : Abstract)
+            if (Candidate.Global == T.Global &&
+                Candidate.CreatedSet == T.CreatedSet) {
+              Found = true;
+              break;
+            }
+          if (!Found)
+            Sink.fail("transition not simulated (ρ2 ∘ τ1 ⊄ τ2) at " +
+                      describe(Ctx) + " transition " +
+                      Transition(Arena.store(T.Global),
+                                 Arena.paSet(T.CreatedSet).flatten())
+                          .str());
+        }
+      }
+    });
+  }
+  return Group;
+}
+
 CheckResult isq::checkActionRefinement(const Action &A1, const Action &A2,
                                        const ContextUniverse &Universe) {
   // Intern the value-level contexts into a fresh arena. The carrier symbol

@@ -13,6 +13,8 @@
 #ifndef ISQ_REFINE_REFINEMENT_H
 #define ISQ_REFINE_REFINEMENT_H
 
+#include "engine/ActionCaches.h"
+#include "engine/ObligationScheduler.h"
 #include "explorer/Explorer.h"
 #include "semantics/Action.h"
 #include "semantics/Program.h"
@@ -34,6 +36,8 @@ public:
 
   /// Records one evaluated obligation.
   void countObligation() { ++NumObligations; }
+  /// Records \p N evaluated obligations at once (scheduler reconciliation).
+  void addObligations(size_t N) { NumObligations += N; }
   /// Records a failed obligation with a diagnostic.
   void fail(const std::string &Message);
   /// Merges \p Other into this result.
@@ -97,6 +101,22 @@ CheckResult checkActionRefinement(const Action &A1, const Action &A2,
 /// transition-set membership as integer compares.
 CheckResult checkActionRefinement(const Action &A1, const Action &A2,
                                   const InternedContextUniverse &Universe);
+
+/// Obligation-scheduler form: submits the same obligations as sliced jobs
+/// into \p Sched under \p Cond and returns the group handle; after
+/// Sched.run(), Sched.result(group) is bit-identical to the serial
+/// checkActionRefinement above for any thread count. \p A1, \p A2,
+/// \p Universe and the caches must outlive the run. The caches may be
+/// shared across groups — gates and transition relations are pure, so
+/// sharing only changes who computes an entry, never any outcome.
+engine::ObligationScheduler::Group *
+scheduleActionRefinement(engine::ObligationScheduler &Sched,
+                         engine::ObCondition Cond, const Action &A1,
+                         const Action &A2,
+                         const InternedContextUniverse &Universe,
+                         engine::InternedTransitionCache &Cache,
+                         engine::GateCache &Gates,
+                         engine::OmegaGateCache &OmegaGates);
 
 /// An initial condition for program-level checks: a global store plus
 /// arguments for Main.

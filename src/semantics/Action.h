@@ -76,14 +76,25 @@ public:
   /// deduplicate obligations across configurations sharing a store.
   /// Gates that DO read Ctx.Omega must pass true — the checkers would
   /// otherwise be unsound.
+  /// \p TransitionsThreadSafe declares that the transition enumerator may
+  /// be invoked from several threads concurrently (it is pure, or its
+  /// internal memoization is synchronized). Gates are always required to
+  /// be concurrently evaluable — the parallel engine evaluates them from
+  /// worker threads — but enumerators default to not-thread-safe and are
+  /// serialized behind the interned transition cache's compute mutex
+  /// unless this flag is set (see engine/ActionCaches.h).
   Action(const std::string &Name, size_t Arity, GateFn Gate,
-         TransitionsFn Transitions, bool GateReadsOmega = false)
+         TransitionsFn Transitions, bool GateReadsOmega = false,
+         bool TransitionsThreadSafe = false)
       : Name(Symbol::get(Name)), Arity(Arity), Gate(std::move(Gate)),
-        Transitions(std::move(Transitions)),
-        GateReadsOmega(GateReadsOmega) {}
+        Transitions(std::move(Transitions)), GateReadsOmega(GateReadsOmega),
+        TransitionsThreadSafe(TransitionsThreadSafe) {}
 
   /// Whether the gate may observe Ω.
   bool gateReadsOmega() const { return GateReadsOmega; }
+
+  /// Whether the transition enumerator may run concurrently.
+  bool transitionsThreadSafe() const { return TransitionsThreadSafe; }
 
   Symbol name() const { return Name; }
   size_t arity() const { return Arity; }
@@ -112,7 +123,8 @@ public:
   /// Returns a copy of this action registered under \p NewName. Used to
   /// substitute an invariant or sequentialized action for M in P[M ↦ a].
   Action withName(const std::string &NewName) const {
-    return Action(NewName, Arity, Gate, Transitions, GateReadsOmega);
+    return Action(NewName, Arity, Gate, Transitions, GateReadsOmega,
+                  TransitionsThreadSafe);
   }
 
 private:
@@ -121,6 +133,7 @@ private:
   GateFn Gate;
   TransitionsFn Transitions;
   bool GateReadsOmega = false;
+  bool TransitionsThreadSafe = false;
 };
 
 } // namespace isq

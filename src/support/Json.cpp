@@ -1,0 +1,152 @@
+//===- support/Json.cpp - Minimal JSON emission -------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace isq;
+using namespace isq::json;
+
+std::string json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::pre() {
+  if (PendingKey) {
+    PendingKey = false;
+    return; // the value belongs to the key just written
+  }
+  if (!HasSibling.empty()) {
+    if (HasSibling.back())
+      Out += ',';
+    HasSibling.back() = true;
+  }
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  pre();
+  Out += '{';
+  HasSibling.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!HasSibling.empty() && "endObject without beginObject");
+  HasSibling.pop_back();
+  Out += '}';
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  pre();
+  Out += '[';
+  HasSibling.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!HasSibling.empty() && "endArray without beginArray");
+  HasSibling.pop_back();
+  Out += ']';
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(const std::string &Name) {
+  pre();
+  Out += '"';
+  Out += escape(Name);
+  Out += "\":";
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const std::string &S) {
+  pre();
+  Out += '"';
+  Out += escape(S);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const char *S) {
+  return value(std::string(S));
+}
+
+JsonWriter &JsonWriter::value(int64_t N) {
+  pre();
+  Out += std::to_string(N);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t N) {
+  pre();
+  Out += std::to_string(N);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double D) {
+  pre();
+  if (!std::isfinite(D)) {
+    Out += "null"; // JSON has no NaN/Inf literals
+    return *this;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", D);
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool B) {
+  pre();
+  Out += B ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  pre();
+  Out += "null";
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  assert(HasSibling.empty() && "unbalanced JSON document");
+  assert(!PendingKey && "key without value");
+  return std::move(Out);
+}

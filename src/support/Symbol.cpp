@@ -25,14 +25,31 @@ SymbolTable &table() {
 } // namespace
 
 Symbol Symbol::get(const std::string &Name) {
+  // Hot path: a per-thread memo of resolved names. The compiled-ASL
+  // evaluator resolves variable and action names on every expression
+  // evaluation, so concurrent checker jobs would otherwise serialize on
+  // the table mutex. Symbols are immortal, so cached entries never
+  // invalidate; the global table is only consulted on a thread's first
+  // sighting of a name.
+  thread_local std::unordered_map<std::string, uint32_t> Resolved;
+  auto Cached = Resolved.find(Name);
+  if (Cached != Resolved.end())
+    return Symbol(Cached->second);
+
   SymbolTable &T = table();
-  std::lock_guard<std::mutex> Lock(T.M);
-  auto It = T.Indices.find(Name);
-  if (It != T.Indices.end())
-    return Symbol(It->second);
-  uint32_t Index = static_cast<uint32_t>(T.Names.size());
-  T.Names.push_back(Name);
-  T.Indices.emplace(Name, Index);
+  uint32_t Index;
+  {
+    std::lock_guard<std::mutex> Lock(T.M);
+    auto It = T.Indices.find(Name);
+    if (It != T.Indices.end()) {
+      Index = It->second;
+    } else {
+      Index = static_cast<uint32_t>(T.Names.size());
+      T.Names.push_back(Name);
+      T.Indices.emplace(Name, Index);
+    }
+  }
+  Resolved.emplace(Name, Index);
   return Symbol(Index);
 }
 

@@ -1,0 +1,276 @@
+//===- tests/cli_test.cpp - CLI parsing and verdict report tests -------------------===//
+///
+/// \file
+/// Unit tests for the isq-verify command-line surface and the versioned
+/// verdict API: std::from_chars argument validation, exit-code semantics,
+/// driver-input diagnostics, JSON/text rendering, and the golden
+/// schema-versioned JSON reports (set ISQ_UPDATE_GOLDEN=1 to regenerate).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CliOptions.h"
+#include "driver/ReportRender.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+using namespace isq;
+using namespace isq::driver;
+
+namespace {
+
+CliParse parse(std::initializer_list<const char *> Args) {
+  return parseCommandLine(std::vector<std::string>(Args.begin(), Args.end()));
+}
+
+void expectError(std::initializer_list<const char *> Args,
+                 const std::string &Substring) {
+  CliParse P = parse(Args);
+  EXPECT_FALSE(P.Ok);
+  EXPECT_NE(P.Error.find(Substring), std::string::npos)
+      << "error was: " << P.Error;
+}
+
+std::string readExampleAsl(const std::string &Name) {
+  std::ifstream In(std::string(ISQ_SOURCE_DIR) + "/examples/asl/" + Name);
+  EXPECT_TRUE(In.good()) << "missing example file " << Name;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// Zeroes every timing field so the JSON compares reproducibly; all other
+/// fields are deterministic at --threads 1.
+std::string scrubTimings(const std::string &Json) {
+  static const std::regex Seconds("(\"[a-z_]*seconds\":)[0-9.]+");
+  return std::regex_replace(Json, Seconds, "$010");
+}
+
+/// Compares \p Rendered (scrubbed) against tests/golden/\p Name, or
+/// rewrites the golden file when ISQ_UPDATE_GOLDEN is set.
+void expectMatchesGolden(const std::string &Rendered,
+                         const std::string &Name) {
+  std::string Path = std::string(ISQ_SOURCE_DIR) + "/tests/golden/" + Name;
+  std::string Scrubbed = scrubTimings(Rendered);
+  if (std::getenv("ISQ_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path);
+    Out << Scrubbed;
+    return;
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "missing golden file " << Path
+                         << " (regenerate with ISQ_UPDATE_GOLDEN=1)";
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  EXPECT_EQ(Scrubbed, Buffer.str()) << "golden mismatch for " << Name;
+}
+
+} // namespace
+
+// --- Argument parsing ----------------------------------------------------
+
+TEST(CliTest, ParsesFullCommandLine) {
+  CliParse P = parse({"paxos.asl", "--const", "R=2", "--const", "N=3",
+                      "--arg-major", "--eliminate", "StartRound,Join",
+                      "--abstract", "Join=JoinAbs", "--weight",
+                      "StartRound=9", "--rewrite", "Main", "--threads", "4",
+                      "--no-cross-check", "--no-parallel-check", "--format",
+                      "json"});
+  ASSERT_TRUE(P.Ok) << P.Error;
+  const CliOptions &O = P.Options;
+  EXPECT_EQ(O.InputPath, "paxos.asl");
+  EXPECT_EQ(O.Format, OutputFormat::Json);
+  EXPECT_FALSE(O.ShowHelp);
+  EXPECT_EQ(O.Verify.Consts.at("R"), 2);
+  EXPECT_EQ(O.Verify.Consts.at("N"), 3);
+  EXPECT_EQ(O.Verify.Order, VerifyOptions::RankOrder::ArgMajor);
+  ASSERT_EQ(O.Verify.Eliminate.size(), 2u);
+  EXPECT_EQ(O.Verify.Eliminate[0], "StartRound");
+  EXPECT_EQ(O.Verify.Eliminate[1], "Join");
+  EXPECT_EQ(O.Verify.Abstractions.at("Join"), "JoinAbs");
+  EXPECT_EQ(O.Verify.Weights.at("StartRound"), 9u);
+  EXPECT_EQ(O.Verify.RewriteAction, "Main");
+  EXPECT_EQ(O.Verify.NumThreads, 4u);
+  EXPECT_FALSE(O.Verify.CrossCheck);
+  EXPECT_FALSE(O.Verify.ParallelCheck);
+}
+
+TEST(CliTest, DefaultsAreTextSerialExplorationParallelCheck) {
+  CliParse P = parse({"x.asl", "--eliminate", "A"});
+  ASSERT_TRUE(P.Ok);
+  EXPECT_EQ(P.Options.Format, OutputFormat::Text);
+  EXPECT_EQ(P.Options.Verify.NumThreads, 1u);
+  EXPECT_TRUE(P.Options.Verify.ParallelCheck);
+  EXPECT_TRUE(P.Options.Verify.CrossCheck);
+}
+
+TEST(CliTest, HelpShortCircuits) {
+  for (const char *Flag : {"--help", "-h"}) {
+    CliParse P = parse({Flag});
+    EXPECT_TRUE(P.Ok);
+    EXPECT_TRUE(P.Options.ShowHelp);
+  }
+  std::string Usage = usageText();
+  // The documented exit codes are part of the API surface.
+  EXPECT_NE(Usage.find("0  proof accepted"), std::string::npos);
+  EXPECT_NE(Usage.find("1  proof rejected"), std::string::npos);
+  EXPECT_NE(Usage.find("2  usage, compilation, or input error"),
+            std::string::npos);
+}
+
+TEST(CliTest, RejectsMalformedNumbers) {
+  // std::from_chars semantics: no silent zeroes, no trailing junk.
+  expectError({"x.asl", "--const", "n=abc"}, "expects an integer");
+  expectError({"x.asl", "--const", "n=3x"}, "expects an integer");
+  expectError({"x.asl", "--const", "n="}, "NAME=VALUE");
+  expectError({"x.asl", "--const", "=3"}, "NAME=VALUE");
+  expectError({"x.asl", "--weight", "A=-1"}, "non-negative integer");
+  expectError({"x.asl", "--weight", "A=1.5"}, "non-negative integer");
+  expectError({"x.asl", "--threads", "0"}, "positive integer");
+  expectError({"x.asl", "--threads", "two"}, "positive integer");
+  expectError({"x.asl", "--threads", "99999999999999999999"},
+              "positive integer");
+}
+
+TEST(CliTest, RejectsUsageErrors) {
+  expectError({"x.asl", "--format", "xml"}, "expects 'text' or 'json'");
+  expectError({"x.asl", "--format"}, "--format needs a value");
+  expectError({"x.asl", "--eliminate"}, "--eliminate needs a value");
+  expectError({"x.asl", "--wibble"}, "unknown option");
+  expectError({"x.asl", "y.asl"}, "multiple input files");
+  expectError({"--eliminate", "A"}, "no input file given");
+  expectError({}, "no input file given");
+}
+
+// --- Exit codes and input validation -------------------------------------
+
+TEST(CliTest, ExitCodeSemantics) {
+  VerifyResult R;
+  EXPECT_EQ(R.exitCode(), 2); // compile failed
+  R.CompileOk = true;
+  EXPECT_EQ(R.exitCode(), 2); // input invalid
+  R.InputOk = true;
+  EXPECT_EQ(R.exitCode(), 1); // proof rejected
+  R.Accepted = true;
+  EXPECT_EQ(R.exitCode(), 0); // proof accepted
+}
+
+TEST(CliTest, InputValidationCollectsEveryDiagnostic) {
+  VerifyOptions Options;
+  Options.Source = "action Main() { skip; }\naction A() { skip; }";
+  Options.Eliminate = {"A", "A", "Nope"};
+  Options.Abstractions = {{"Main", "Ghost"}};
+  Options.Weights = {{"Missing", 2}};
+  VerifyResult Result = verifyModule(Options);
+  EXPECT_TRUE(Result.CompileOk);
+  EXPECT_FALSE(Result.InputOk);
+  EXPECT_EQ(Result.exitCode(), 2);
+  auto Has = [&](const std::string &S) {
+    for (const asl::Diagnostic &D : Result.Diags)
+      if (D.Message.find(S) != std::string::npos)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(Has("eliminated action 'A' listed more than once"));
+  EXPECT_TRUE(Has("eliminated action 'Nope' is not declared"));
+  EXPECT_TRUE(Has("abstraction given for 'Main', which is not eliminated"));
+  EXPECT_TRUE(Has("abstraction action 'Ghost' is not declared"));
+  EXPECT_TRUE(Has("weight given for 'Missing', which is not declared"));
+  // Text rendering surfaces them all as error lines.
+  EXPECT_NE(Result.Summary.find("error: eliminated action 'A'"),
+            std::string::npos);
+}
+
+TEST(CliTest, EmptyEliminationIsInputError) {
+  VerifyOptions Options;
+  Options.Source = "action Main() { skip; }";
+  VerifyResult Result = verifyModule(Options);
+  EXPECT_TRUE(Result.CompileOk);
+  EXPECT_FALSE(Result.InputOk);
+  EXPECT_NE(Result.Summary.find("no eliminated actions given"),
+            std::string::npos);
+}
+
+TEST(CliTest, AbstractionArityMismatchDiagnosed) {
+  VerifyOptions Options;
+  Options.Source =
+      "action Main() { async A(1); }\n"
+      "action A(i: int) { skip; }\n"
+      "action AbsWrong() { skip; }";
+  Options.Eliminate = {"A"};
+  Options.Abstractions = {{"A", "AbsWrong"}};
+  VerifyResult Result = verifyModule(Options);
+  EXPECT_TRUE(Result.CompileOk);
+  EXPECT_FALSE(Result.InputOk);
+  EXPECT_NE(Result.Summary.find("different arity"), std::string::npos);
+}
+
+// --- Renderers ------------------------------------------------------------
+
+TEST(CliTest, JsonWriterEscapesAndNests) {
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("s").value(std::string("a\"b\\c\n\x01"));
+  W.key("xs").beginArray().value(1).value(false).null().endArray();
+  W.key("o").beginObject().key("d").value(0.5).endObject();
+  W.endObject();
+  EXPECT_EQ(W.take(), "{\"s\":\"a\\\"b\\\\c\\n\\u0001\","
+                      "\"xs\":[1,false,null],"
+                      "\"o\":{\"d\":0.500000}}");
+}
+
+TEST(CliTest, TextReportIsPureFunctionOfResult) {
+  VerifyOptions Options;
+  Options.Source = readExampleAsl("broadcast.asl");
+  Options.Consts = {{"n", 2}};
+  Options.Eliminate = {"Broadcast", "Collect"};
+  Options.Abstractions = {{"Collect", "CollectAbs"}};
+  VerifyResult Result = verifyModule(Options);
+  ASSERT_TRUE(Result.Accepted) << Result.Summary;
+  EXPECT_EQ(Result.Summary, renderText(Result));
+  EXPECT_NE(Result.Summary.find("checker:"), std::string::npos);
+  // The serial oracle renders without the scheduler line.
+  Options.ParallelCheck = false;
+  VerifyResult Serial = verifyModule(Options);
+  EXPECT_TRUE(Serial.Accepted);
+  EXPECT_EQ(Serial.Summary.find("checker:"), std::string::npos);
+}
+
+TEST(CliTest, GoldenJsonAccepted) {
+  VerifyOptions Options;
+  Options.Source = readExampleAsl("broadcast.asl");
+  Options.Consts = {{"n", 2}};
+  Options.Eliminate = {"Broadcast", "Collect"};
+  Options.Abstractions = {{"Collect", "CollectAbs"}};
+  VerifyResult Result = verifyModule(Options);
+  ASSERT_TRUE(Result.Accepted) << Result.Summary;
+  EXPECT_EQ(Result.exitCode(), 0);
+  expectMatchesGolden(renderJson(Result), "broadcast_accepted.json");
+}
+
+TEST(CliTest, GoldenJsonRejected) {
+  // Without the Fig. 1-④ abstraction, Collect is not a left mover: the
+  // rejecting report carries the (LM) failure diagnostics.
+  VerifyOptions Options;
+  Options.Source = readExampleAsl("broadcast.asl");
+  Options.Consts = {{"n", 2}};
+  Options.Eliminate = {"Broadcast", "Collect"};
+  VerifyResult Result = verifyModule(Options);
+  EXPECT_FALSE(Result.Accepted);
+  EXPECT_EQ(Result.exitCode(), 1);
+  expectMatchesGolden(renderJson(Result), "broadcast_rejected.json");
+}
+
+TEST(CliTest, GoldenJsonInputError) {
+  VerifyOptions Options;
+  Options.Source = "action Main() { skip; }";
+  Options.Eliminate = {"Main", "Main"};
+  VerifyResult Result = verifyModule(Options);
+  EXPECT_EQ(Result.exitCode(), 2);
+  expectMatchesGolden(renderJson(Result), "input_error.json");
+}

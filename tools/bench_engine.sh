@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Runs the engine-vs-seed exploration benchmarks (bench_statespace.cpp,
-# BM_Engine*) and writes BENCH_engine.json, then prints the speedup of the
-# hash-consed engine (serial and 4-thread) over the seed value-level BFS
-# for each instance.
+# BM_Engine*) and the checker-phase benchmarks (bench_verify.cpp,
+# BM_Checker*), merges both into BENCH_engine.json, then prints
+#  - the speedup of the hash-consed engine (serial and 4-thread) over the
+#    seed value-level BFS for each instance, and
+#  - the speedup of the obligation scheduler (1 and 4 workers) over the
+#    serial reference checker loops for each isq-verify instance.
 #
 # Usage: tools/bench_engine.sh [BUILD_DIR] [OUT_JSON]
 
@@ -13,26 +16,47 @@ OUT="${2:-BENCH_engine.json}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-cmake --build "$BUILD" -j --target bench_statespace
+cmake --build "$BUILD" -j --target bench_statespace bench_verify
+
+TMP_ENGINE="$(mktemp)"
+TMP_CHECKER="$(mktemp)"
+trap 'rm -f "$TMP_ENGINE" "$TMP_CHECKER"' EXIT
 
 "$BUILD/bench/bench_statespace" \
   --benchmark_filter='BM_Engine' \
-  --benchmark_out="$OUT" \
+  --benchmark_out="$TMP_ENGINE" \
   --benchmark_out_format=json \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true
 
-python3 - "$OUT" <<'EOF'
+# The Paxos N=3 checker rows run ~1 min per mode; one repetition each.
+"$BUILD/bench/bench_verify" \
+  --benchmark_filter='BM_Checker' \
+  --benchmark_out="$TMP_CHECKER" \
+  --benchmark_out_format=json
+
+python3 - "$TMP_ENGINE" "$TMP_CHECKER" "$OUT" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
-    report = json.load(f)
+    engine = json.load(f)
+with open(sys.argv[2]) as f:
+    checker = json.load(f)
 
-# Median real time per (benchmark family, mode). The mode is the last
-# /-separated argument: 0 = seed BFS, N >= 1 = engine with N threads.
+# One merged document: shared context, both benchmark families.
+merged = {"context": engine["context"],
+          "benchmarks": engine["benchmarks"] + checker["benchmarks"]}
+with open(sys.argv[3], "w") as f:
+    json.dump(merged, f, indent=1)
+
+# Median real time (aggregated families) or single-run real time per
+# (benchmark family, mode). The mode is the last /-separated argument:
+# 0 = serial baseline (seed BFS / serial checker loops), N >= 1 = the
+# parallel engine/scheduler with N threads.
 times = {}
-for b in report["benchmarks"]:
-    if b.get("aggregate_name") != "median":
+for b in merged["benchmarks"]:
+    agg = b.get("aggregate_name")
+    if agg is not None and agg != "median":
         continue
     name = b["run_name"]
     family, *args = name.split("/")
@@ -40,20 +64,28 @@ for b in report["benchmarks"]:
     key = (family, "/".join(args[:-1]))
     times.setdefault(key, {})[mode] = b["real_time"]
 
-print()
-print(f"{'instance':<34} {'seed_ms':>10} {'engine_ms':>10} {'x1':>6} "
-      f"{'engine4_ms':>11} {'x4':>6}")
-for (family, inst), by_mode in sorted(times.items()):
-    seed = by_mode.get(0)
-    if seed is None:
-        continue
-    row = f"{family}/{inst:<12}".ljust(34)
-    row += f" {seed:>10.2f}"
-    e1 = by_mode.get(1)
-    row += f" {e1:>10.2f} {seed / e1:>5.2f}x" if e1 else " " * 18
-    e4 = by_mode.get(4)
-    row += f" {e4:>11.2f} {seed / e4:>5.2f}x" if e4 else ""
-    print(row)
+def table(title, rows):
+    print()
+    print(title)
+    print(f"{'instance':<34} {'serial_ms':>10} {'x1_ms':>10} {'x1':>6} "
+          f"{'x4_ms':>11} {'x4':>6}")
+    for (family, inst), by_mode in rows:
+        serial = by_mode.get(0)
+        if serial is None:
+            continue
+        row = f"{family}/{inst:<12}".ljust(34)
+        row += f" {serial:>10.2f}"
+        e1 = by_mode.get(1)
+        row += f" {e1:>10.2f} {serial / e1:>5.2f}x" if e1 else " " * 18
+        e4 = by_mode.get(4)
+        row += f" {e4:>11.2f} {serial / e4:>5.2f}x" if e4 else ""
+        print(row)
+
+table("exploration: seed value-level BFS vs hash-consed engine",
+      sorted(i for i in times.items() if i[0][0].startswith("BM_Engine")))
+table("checking: serial loops vs obligation scheduler "
+      "(end-to-end isq-verify, cross-check off)",
+      sorted(i for i in times.items() if i[0][0].startswith("BM_Checker")))
 print()
 EOF
 

@@ -1,14 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: build and test the normal configuration, then the
-# sanitized (address + undefined) configuration. Both must pass.
+# sanitized (address + undefined) configuration; verify every shipped
+# example end-to-end in both report formats (with a JSON schema sanity
+# check); finally run the threaded engine + obligation-scheduler tests
+# under ThreadSanitizer. All stages must pass.
 #
 # Usage: tools/ci.sh [JOBS]
-#
-# A thread-sanitized configuration for the parallel explorer is available
-# separately via -DISQ_SANITIZE=thread (slow; run locally when touching
-# the engine):
-#   cmake -B build-tsan -S . -DISQ_SANITIZE=thread
-#   cmake --build build-tsan -j && (cd build-tsan && ctest -R Engine)
 
 set -euo pipefail
 
@@ -26,7 +23,61 @@ run_config() {
   (cd "$dir" && ctest -j "$JOBS" --output-on-failure)
 }
 
+# Runs isq-verify over one example in text and JSON format; the example
+# header documents its own invocation ("Verify with:"), so CI follows the
+# same command users see, plus --threads 2 to exercise the parallel
+# scheduler. The JSON report must parse and match the v1 schema.
+verify_example() {
+  local bin="$1" file="$2" flags
+  flags=$(awk '
+    /isq-verify/ { on = 1 }
+    on {
+      line = $0
+      sub(/^\/\/ */, "", line); sub(/\\$/, "", line)
+      printf "%s ", line
+      if ($0 !~ /\\$/) exit
+    }' "$file" | sed 's/^isq-verify  *[^ ]*\.asl //')
+  echo "==== isq-verify $file ===="
+  # shellcheck disable=SC2086
+  "$bin" "$file" $flags --threads 2 >/dev/null
+  # shellcheck disable=SC2086
+  "$bin" "$file" $flags --threads 2 --format json |
+    python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["schema_version"] == 1, doc["schema_version"]
+assert doc["tool"] == "isq-verify"
+assert doc["exit_code"] == 0 and doc["accepted"] is True
+names = [c["name"] for c in doc["conditions"]]
+assert names == ["side_conditions", "abstraction_refinement", "base_case",
+                 "conclusion", "inductive_step", "left_movers",
+                 "cooperation"], names
+assert all(c["ok"] and c["failures"] == 0 for c in doc["conditions"])
+assert all(c["obligations"] > 0 for c in doc["conditions"])
+assert doc["cross_check"]["ran"] and doc["cross_check"]["ok"]
+assert doc["scheduler"]["threads"] == 2 and doc["scheduler"]["jobs"] > 0
+for key in ("engine", "diagnostics", "total_seconds"):
+    assert key in doc, key
+print("  json ok")
+'
+}
+
 run_config build
 run_config build-asan -DISQ_SANITIZE=ON
+
+echo "==== verify shipped examples (text + json) ===="
+for f in examples/asl/*.asl; do
+  verify_example build/tools/isq-verify "$f"
+done
+
+echo "==== TSan: threaded engine + obligation scheduler ===="
+cmake -B build-tsan -S . -DISQ_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target engine_test scheduler_test \
+  cli_test isq-verify
+(cd build-tsan && ctest -j "$JOBS" --output-on-failure \
+  -R 'Engine|Scheduler|Cli')
+build-tsan/tools/isq-verify examples/asl/broadcast.asl --const n=3 \
+  --eliminate Broadcast,Collect --abstract Collect=CollectAbs \
+  --threads 4 >/dev/null
 
 echo "==== CI OK ===="

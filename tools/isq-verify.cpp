@@ -2,165 +2,54 @@
 ///
 /// \file
 /// The push-button command-line verifier: compile an ASL protocol, derive
-/// the IS artifacts from a declared sequentialization order, and report
-/// the per-condition verdict.
+/// the IS artifacts from a declared sequentialization order, discharge
+/// the IS conditions (on the obligation scheduler by default), and
+/// report the per-condition verdict as text or schema-versioned JSON.
 ///
-/// Usage:
-///   isq-verify FILE.asl --eliminate A,B,C [options]
-///
-/// Options:
-///   --const NAME=VALUE        bind a module constant (repeatable)
-///   --eliminate A,B,C         eliminated actions in schedule order
-///   --rewrite NAME            the action to rewrite (default: Main)
-///   --abstract ACTION=ABS     use module action ABS as α(ACTION)
-///   --weight ACTION=K         cooperation weight (default 1)
-///   --threads N               explorer worker threads (default 1);
-///                             verdicts are identical for any N
-///   --no-cross-check          skip exploring P' / empirical refinement
+/// This file is glue only: argument parsing lives in driver/CliOptions.h
+/// and report rendering in driver/ReportRender.h, both unit-tested in
+/// the library. See `isq-verify --help` for the option reference and the
+/// documented exit codes (0 accepted, 1 rejected, 2 usage/compile/input
+/// error).
 ///
 //===----------------------------------------------------------------------===//
 
-#include "driver/VerifyDriver.h"
+#include "driver/CliOptions.h"
+#include "driver/ReportRender.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
 using namespace isq;
 using namespace isq::driver;
 
-namespace {
-
-void printUsage() {
-  std::fprintf(
-      stderr,
-      "usage: isq-verify FILE.asl --eliminate A,B,C [--const n=3]\n"
-      "                  [--rewrite Main] [--abstract Action=Abs]\n"
-      "                  [--weight Action=2] [--arg-major]\n"
-      "                  [--threads N] [--no-cross-check]\n");
-}
-
-std::vector<std::string> splitList(const std::string &S) {
-  std::vector<std::string> Out;
-  std::stringstream Stream(S);
-  std::string Item;
-  while (std::getline(Stream, Item, ','))
-    if (!Item.empty())
-      Out.push_back(Item);
-  return Out;
-}
-
-bool splitKeyValue(const std::string &S, std::string &Key,
-                   std::string &Value) {
-  size_t Eq = S.find('=');
-  if (Eq == std::string::npos || Eq == 0 || Eq + 1 == S.size())
-    return false;
-  Key = S.substr(0, Eq);
-  Value = S.substr(Eq + 1);
-  return true;
-}
-
-} // namespace
-
 int main(int argc, char **argv) {
-  VerifyOptions Options;
-  std::string Path;
-
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    auto NeedValue = [&]() -> const char * {
-      if (I + 1 >= argc) {
-        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
-        return nullptr;
-      }
-      return argv[++I];
-    };
-    if (Arg == "--help" || Arg == "-h") {
-      printUsage();
-      return 0;
-    }
-    if (Arg == "--no-cross-check") {
-      Options.CrossCheck = false;
-      continue;
-    }
-    if (Arg == "--arg-major") {
-      Options.Order = VerifyOptions::RankOrder::ArgMajor;
-      continue;
-    }
-    if (Arg == "--eliminate") {
-      const char *V = NeedValue();
-      if (!V)
-        return 2;
-      Options.Eliminate = splitList(V);
-      continue;
-    }
-    if (Arg == "--rewrite") {
-      const char *V = NeedValue();
-      if (!V)
-        return 2;
-      Options.RewriteAction = V;
-      continue;
-    }
-    if (Arg == "--threads") {
-      const char *V = NeedValue();
-      if (!V)
-        return 2;
-      long N = std::atol(V);
-      if (N < 1) {
-        std::fprintf(stderr, "error: --threads expects a positive count\n");
-        return 2;
-      }
-      Options.NumThreads = static_cast<unsigned>(N);
-      continue;
-    }
-    if (Arg == "--const" || Arg == "--abstract" || Arg == "--weight") {
-      const char *V = NeedValue();
-      if (!V)
-        return 2;
-      std::string Key, Value;
-      if (!splitKeyValue(V, Key, Value)) {
-        std::fprintf(stderr, "error: %s expects NAME=VALUE, got '%s'\n",
-                     Arg.c_str(), V);
-        return 2;
-      }
-      if (Arg == "--const")
-        Options.Consts[Key] = std::atoll(Value.c_str());
-      else if (Arg == "--abstract")
-        Options.Abstractions[Key] = Value;
-      else
-        Options.Weights[Key] =
-            static_cast<uint64_t>(std::atoll(Value.c_str()));
-      continue;
-    }
-    if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
-      printUsage();
-      return 2;
-    }
-    if (!Path.empty()) {
-      std::fprintf(stderr, "error: multiple input files\n");
-      return 2;
-    }
-    Path = Arg;
-  }
-
-  if (Path.empty()) {
-    printUsage();
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  CliParse Parse = parseCommandLine(Args);
+  if (!Parse.Ok) {
+    std::fprintf(stderr, "error: %s\n%s", Parse.Error.c_str(), usageText());
     return 2;
   }
-  std::ifstream In(Path);
+  if (Parse.Options.ShowHelp) {
+    std::fprintf(stdout, "%s", usageText());
+    return 0;
+  }
+
+  std::ifstream In(Parse.Options.InputPath);
   if (!In) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    std::fprintf(stderr, "error: cannot open '%s'\n",
+                 Parse.Options.InputPath.c_str());
     return 2;
   }
   std::stringstream Buffer;
   Buffer << In.rdbuf();
-  Options.Source = Buffer.str();
+  Parse.Options.Verify.Source = Buffer.str();
 
-  VerifyResult Result = verifyModule(Options);
-  std::printf("%s", Result.Summary.c_str());
-  if (!Result.CompileOk)
-    return 2;
-  return Result.Accepted ? 0 : 1;
+  VerifyResult Result = verifyModule(Parse.Options.Verify);
+  std::string Report = Parse.Options.Format == OutputFormat::Json
+                           ? renderJson(Result)
+                           : renderText(Result);
+  std::printf("%s", Report.c_str());
+  return Result.exitCode();
 }
