@@ -109,6 +109,10 @@ BENCHMARK(BM_Paxos)
 void reportEngineExplore(benchmark::State &State, const Program &P,
                          const Store &Init, int64_t Mode) {
   ExploreOptions Opts;
+  // The legacy BFS is always unreduced; keep the engine on the same state
+  // space so the speedup isolates hash-consing and parallelism. Symmetry
+  // reduction is measured separately by BM_Symmetry*.
+  Opts.Symmetry = false;
   if (Mode >= 1)
     Opts.NumThreads = static_cast<unsigned>(Mode);
   size_t Configs = 0, Transitions = 0;
@@ -150,6 +154,53 @@ BENCHMARK(BM_EngineTwoPhaseCommit)
     ->Args({4, 0})
     ->Args({4, 1})
     ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===//
+// Symmetry reduction: unreduced engine vs the orbit-canonical quotient on
+// the protocols that declare a symmetric node sort. Mode 0 = unreduced,
+// Mode 1 = reduced (both serial, so the ratio isolates the reduction).
+// Consumed by tools/bench_engine.sh.
+//===----------------------------------------------------------------------===//
+
+void reportSymmetryExplore(benchmark::State &State, const Program &P,
+                           const Store &Init, int64_t Mode) {
+  ExploreOptions Opts;
+  Opts.Symmetry = Mode == 1;
+  size_t Configs = 0, Interned = 0, OrbitStates = 0;
+  for (auto _ : State) {
+    ExploreResult R = exploreAll(P, {initialConfiguration(Init)}, Opts);
+    Configs = R.Stats.NumConfigurations;
+    Interned = R.Engine.InternedConfigs;
+    OrbitStates = R.Engine.OrbitStatesRepresented;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["configs"] = static_cast<double>(Configs);
+  State.counters["interned_configs"] = static_cast<double>(Interned);
+  State.counters["orbit_states"] = static_cast<double>(OrbitStates);
+}
+
+void BM_SymmetryPaxos(benchmark::State &State) {
+  PaxosParams Params{State.range(0), State.range(1)};
+  reportSymmetryExplore(State, makePaxosProgram(Params),
+                        makePaxosInitialStore(Params), State.range(2));
+}
+BENCHMARK(BM_SymmetryPaxos)
+    ->Args({2, 3, 0}) // unreduced
+    ->Args({2, 3, 1}) // orbit-canonical quotient
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SymmetryTwoPhaseCommit(benchmark::State &State) {
+  TwoPhaseCommitParams Params{State.range(0)};
+  reportSymmetryExplore(State, makeTwoPhaseCommitProgram(Params),
+                        makeTwoPhaseCommitInitialStore(Params),
+                        State.range(1));
+}
+BENCHMARK(BM_SymmetryTwoPhaseCommit)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({5, 0}) // 5! = 120 permutations: the quotient must still win
+    ->Args({5, 1})
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

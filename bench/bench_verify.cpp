@@ -68,8 +68,9 @@ void reportVerify(benchmark::State &State, VerifyOptions Options,
 }
 
 /// Paxos with 2 rounds over N acceptors (N = 3 is the paper-scale
-/// instance; its universe has ~485k configurations and ~4.3M serial
-/// obligations).
+/// instance; unreduced its universe has ~485k configurations and ~4.3M
+/// serial obligations — symmetry reduction, on by default, shrinks both;
+/// see BM_VerifySymmetry* for the on/off differential).
 void BM_CheckerPaxos(benchmark::State &State) {
   int64_t N = State.range(0);
   VerifyOptions Options;
@@ -98,6 +99,67 @@ BENCHMARK(BM_CheckerPaxos)
     ->Args({3, 0})
     ->Args({3, 1})
     ->Args({3, 4})
+    ->Unit(benchmark::kMillisecond);
+
+/// End-to-end isq-verify wall-clock with and without symmetry reduction on
+/// the symmetric modules. Mode 0 = --no-symmetry, Mode 1 = reduced; both
+/// use the scheduler with one worker so the ratio isolates the quotient.
+void reportVerifySymmetry(benchmark::State &State, VerifyOptions Options,
+                          int64_t Mode) {
+  Options.Symmetry = Mode == 1;
+  Options.NumThreads = 1;
+  size_t Configs = 0, Interned = 0;
+  for (auto _ : State) {
+    VerifyResult R = verifyModule(Options);
+    if (!R.Accepted) {
+      State.SkipWithError("proof unexpectedly rejected");
+      return;
+    }
+    Configs = R.Engine.NumConfigurations;
+    Interned = R.Engine.InternedConfigs;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["configs"] = static_cast<double>(Configs);
+  State.counters["interned_configs"] = static_cast<double>(Interned);
+}
+
+void BM_VerifySymmetryPaxos(benchmark::State &State) {
+  int64_t N = State.range(0);
+  VerifyOptions Options;
+  Options.Source = readExampleAsl("paxos.asl");
+  Options.Consts = {{"R", 2}, {"N", N}};
+  Options.Order = VerifyOptions::RankOrder::ArgMajor;
+  Options.Eliminate = {"StartRound", "Join", "Propose", "Vote", "Conclude"};
+  Options.Abstractions = {{"Join", "JoinAbs"},
+                          {"Propose", "ProposeAbs"},
+                          {"Vote", "VoteAbs"},
+                          {"Conclude", "ConcludeAbs"}};
+  Options.Weights = N >= 3
+                        ? std::map<std::string, uint64_t>{{"StartRound", 11},
+                                                          {"Propose", 6},
+                                                          {"Conclude", 2}}
+                        : std::map<std::string, uint64_t>{{"StartRound", 9},
+                                                          {"Propose", 5},
+                                                          {"Conclude", 2}};
+  reportVerifySymmetry(State, std::move(Options), State.range(1));
+}
+BENCHMARK(BM_VerifySymmetryPaxos)
+    ->Args({3, 0}) // unreduced (--no-symmetry)
+    ->Args({3, 1}) // orbit-canonical quotient
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VerifySymmetryTwoPhaseCommit(benchmark::State &State) {
+  VerifyOptions Options;
+  Options.Source = readExampleAsl("two_phase_commit.asl");
+  Options.Consts = {{"n", State.range(0)}};
+  Options.Eliminate = {"RequestVotes", "Vote", "Decide", "Finalize"};
+  Options.Abstractions = {{"Decide", "DecideAbs"}};
+  Options.Weights = {{"RequestVotes", 8}, {"Decide", 4}};
+  reportVerifySymmetry(State, std::move(Options), State.range(1));
+}
+BENCHMARK(BM_VerifySymmetryTwoPhaseCommit)
+    ->Args({3, 0})
+    ->Args({3, 1})
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

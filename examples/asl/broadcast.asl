@@ -7,6 +7,10 @@
 
 const n: int;
 
+// No `symmetric` declaration: the initializer value[i] = i pins node
+// identities (permuting nodes changes the store), so the initial store is
+// not permutation-invariant and symmetry reduction would be unsound here.
+// The compiler rejects a declaration whose initial store breaks it.
 var value: map<int, int> := map i in 1 .. n : i;
 var decision: map<int, option<int>> := map i in 1 .. n : none;
 var CH: map<int, bag<int>> := map i in 1 .. n : {};

@@ -23,11 +23,17 @@
 const R: int;
 const N: int;
 
+// Acceptors are interchangeable: every action treats node IDs uniformly
+// (quorums are counted, never picked by identity), so the engine explores
+// the quotient under node permutations. Rounds and values stay concrete
+// (round r proposes its own value r).
+symmetric node: 1 .. N;
+
 var coin: set<bool> := insert(insert({}, true), false);
-var lastJoined: map<int, int> := map nd in 1 .. N : 0;
-var joinedNodes: map<int, set<int>> := map r in 1 .. R : {};
+var lastJoined: map<node, int> := map nd in 1 .. N : 0;
+var joinedNodes: map<int, set<node>> := map r in 1 .. R : {};
 var voteValue: map<int, option<int>> := map r in 1 .. R : none;
-var voteNodes: map<int, set<int>> := map r in 1 .. R : {};
+var voteNodes: map<int, set<node>> := map r in 1 .. R : {};
 var decision: map<int, option<int>> := map r in 1 .. R : none;
 var propv: int := 0;   // proposer scratch; reset before Propose completes
 
@@ -46,7 +52,7 @@ action StartRound(r: int) {
 
 // Acceptor nd promises round r unless it already heard a higher one; the
 // message may be dropped.
-action Join(r: int, nd: int) {
+action Join(r: int, nd: node) {
   choose deliver in coin;
   if deliver && lastJoined[nd] < r {
     lastJoined[nd] := r;
@@ -83,7 +89,7 @@ action Propose(r: int) {
 }
 
 // Acceptor nd accepts the proposal unless it promised a higher round.
-action Vote(r: int, nd: int, v: int) {
+action Vote(r: int, nd: node, v: int) {
   choose deliver in coin;
   if deliver && lastJoined[nd] <= r && is_some(voteValue[r]) {
     lastJoined[nd] := r;
@@ -105,7 +111,7 @@ action Conclude(r: int, v: int) {
 // lower rounds (and nothing same-round that this action races with) is
 // still pending — facts that hold along the round-by-round schedule.
 
-action JoinAbs(r: int, nd: int) {
+action JoinAbs(r: int, nd: node) {
   assert pending_le(StartRound, r - 1) == 0;
   assert pending_le(Propose, r - 1) == 0;
   assert pending_le_at(Join, r - 1, nd) == 0;
@@ -145,7 +151,7 @@ action ProposeAbs(r: int) {
   }
 }
 
-action VoteAbs(r: int, nd: int, v: int) {
+action VoteAbs(r: int, nd: node, v: int) {
   assert pending_le(StartRound, r) == 0;
   assert pending_le(Propose, r - 1) == 0;
   assert pending_le_at(Join, r, nd) == 0;

@@ -15,14 +15,19 @@
 
 const n: int;
 
+// Participants are interchangeable: channels are addressed only by the
+// participant's own ID and votes are counted, never inspected by
+// identity, so the engine explores the quotient under permutations.
+symmetric participant: 1 .. n;
+
 var coin: set<bool> := insert(insert({}, true), false);
-var reqCh: map<int, bag<int>> := map i in 1 .. n : {};
-var yesVotes: bag<int> := {};
-var noVotes: bag<int> := {};
-var decCh: map<int, bag<bool>> := map i in 1 .. n : {};
-var voted: map<int, option<bool>> := map i in 1 .. n : none;
+var reqCh: map<participant, bag<int>> := map i in 1 .. n : {};
+var yesVotes: bag<participant> := {};
+var noVotes: bag<participant> := {};
+var decCh: map<participant, bag<bool>> := map i in 1 .. n : {};
+var voted: map<participant, option<bool>> := map i in 1 .. n : none;
 var decision: option<bool> := none;
-var finalized: map<int, option<bool>> := map i in 1 .. n : none;
+var finalized: map<participant, option<bool>> := map i in 1 .. n : none;
 
 action Main() {
   async RequestVotes();
@@ -36,7 +41,7 @@ action RequestVotes() {
   async Decide();
 }
 
-action Vote(i: int) {
+action Vote(i: participant) {
   await size(reqCh[i]) >= 1;
   reqCh[i] := erase(reqCh[i], 1);
   choose v in coin;
@@ -70,7 +75,7 @@ action Decide() {
   }
 }
 
-action Finalize(i: int) {
+action Finalize(i: participant) {
   await size(decCh[i]) >= 1;
   choose d in decCh[i];
   decCh[i] := erase(decCh[i], d);

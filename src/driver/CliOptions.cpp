@@ -62,6 +62,9 @@ const char *driver::usageText() {
          "                        results are identical for any N\n"
          "  --no-parallel-check   discharge obligations with the serial\n"
          "                        reference loops (differential oracle)\n"
+         "  --no-symmetry         explore the full state space even when\n"
+         "                        the module declares a symmetric sort\n"
+         "                        (differential oracle; same verdicts)\n"
          "  --no-cross-check      skip exploring P' / empirical refinement\n"
          "  --format text|json    verdict report format (default: text);\n"
          "                        json emits the schema-versioned report\n"
@@ -99,6 +102,10 @@ CliParse driver::parseCommandLine(const std::vector<std::string> &Args) {
     }
     if (Arg == "--no-parallel-check") {
       Cli.Verify.ParallelCheck = false;
+      continue;
+    }
+    if (Arg == "--no-symmetry") {
+      Cli.Verify.Symmetry = false;
       continue;
     }
     if (Arg == "--arg-major") {

@@ -56,6 +56,8 @@ void emitCondition(json::JsonWriter &W, ObCondition Cond,
     W.value(Issue);
   W.endArray();
   W.key("jobs").value(B.Jobs);
+  W.key("orbit_configs").value(B.OrbitConfigs);
+  W.key("orbit_states").value(B.OrbitStates);
   W.key("seconds").value(B.JobSeconds);
   W.endObject();
 }
@@ -114,6 +116,10 @@ std::string driver::renderJson(const VerifyResult &Result) {
   W.key("hash_cons_hits").value(E.HashConsHits);
   W.key("transition_cache_lookups").value(E.TransitionCacheLookups);
   W.key("transition_cache_hits").value(E.TransitionCacheHits);
+  W.key("symmetry_reduced").value(E.SymmetryReduced);
+  W.key("canon_calls").value(E.CanonCalls);
+  W.key("canon_cache_hits").value(E.CanonCacheHits);
+  W.key("orbit_states_represented").value(E.OrbitStatesRepresented);
   W.key("frontier_peak").value(E.FrontierPeak);
   W.key("threads").value(E.Threads);
   W.key("expand_seconds").value(E.ExpandSeconds);

@@ -7,26 +7,32 @@
 /// has always printed, the JSON form is the machine-readable report
 /// behind `isq-verify --format json`.
 ///
-/// JSON schema (version 1):
+/// JSON schema (version 2):
 ///   {
-///     "schema_version": 1,
+///     "schema_version": 2,
 ///     "tool": "isq-verify",
 ///     "exit_code": 0|1|2,
 ///     "compile_ok": bool, "input_ok": bool, "accepted": bool,
 ///     "conditions": [ { "name", "label", "ok", "obligations",
 ///                       "failures", "issues": [string], "jobs",
+///                       "orbit_configs", "orbit_states",
 ///                       "seconds" } ],           // one per IS condition
 ///     "cross_check": { "ran", "ok", "obligations", "failures",
 ///                      "issues": [string], "configs_p",
 ///                      "configs_p_prime", "seconds" },
-///     "engine":  { exploration statistics },
+///     "engine":  { exploration statistics incl. "symmetry_reduced",
+///                  "canon_calls", "canon_cache_hits",
+///                  "orbit_states_represented" },
 ///     "scheduler": { "threads", "jobs", "units", "dedup_discarded",
 ///                    "cpu_seconds", "wall_seconds" },
 ///     "diagnostics": [ { "message", "line", "column" } ],
 ///     "total_seconds": number
 ///   }
 /// The schema_version field only changes on breaking changes; adding
-/// fields is not breaking.
+/// fields is not breaking. Version 2 added the symmetry-reduction
+/// observability: per-condition "orbit_configs"/"orbit_states" (the
+/// condition's quantifier universe in orbit representatives and the
+/// unreduced states those stand for) and the engine's symmetry counters.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,7 +47,7 @@ namespace isq {
 namespace driver {
 
 /// The version of the JSON report schema emitted by renderJson.
-constexpr int JsonSchemaVersion = 1;
+constexpr int JsonSchemaVersion = 2;
 
 /// Renders the human-readable summary (the `--format text` output).
 std::string renderText(const VerifyResult &Result);

@@ -7,6 +7,7 @@
 #include "is/Sequentialize.h"
 #include "protocols/ScheduleInvariant.h"
 #include "refine/Refinement.h"
+#include "semantics/Symmetry.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -120,9 +121,44 @@ VerifyResult driver::verifyModule(const VerifyOptions &Options) {
     App.Abstractions.emplace(Symbol::get(Target),
                              Compiled->P.action(AbsName));
   std::map<std::string, uint64_t> Weights = Options.Weights;
+  // The cooperation measure must be orbit-invariant when the module
+  // declares a symmetric sort: node IDs are interchangeable, so a rank
+  // component drawn from a node-typed argument would distinguish members
+  // of one orbit. Those components are masked to 0 — unconditionally, not
+  // only under --symmetry, so the identical measure is used by both the
+  // reduced run and the --no-symmetry oracle (identical verdicts by
+  // construction). The full rank is kept for the schedule invariant and
+  // the choice function, which only order PAs within one schedule.
+  std::shared_ptr<const SymmetrySpec> ModuleSym = Compiled->P.symmetry();
+  protocols::RankFn MeasureRank =
+      [Order, ArgMajor, ModuleSym](const PendingAsync &PA)
+      -> std::optional<std::vector<int64_t>> {
+    for (size_t I = 0; I < Order.size(); ++I) {
+      if (PA.Action != Order[I])
+        continue;
+      const std::vector<ValueShape> *Shapes =
+          ModuleSym ? ModuleSym->actionShapes(PA.Action) : nullptr;
+      auto Component = [&](size_t Arg) -> int64_t {
+        if (Shapes && Arg < Shapes->size() &&
+            (*Shapes)[Arg].kind() == ValueShape::Kind::Id)
+          return 0;
+        return PA.Args[Arg].getInt();
+      };
+      std::vector<int64_t> R;
+      if (ArgMajor && !PA.Args.empty() &&
+          PA.Args[0].kind() == ValueKind::Int)
+        R.push_back(Component(0));
+      R.push_back(static_cast<int64_t>(I));
+      for (size_t Arg = 0; Arg < PA.Args.size(); ++Arg)
+        if (PA.Args[Arg].kind() == ValueKind::Int)
+          R.push_back(Component(Arg));
+      return R;
+    }
+    return std::nullopt;
+  };
   App.WfMeasure = Measure(
       "(Σ weighted |Ω|, Σ rank-remaining-work)",
-      [Weights, Rank](const Configuration &C) {
+      [Weights, Rank = MeasureRank](const Configuration &C) {
         if (C.isFailure())
           return std::vector<uint64_t>{0, 0};
         // First component: weighted PA count — strict decrease for
@@ -159,6 +195,7 @@ VerifyResult driver::verifyModule(const VerifyOptions &Options) {
   // on the scheduler unless the serial reference path was requested.
   ExploreOptions Explore;
   Explore.NumThreads = Options.NumThreads;
+  Explore.Symmetry = Options.Symmetry;
   InitialCondition Init{Compiled->InitialStore, {}};
   ISUniverse Universe = ISUniverse::build(App, {Init}, Explore);
   Result.Engine.accumulate(Universe.Stats);

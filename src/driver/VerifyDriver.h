@@ -70,6 +70,11 @@ struct VerifyOptions {
   /// checker loops instead of the obligation scheduler (the
   /// --no-parallel-check differential oracle). Verdicts are identical.
   bool ParallelCheck = true;
+  /// When false, explore the full unreduced state space even when the
+  /// module declares a symmetric sort (the --no-symmetry differential
+  /// oracle). Verdicts, diagnostics and acceptance are identical; only
+  /// state counts and wall time differ.
+  bool Symmetry = true;
 };
 
 /// Outcome of the empirical P ≼ P' cross-check.

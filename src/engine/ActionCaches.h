@@ -224,11 +224,14 @@ public:
     Key K{&A, (static_cast<uint64_t>(G) << 32) | ArgsPa, Omega};
     size_t Hash = hashKey(K);
     auto &S = Shards[Hash % NumShards];
+    Lookups.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> Lock(S.M);
       auto It = S.Map.find(K);
-      if (It != S.Map.end())
+      if (It != S.Map.end()) {
+        Hits.fetch_add(1, std::memory_order_relaxed);
         return It->second;
+      }
     }
     bool Result =
         A.evalGate(Arena.store(G), Arena.pa(ArgsPa).Args, Arena.paSet(Omega));
@@ -236,6 +239,9 @@ public:
     S.Map.emplace(K, Result);
     return Result;
   }
+
+  size_t lookups() const { return Lookups.load(std::memory_order_relaxed); }
+  size_t hits() const { return Hits.load(std::memory_order_relaxed); }
 
 private:
   struct Key {
@@ -264,6 +270,8 @@ private:
 
   StateArena &Arena;
   Shard Shards[NumShards];
+  std::atomic<size_t> Lookups{0};
+  std::atomic<size_t> Hits{0};
 };
 
 } // namespace engine

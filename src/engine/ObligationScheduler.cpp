@@ -73,6 +73,8 @@ ObligationStats::Bucket ObligationStats::totals() const {
     T.UnitsDeduped += B.UnitsDeduped;
     T.Obligations += B.Obligations;
     T.Failures += B.Failures;
+    T.OrbitConfigs += B.OrbitConfigs;
+    T.OrbitStates += B.OrbitStates;
     T.JobSeconds += B.JobSeconds;
   }
   return T;
@@ -85,6 +87,8 @@ void ObligationStats::accumulate(const ObligationStats &Other) {
     PerCondition[I].UnitsDeduped += Other.PerCondition[I].UnitsDeduped;
     PerCondition[I].Obligations += Other.PerCondition[I].Obligations;
     PerCondition[I].Failures += Other.PerCondition[I].Failures;
+    PerCondition[I].OrbitConfigs += Other.PerCondition[I].OrbitConfigs;
+    PerCondition[I].OrbitStates += Other.PerCondition[I].OrbitStates;
     PerCondition[I].JobSeconds += Other.PerCondition[I].JobSeconds;
   }
   WallSeconds += Other.WallSeconds;
@@ -98,6 +102,10 @@ std::string ObligationStats::str() const {
   Out += " failures=" + std::to_string(T.Failures);
   Out += " jobs=" + std::to_string(T.Jobs);
   Out += " dedup-discarded=" + std::to_string(T.UnitsDeduped);
+  if (T.OrbitStates > T.OrbitConfigs) {
+    Out += " orbit-configs=" + std::to_string(T.OrbitConfigs);
+    Out += " orbit-states=" + std::to_string(T.OrbitStates);
+  }
   Out += " threads=" + std::to_string(Threads);
   Out += " cpu=" + formatSeconds(T.JobSeconds) + "s";
   Out += " wall=" + formatSeconds(WallSeconds) + "s";
@@ -247,6 +255,14 @@ void ObligationScheduler::reconcile(Group &G) {
     J.Sink.Units.clear();
     J.Sink.Units.shrink_to_fit();
   }
+}
+
+void ObligationScheduler::noteOrbits(ObCondition Condition, uint64_t Reps,
+                                     uint64_t States) {
+  ObligationStats::Bucket &B =
+      Stats.PerCondition[static_cast<size_t>(Condition)];
+  B.OrbitConfigs += Reps;
+  B.OrbitStates += States;
 }
 
 const CheckResult &ObligationScheduler::result(const Group *G,

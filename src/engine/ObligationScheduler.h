@@ -145,6 +145,13 @@ struct ObligationStats {
     size_t UnitsDeduped = 0;
     size_t Obligations = 0;
     size_t Failures = 0;
+    /// Orbit accounting under symmetry reduction: the condition's
+    /// quantifier universe in orbit representatives, and the number of
+    /// unreduced configurations those representatives stand for (Σ orbit
+    /// sizes). Equal when no reduction applies; both zero when the checker
+    /// did not annotate the condition.
+    uint64_t OrbitConfigs = 0;
+    uint64_t OrbitStates = 0;
     /// Summed per-job wall time (CPU-side cost of the condition).
     double JobSeconds = 0;
   };
@@ -199,6 +206,12 @@ public:
 
   /// Runs every submitted job on the pool, then reconciles each group.
   void run();
+
+  /// Annotates \p Condition's bucket with its quantifier universe under
+  /// symmetry reduction: \p Reps orbit representatives standing for
+  /// \p States unreduced configurations. Purely observational (stats
+  /// only); may be called before or after run().
+  void noteOrbits(ObCondition Condition, uint64_t Reps, uint64_t States);
 
   /// After run(): the merged result of \p G's channel \p Channel.
   const CheckResult &result(const Group *G, uint8_t Channel = 0) const;

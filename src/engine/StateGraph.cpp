@@ -3,15 +3,19 @@
 #include "engine/StateGraph.h"
 
 #include "engine/ActionCaches.h"
+#include "semantics/Symmetry.h"
 #include "support/Format.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <exception>
+#include <mutex>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -36,6 +40,9 @@ struct GraphAccess {
   static std::vector<uint32_t> &deadlocks(StateGraph &G) {
     return G.Deadlocks;
   }
+  static std::vector<uint32_t> &orbitSizes(StateGraph &G) {
+    return G.OrbitSizes;
+  }
   static EngineStats &stats(StateGraph &G) { return G.Stats; }
 };
 } // namespace engine
@@ -59,6 +66,10 @@ void EngineStats::accumulate(const EngineStats &Other) {
   HashConsHits += Other.HashConsHits;
   TransitionCacheLookups += Other.TransitionCacheLookups;
   TransitionCacheHits += Other.TransitionCacheHits;
+  SymmetryReduced = SymmetryReduced || Other.SymmetryReduced;
+  CanonCalls += Other.CanonCalls;
+  CanonCacheHits += Other.CanonCacheHits;
+  OrbitStatesRepresented += Other.OrbitStatesRepresented;
   FrontierPeak = std::max(FrontierPeak, Other.FrontierPeak);
   Threads = std::max(Threads, Other.Threads);
   ExpandSeconds += Other.ExpandSeconds;
@@ -76,6 +87,10 @@ std::string EngineStats::str() const {
   Out += " pasets=" + std::to_string(InternedPaSets);
   Out += " hashcons-hit=" + percent(hashConsHitRate());
   Out += " transcache-hit=" + percent(transitionCacheHitRate());
+  if (SymmetryReduced) {
+    Out += " orbit-states=" + std::to_string(OrbitStatesRepresented);
+    Out += " canon-hit=" + percent(canonHitRate());
+  }
   Out += " frontier-peak=" + std::to_string(FrontierPeak);
   Out += " threads=" + std::to_string(Threads);
   Out += " expand=" + formatSeconds(ExpandSeconds) + "s";
@@ -91,6 +106,8 @@ namespace {
 struct Item {
   PaId Via;
   ConfigId Child;
+  /// Orbit size of Child under the active symmetry (1 when unreduced).
+  uint32_t Orbit = 1;
 };
 
 /// Everything a worker produces for one frontier node. Candidates are in
@@ -114,12 +131,46 @@ struct Engine {
   std::optional<std::pair<uint32_t, PaId>> &FailureAt;
   std::vector<StoreId> &Terminals;
   std::vector<uint32_t> &Deadlocks;
+  std::vector<uint32_t> &OrbitSizes;
   EngineStats &Stats;
 
   InternedTransitionCache TransCache;
   GateCache Gates;
   /// Symbol → action resolution, hoisted out of the hot loop.
   std::unordered_map<Symbol, const Action *> Resolve;
+
+  /// The active symmetry (null = unreduced run). Trivial groups (singleton
+  /// domains) are treated as no symmetry.
+  const SymmetrySpec *Sym = nullptr;
+  /// Memoizes raw (StoreId, PaSetId) → (canonical ConfigId, orbit size)
+  /// without interning the raw configuration, so InternedConfigs counts
+  /// orbit representatives only. Sharded: expansion workers canonicalize
+  /// concurrently. A racing double-compute is benign — canonicalization is
+  /// deterministic, so both racers insert the same entry.
+  struct CanonShard {
+    std::mutex Mutex;
+    std::unordered_map<uint64_t, std::pair<ConfigId, uint32_t>> Map;
+  };
+  static constexpr size_t NumCanonShards = 16;
+  std::array<CanonShard, NumCanonShards> CanonShards;
+  std::atomic<uint64_t> CanonCalls{0};
+  std::atomic<uint64_t> CanonHits{0};
+
+  /// Stage-1 memo for canonChild: raw StoreId → (canonical StoreId, the
+  /// permutation indices that reach it). Configurations compare
+  /// store-first, so a raw successor's canonicalization only permutes Ω
+  /// under these (usually one) permutations instead of rebuilding |G|
+  /// full configurations — and distinct raw stores are far rarer than
+  /// distinct (store, Ω) pairs, so this table stays small and hot.
+  struct StoreCanonEntry {
+    StoreId Canon;
+    std::shared_ptr<const std::vector<uint32_t>> MinPerms;
+  };
+  struct StoreCanonShard {
+    std::mutex Mutex;
+    std::unordered_map<StoreId, StoreCanonEntry> Map;
+  };
+  std::array<StoreCanonShard, NumCanonShards> StoreCanonShards;
 
   /// ConfigId → node index (InvalidId when unexplored). Written only by
   /// the serial merge; frozen (read-only) during parallel expansion.
@@ -134,10 +185,73 @@ struct Engine {
       : P(P), Opts(Opts), Arena(Arena), Nodes(GraphAccess::nodes(G)),
         Links(GraphAccess::links(G)), FailureAt(GraphAccess::failureAt(G)),
         Terminals(GraphAccess::terminals(G)),
-        Deadlocks(GraphAccess::deadlocks(G)), Stats(GraphAccess::stats(G)),
-        TransCache(Arena), Gates(Arena) {
+        Deadlocks(GraphAccess::deadlocks(G)),
+        OrbitSizes(GraphAccess::orbitSizes(G)),
+        Stats(GraphAccess::stats(G)), TransCache(Arena), Gates(Arena) {
     for (Symbol Name : P.actionNames())
       Resolve.emplace(Name, &P.action(Name));
+    if (Opts.Symmetry && P.symmetry() && P.symmetry()->numPermutations() > 1)
+      Sym = P.symmetry().get();
+  }
+
+  /// Canonicalizes the interned raw pair (G, Omega) through the sharded
+  /// memo. Runs in worker threads.
+  std::pair<ConfigId, uint32_t> canonChild(StoreId G, PaSetId Omega) {
+    CanonCalls.fetch_add(1, std::memory_order_relaxed);
+    uint64_t Key = (static_cast<uint64_t>(G) << 32) | Omega;
+    CanonShard &Shard =
+        CanonShards[(Key ^ (Key >> 17)) % NumCanonShards];
+    {
+      std::lock_guard<std::mutex> Lock(Shard.Mutex);
+      auto It = Shard.Map.find(Key);
+      if (It != Shard.Map.end()) {
+        CanonHits.fetch_add(1, std::memory_order_relaxed);
+        return It->second;
+      }
+    }
+    // Compute outside the lock; the canonical image is a pure function of
+    // the raw configuration. Stage 1 — the store — is memoized per raw
+    // StoreId; stage 2 permutes Ω only under the store-minimizing
+    // permutations. The number of Ω images tying for least is the
+    // stabilizer order of the canonical configuration, so
+    // orbit-stabilizer yields the orbit size as a byproduct.
+    StoreCanonEntry SC = canonStore(G);
+    const PaMultiset &Om = Arena.paSet(Omega);
+    PaMultiset BestOmega;
+    uint32_t Ties = 0;
+    for (uint32_t I : *SC.MinPerms) {
+      PaMultiset Img = I == 0 ? Om : Sym->permuteOmega(Om, Sym->perm(I));
+      if (Ties == 0 || Img < BestOmega) {
+        BestOmega = std::move(Img);
+        Ties = 1;
+      } else if (Img == BestOmega) {
+        ++Ties;
+      }
+    }
+    uint32_t Orbit =
+        static_cast<uint32_t>(Sym->numPermutations()) / Ties;
+    ConfigId Cid =
+        Arena.internConfig(SC.Canon, Arena.internPaSet(BestOmega));
+    std::pair<ConfigId, uint32_t> Entry{Cid, Orbit};
+    std::lock_guard<std::mutex> Lock(Shard.Mutex);
+    return Shard.Map.emplace(Key, Entry).first->second;
+  }
+
+  /// Stage-1 lookup for canonChild. Runs in worker threads; a racing
+  /// double-compute is benign (canonicalization is deterministic).
+  StoreCanonEntry canonStore(StoreId G) {
+    StoreCanonShard &Shard = StoreCanonShards[G % NumCanonShards];
+    {
+      std::lock_guard<std::mutex> Lock(Shard.Mutex);
+      auto It = Shard.Map.find(G);
+      if (It != Shard.Map.end())
+        return It->second;
+    }
+    auto MinPerms = std::make_shared<std::vector<uint32_t>>();
+    Store Canon = Sym->canonicalStore(Arena.store(G), MinPerms.get());
+    StoreCanonEntry Entry{Arena.internStore(Canon), std::move(MinPerms)};
+    std::lock_guard<std::mutex> Lock(Shard.Mutex);
+    return Shard.Map.emplace(G, Entry).first->second;
   }
 
   bool known(ConfigId Cid) const {
@@ -146,7 +260,7 @@ struct Engine {
 
   /// Registers \p Cid if new; mirrors the classical BFS add() semantics
   /// (truncation flag set when the cap blocks an insertion).
-  void add(ConfigId Cid, uint32_t Parent, PaId Via) {
+  void add(ConfigId Cid, uint32_t Parent, PaId Via, uint32_t Orbit = 1) {
     if (known(Cid))
       return;
     if (Nodes.size() >= Opts.MaxConfigurations) {
@@ -158,6 +272,10 @@ struct Engine {
     uint32_t Index = static_cast<uint32_t>(Nodes.size());
     NodeOf[Cid] = Index;
     Nodes.push_back(Cid);
+    if (Sym) {
+      OrbitSizes.push_back(Orbit);
+      Stats.OrbitStatesRepresented += Orbit;
+    }
     if (Opts.RecordParents)
       Links.push_back({Parent, Via});
     auto [StoreIdOf, PaSetIdOf] = Arena.config(Cid);
@@ -204,10 +322,18 @@ struct Engine {
         Out.AnyMove = true;
         PaSetId SuccOmega =
             Arena.internPaVec(paCountVecUnion(Rest, T.Created));
-        ConfigId Child = Arena.internConfig(T.Global, SuccOmega);
+        ConfigId Child;
+        uint32_t Orbit = 1;
+        if (Sym) {
+          // Equivariance makes stepping the representative equivalent to
+          // stepping any orbit member: intern the canonical image only.
+          std::tie(Child, Orbit) = canonChild(T.Global, SuccOmega);
+        } else {
+          Child = Arena.internConfig(T.Global, SuccOmega);
+        }
         if (known(Child))
           continue; // discovered in an earlier level: prune early
-        Out.Items.push_back({PaIdOf, Child});
+        Out.Items.push_back({PaIdOf, Child, Orbit});
       }
     }
   }
@@ -265,7 +391,7 @@ struct Engine {
           }
           continue;
         }
-        add(It.Child, NodeIdx, It.Via);
+        add(It.Child, NodeIdx, It.Via, It.Orbit);
       }
       if (!Out.AnyMove &&
           Arena.config(Nodes[NodeIdx]).second != Arena.emptyPaSet())
@@ -276,7 +402,15 @@ struct Engine {
   void run(const std::vector<Configuration> &Inits) {
     for (const Configuration &Init : Inits) {
       assert(!Init.isFailure() && "initial configuration cannot be failure");
-      add(Arena.internConfig(Init), UINT32_MAX, InvalidId);
+      if (Sym) {
+        uint64_t Orbit = 1;
+        Configuration Canon = Sym->canonical(Init, &Orbit);
+        CanonCalls.fetch_add(1, std::memory_order_relaxed);
+        add(Arena.internConfig(Canon), UINT32_MAX, InvalidId,
+            static_cast<uint32_t>(Orbit));
+      } else {
+        add(Arena.internConfig(Init), UINT32_MAX, InvalidId);
+      }
     }
     Frontier.swap(NextFrontier);
     std::vector<NodeOut> Outs;
@@ -322,5 +456,10 @@ StateGraph engine::exploreGraph(const Program &P,
   Stats.HashConsHits = After.Hits - Before.Hits;
   Stats.TransitionCacheLookups = E.TransCache.lookups();
   Stats.TransitionCacheHits = E.TransCache.hits();
+  Stats.SymmetryReduced = E.Sym != nullptr;
+  Stats.CanonCalls = E.CanonCalls.load();
+  Stats.CanonCacheHits = E.CanonHits.load();
+  if (!E.Sym)
+    Stats.OrbitStatesRepresented = Stats.NumConfigurations;
   return G;
 }

@@ -42,6 +42,10 @@ struct EngineOptions {
   /// Worker threads expanding each frontier. 1 = serial (no threads
   /// spawned). Results are identical for every value.
   unsigned NumThreads = 1;
+  /// Quotient the state space by the program's declared symmetry (a no-op
+  /// for programs without one). When false the engine explores the full,
+  /// unreduced graph — the `--no-symmetry` differential oracle.
+  bool Symmetry = true;
 };
 
 /// Observability counters for one engine run (plus arena totals at the end
@@ -63,6 +67,15 @@ struct EngineStats {
   size_t TransitionCacheLookups = 0;
   size_t TransitionCacheHits = 0;
 
+  // Symmetry reduction. OrbitStatesRepresented is Σ orbit sizes over the
+  // explored representatives — the number of unreduced configurations the
+  // quotient graph stands for (equals NumConfigurations when reduction is
+  // off or the program is asymmetric).
+  bool SymmetryReduced = false;
+  size_t CanonCalls = 0;
+  size_t CanonCacheHits = 0;
+  size_t OrbitStatesRepresented = 0;
+
   size_t FrontierPeak = 0;
   unsigned Threads = 1;
 
@@ -83,6 +96,12 @@ struct EngineStats {
                ? static_cast<double>(TransitionCacheHits) /
                      static_cast<double>(TransitionCacheLookups)
                : 0.0;
+  }
+  /// Fraction of canonicalization requests answered from the orbit memo.
+  double canonHitRate() const {
+    return CanonCalls ? static_cast<double>(CanonCacheHits) /
+                            static_cast<double>(CanonCalls)
+                      : 0.0;
   }
 
   /// Merges \p Other into this (sums counters, maxes peaks, ors flags).
@@ -125,6 +144,10 @@ public:
   /// Node indices of reachable non-terminating dead ends.
   const std::vector<uint32_t> &deadlockNodes() const { return Deadlocks; }
 
+  /// Orbit size of each node, index-aligned with nodes(). Empty when the
+  /// run was unreduced (every orbit is then a singleton).
+  const std::vector<uint32_t> &orbitSizes() const { return OrbitSizes; }
+
   const EngineStats &stats() const { return Stats; }
 
   /// The view of this graph's nodes as a checker universe.
@@ -140,6 +163,7 @@ private:
   std::optional<std::pair<uint32_t, PaId>> FailureAt;
   std::vector<StoreId> Terminals;
   std::vector<uint32_t> Deadlocks;
+  std::vector<uint32_t> OrbitSizes;
   EngineStats Stats;
 };
 

@@ -2,7 +2,10 @@
 
 #include "explorer/Explorer.h"
 
+#include "semantics/Symmetry.h"
+
 #include <algorithm>
+#include <iterator>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -168,6 +171,7 @@ ExploreResult isq::exploreAll(const Program &P,
   EO.StopAtFirstFailure = Opts.StopAtFirstFailure;
   EO.RecordParents = Opts.RecordParents;
   EO.NumThreads = Opts.NumThreads;
+  EO.Symmetry = Opts.Symmetry;
   return fromGraph(engine::exploreGraph(P, Inits, nullptr, EO), Opts);
 }
 
@@ -190,5 +194,20 @@ isq::summarize(const Program &P, const Store &Init,
                std::vector<Value> MainArgs, const ExploreOptions &Opts) {
   ExploreResult R =
       explore(P, initialConfiguration(Init, std::move(MainArgs)), Opts);
+  // Definition 3.2's Trans set is a semantic object: when the exploration ran
+  // on the symmetry quotient, expand each canonical terminal store back to its
+  // full orbit. Orbits of distinct representatives are disjoint, so the
+  // concatenation is exactly the unreduced terminal-store set.
+  const std::shared_ptr<const SymmetrySpec> &Sym = P.symmetry();
+  if (Opts.Symmetry && Sym && Sym->numPermutations() > 1) {
+    std::vector<Store> Expanded;
+    for (const Store &S : R.TerminalStores) {
+      std::vector<Store> Orbit = Sym->storeOrbit(S);
+      Expanded.insert(Expanded.end(), std::make_move_iterator(Orbit.begin()),
+                      std::make_move_iterator(Orbit.end()));
+    }
+    std::sort(Expanded.begin(), Expanded.end());
+    R.TerminalStores = std::move(Expanded);
+  }
   return {!R.FailureReachable, R.TerminalStores};
 }

@@ -34,6 +34,9 @@ struct ExploreOptions {
   /// Worker threads for frontier expansion (1 = serial). Results are
   /// bit-identical for every value; see engine/StateGraph.h.
   unsigned NumThreads = 1;
+  /// Explore the quotient under the program's declared symmetry (no-op for
+  /// asymmetric programs). False = the unreduced differential oracle.
+  bool Symmetry = true;
 };
 
 /// Exploration statistics.

@@ -25,8 +25,14 @@ ISUniverse ISUniverse::build(const ISApplication &App,
   EO.StopAtFirstFailure = Opts.StopAtFirstFailure;
   EO.RecordParents = false; // parents are never consulted for universes
   EO.NumThreads = Opts.NumThreads;
+  EO.Symmetry = Opts.Symmetry;
   // Both explorations intern into the one arena, so the union dedups by
   // ConfigId and the configurations are shared with every later check.
+  // Note the asymmetry between the two explorations: P may run
+  // symmetry-reduced, while P[M ↦ I] always runs unreduced (withAction
+  // drops the symmetry spec — the schedule invariant ranks by node ID and
+  // is not equivariant). A configuration first seen reduced keeps its
+  // orbit size; one first seen unreduced counts as a singleton.
   std::unordered_set<ConfigId> Seen;
   auto Absorb = [&](const Program &P) {
     for (const InitialCondition &Init : Inits) {
@@ -34,9 +40,14 @@ ISUniverse ISUniverse::build(const ISApplication &App,
           P, {initialConfiguration(Init.Global, Init.MainArgs)}, U.Space.Arena,
           EO);
       U.Stats.accumulate(G.stats());
-      for (ConfigId Cid : G.nodes())
-        if (Seen.insert(Cid).second)
+      const std::vector<uint32_t> &Orbits = G.orbitSizes();
+      for (size_t I = 0; I < G.nodes().size(); ++I) {
+        ConfigId Cid = G.nodes()[I];
+        if (Seen.insert(Cid).second) {
           U.Space.Configs.push_back(Cid);
+          U.OrbitSizes.push_back(Orbits.empty() ? 1 : Orbits[I]);
+        }
+      }
     }
   };
   Absorb(App.P);
@@ -585,6 +596,27 @@ ISCheckReport checkISScheduled(const ISApplication &App,
   }
 
   Sched.run();
+
+  // Orbit accounting per condition: the store-universe conditions range
+  // over Space.Configs (orbit representatives under a reduced build); the
+  // M-call conditions range over MCalls, which arise at the π-invariant
+  // initial configurations and are singleton orbits either way.
+  {
+    uint64_t Reps = Space.Configs.size();
+    uint64_t States = Reps;
+    if (Universe.OrbitSizes.size() == Space.Configs.size()) {
+      States = 0;
+      for (uint64_t S : Universe.OrbitSizes)
+        States += S;
+    }
+    Sched.noteOrbits(ObCondition::AbstractionRefinement, Reps, States);
+    Sched.noteOrbits(ObCondition::LeftMovers, Reps, States);
+    Sched.noteOrbits(ObCondition::Cooperation, Reps, States);
+    uint64_t MC = MCalls.Items.size();
+    Sched.noteOrbits(ObCondition::BaseCase, MC, MC);
+    Sched.noteOrbits(ObCondition::Conclusion, MC, MC);
+    Sched.noteOrbits(ObCondition::InductiveStep, MC, MC);
+  }
 
   for (auto &[A, Group] : AbsGroups) {
     const CheckResult &R = Sched.result(Group);

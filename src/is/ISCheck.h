@@ -37,6 +37,11 @@ struct ISUniverse {
   /// value-level consumers. Arena is null for hand-built universes (checkIS
   /// interns on the fly in that case).
   engine::StateSpace Space;
+  /// Orbit size per configuration, index-aligned with Space.Configs when
+  /// the explorations ran symmetry-reduced; empty otherwise (every orbit a
+  /// singleton). Observational only: the checks themselves quantify over
+  /// the representatives.
+  std::vector<uint64_t> OrbitSizes;
   /// Accumulated engine statistics of the universe explorations.
   engine::EngineStats Stats;
 

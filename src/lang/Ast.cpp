@@ -10,7 +10,7 @@ std::string TypeRef::str() const {
   case Kind::Invalid:
     return "<invalid>";
   case Kind::Int:
-    return "int";
+    return Sort.empty() ? "int" : Sort;
   case Kind::Bool:
     return "bool";
   case Kind::Option:

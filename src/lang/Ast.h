@@ -43,27 +43,36 @@ struct TypeRef {
   Kind K = Kind::Invalid;
   /// Element types: one for option/set/bag/seq, two (key, value) for map.
   std::vector<TypeRef> Params;
+  /// Non-empty when this is a named symmetric sort (structurally an int
+  /// drawn from the declared domain). The sort name is a refinement
+  /// annotation only: it does not participate in type equality, so a
+  /// node-typed value flows freely where an int is expected.
+  std::string Sort;
 
   static TypeRef invalid() { return TypeRef(); }
-  static TypeRef intTy() { return TypeRef{Kind::Int, {}}; }
-  static TypeRef boolTy() { return TypeRef{Kind::Bool, {}}; }
+  static TypeRef intTy() { return TypeRef{Kind::Int, {}, {}}; }
+  static TypeRef boolTy() { return TypeRef{Kind::Bool, {}, {}}; }
+  static TypeRef sortTy(std::string Name) {
+    return TypeRef{Kind::Int, {}, std::move(Name)};
+  }
   static TypeRef optionTy(TypeRef Elem) {
-    return TypeRef{Kind::Option, {std::move(Elem)}};
+    return TypeRef{Kind::Option, {std::move(Elem)}, {}};
   }
   static TypeRef setTy(TypeRef Elem) {
-    return TypeRef{Kind::Set, {std::move(Elem)}};
+    return TypeRef{Kind::Set, {std::move(Elem)}, {}};
   }
   static TypeRef bagTy(TypeRef Elem) {
-    return TypeRef{Kind::Bag, {std::move(Elem)}};
+    return TypeRef{Kind::Bag, {std::move(Elem)}, {}};
   }
   static TypeRef mapTy(TypeRef Key, TypeRef Val) {
-    return TypeRef{Kind::Map, {std::move(Key), std::move(Val)}};
+    return TypeRef{Kind::Map, {std::move(Key), std::move(Val)}, {}};
   }
   static TypeRef seqTy(TypeRef Elem) {
-    return TypeRef{Kind::Seq, {std::move(Elem)}};
+    return TypeRef{Kind::Seq, {std::move(Elem)}, {}};
   }
 
   bool isValid() const { return K != Kind::Invalid; }
+  /// Structural equality; Sort is deliberately ignored (see above).
   bool operator==(const TypeRef &O) const {
     return K == O.K && Params == O.Params;
   }
@@ -156,9 +165,21 @@ struct VarDecl {
   unsigned Line = 0;
 };
 
+/// A declared symmetric node-ID sort: `symmetric node: lo .. hi;`. The
+/// bounds are constant expressions (they may reference module constants);
+/// variables and parameters typed with the sort's name hold IDs that are
+/// interchangeable under permutation.
+struct SymmetricDecl {
+  std::string Name;
+  ExprPtr Lo;
+  ExprPtr Hi;
+  unsigned Line = 0;
+};
+
 /// A parsed ASL module.
 struct Module {
   std::vector<ConstDecl> Consts;
+  std::vector<SymmetricDecl> Symmetrics;
   std::vector<VarDecl> Vars;
   std::vector<ActionDecl> Actions;
 

@@ -4,6 +4,7 @@
 
 #include "lang/Eval.h"
 #include "lang/TypeCheck.h"
+#include "semantics/Symmetry.h"
 
 #include <memory>
 
@@ -37,6 +38,29 @@ bool stmtsUsePending(const std::vector<StmtPtr> &Stmts) {
 /// True if the action's gate may observe Ω through pending().
 bool actionUsesPending(const ActionDecl &A) {
   return stmtsUsePending(A.Body);
+}
+
+/// The value shape induced by an ASL type: Id leaves exactly where the
+/// declared symmetric sort \p Sort is named.
+ValueShape shapeOf(const TypeRef &T, const std::string &Sort) {
+  using TK = TypeRef::Kind;
+  switch (T.K) {
+  case TK::Int:
+    return T.Sort == Sort ? ValueShape::id() : ValueShape::plain();
+  case TK::Option:
+    return ValueShape::option(shapeOf(T.Params[0], Sort));
+  case TK::Set:
+    return ValueShape::setOf(shapeOf(T.Params[0], Sort));
+  case TK::Bag:
+    return ValueShape::bagOf(shapeOf(T.Params[0], Sort));
+  case TK::Seq:
+    return ValueShape::seqOf(shapeOf(T.Params[0], Sort));
+  case TK::Map:
+    return ValueShape::mapOf(shapeOf(T.Params[0], Sort),
+                             shapeOf(T.Params[1], Sort));
+  default:
+    return ValueShape::plain();
+  }
 }
 
 } // namespace
@@ -81,6 +105,61 @@ asl::compileModule(const std::string &Source,
   Store Init;
   for (const VarDecl &V : Shared->Vars)
     Init = Init.set(V.Name, evalExpr(*V.Init, Init, ConstLocals));
+
+  // The declared symmetric sort, if any. The bounds are constant
+  // expressions; the resulting domain must stay small enough for the
+  // full permutation group to be enumerated, and the initial store must
+  // be invariant under it (otherwise the quotient exploration would be
+  // unsound and the declaration is rejected here).
+  std::shared_ptr<SymmetrySpec> Sym;
+  for (const SymmetricDecl &D : Shared->Symmetrics) {
+    int64_t Lo = evalExpr(*D.Lo, Init, ConstLocals).getInt();
+    int64_t Hi = evalExpr(*D.Hi, Init, ConstLocals).getInt();
+    if (Lo > Hi) {
+      Diags.push_back({"symmetric sort '" + D.Name + "' has empty domain " +
+                           std::to_string(Lo) + " .. " + std::to_string(Hi),
+                       D.Line, 0});
+      continue;
+    }
+    size_t Size = static_cast<size_t>(Hi - Lo + 1);
+    if (Size > SymmetrySpec::MaxDomainSize) {
+      Diags.push_back(
+          {"symmetric sort '" + D.Name + "' has " + std::to_string(Size) +
+               " members; at most " +
+               std::to_string(SymmetrySpec::MaxDomainSize) + " supported",
+           D.Line, 0});
+      continue;
+    }
+    std::vector<int64_t> Domain;
+    for (int64_t N = Lo; N <= Hi; ++N)
+      Domain.push_back(N);
+    Sym = std::make_shared<SymmetrySpec>(D.Name, std::move(Domain));
+    for (const VarDecl &V : Shared->Vars) {
+      ValueShape Shape = shapeOf(V.Type, D.Name);
+      if (!Shape.fixed())
+        Sym->setGlobalShape(Symbol::get(V.Name), Shape);
+    }
+    for (const ActionDecl &A : Shared->Actions) {
+      std::vector<ValueShape> ArgShapes;
+      bool AnyId = false;
+      for (const ParamDecl &P : A.Params) {
+        ArgShapes.push_back(shapeOf(P.Type, D.Name));
+        AnyId = AnyId || !ArgShapes.back().fixed();
+      }
+      if (AnyId)
+        Sym->setActionShape(Symbol::get(A.Name), std::move(ArgShapes));
+    }
+    if (!Sym->isInvariantStore(Init)) {
+      Diags.push_back(
+          {"initial store is not invariant under permutations of "
+           "symmetric sort '" +
+               D.Name + "'",
+           D.Line, 0});
+      Sym.reset();
+    }
+  }
+  if (!Diags.empty())
+    return std::nullopt;
 
   // Compile the actions.
   CompiledModule Result;
@@ -128,5 +207,7 @@ asl::compileModule(const std::string &Source,
                               std::move(Transitions), UsesPending,
                               /*TransitionsThreadSafe=*/true));
   }
+  if (Sym)
+    Result.P.setSymmetry(std::move(Sym));
   return Result;
 }

@@ -139,6 +139,10 @@ std::optional<TypeRef> Parser::parseType() {
       return std::nullopt;
     return TypeRef::mapTy(*Key, *Val);
   }
+  case TokenKind::Identifier:
+    // A named symmetric sort (structurally int). The type checker
+    // verifies the name is actually declared.
+    return TypeRef::sortTy(T.Text);
   default:
     error(std::string("expected a type, found ") + tokenKindName(T.Kind));
     return std::nullopt;
@@ -400,6 +404,27 @@ StmtPtr Parser::parseStmt() {
 std::optional<Module> Parser::parseModule() {
   Module M;
   while (!check(TokenKind::Eof)) {
+    // `symmetric` is a context-sensitive keyword: only an identifier
+    // spelled "symmetric" in declaration position opens a symmetric-sort
+    // declaration, so existing modules may keep using the name elsewhere.
+    if (check(TokenKind::Identifier) && peek().Text == "symmetric") {
+      SymmetricDecl D;
+      D.Line = peek().Line;
+      advance();
+      if (check(TokenKind::Identifier)) {
+        D.Name = peek().Text;
+        advance();
+      } else {
+        error("expected sort name after 'symmetric'");
+      }
+      expect(TokenKind::Colon, "in symmetric declaration");
+      D.Lo = parseExpr();
+      expect(TokenKind::DotDot, "in symmetric sort range");
+      D.Hi = parseExpr();
+      expect(TokenKind::Semicolon, "after symmetric declaration");
+      M.Symmetrics.push_back(std::move(D));
+      continue;
+    }
     if (match(TokenKind::KwConst)) {
       ConstDecl D;
       D.Line = peek().Line;

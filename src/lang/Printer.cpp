@@ -138,7 +138,10 @@ std::string asl::printModule(const Module &M) {
   std::string Out;
   for (const ConstDecl &C : M.Consts)
     Out += "const " + C.Name + ": int;\n";
-  if (!M.Consts.empty())
+  for (const SymmetricDecl &D : M.Symmetrics)
+    Out += "symmetric " + D.Name + ": " + printExpr(*D.Lo) + " .. " +
+           printExpr(*D.Hi) + ";\n";
+  if (!M.Consts.empty() || !M.Symmetrics.empty())
     Out += "\n";
   for (const VarDecl &V : M.Vars)
     Out += "var " + V.Name + ": " + printType(V.Type) + " := " +

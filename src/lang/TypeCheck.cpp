@@ -42,10 +42,14 @@ private:
 
   TypeRef inferCall(Expr &E, const TypeRef *Expected);
 
+  /// Verifies every named sort mentioned in \p T was declared.
+  void checkTypeSorts(const TypeRef &T, unsigned Line);
+
   Module &M;
   std::vector<Diagnostic> &Diags;
   std::map<std::string, TypeRef> Globals;
   std::set<std::string> Consts;
+  std::set<std::string> Sorts;
   /// Locals of the action currently being checked (flow-scoped).
   std::map<std::string, TypeRef> *CurrentLocals = nullptr;
 };
@@ -487,6 +491,13 @@ void Checker::checkStmts(std::vector<StmtPtr> &Stmts, size_t Begin,
   }
 }
 
+void Checker::checkTypeSorts(const TypeRef &T, unsigned Line) {
+  if (!T.Sort.empty() && !Sorts.count(T.Sort))
+    error(Line, "unknown type '" + T.Sort + "'");
+  for (const TypeRef &P : T.Params)
+    checkTypeSorts(P, Line);
+}
+
 bool Checker::run() {
   size_t Before = Diags.size();
   // Declarations first.
@@ -494,7 +505,24 @@ bool Checker::run() {
     if (!Consts.insert(C.Name).second)
       error(C.Line, "duplicate constant '" + C.Name + "'");
   }
+  // Symmetric sorts: one per module (the reduction enumerates the full
+  // permutation group of a single sort), with int constant bounds.
+  for (SymmetricDecl &D : M.Symmetrics) {
+    if (!Sorts.insert(D.Name).second)
+      error(D.Line, "duplicate symmetric sort '" + D.Name + "'");
+    else if (Consts.count(D.Name))
+      error(D.Line, "symmetric sort '" + D.Name + "' shadows a constant");
+    std::map<std::string, TypeRef> NoLocals;
+    CurrentLocals = &NoLocals;
+    check(*D.Lo, TypeRef::intTy());
+    check(*D.Hi, TypeRef::intTy());
+    CurrentLocals = nullptr;
+  }
+  if (M.Symmetrics.size() > 1)
+    error(M.Symmetrics[1].Line,
+          "at most one symmetric sort may be declared per module");
   for (VarDecl &V : M.Vars) {
+    checkTypeSorts(V.Type, V.Line);
     if (Consts.count(V.Name) || !Globals.emplace(V.Name, V.Type).second)
       error(V.Line, "duplicate variable '" + V.Name + "'");
   }
@@ -513,6 +541,7 @@ bool Checker::run() {
       error(A.Line, "duplicate action '" + A.Name + "'");
     std::map<std::string, TypeRef> Locals;
     for (const ParamDecl &P : A.Params) {
+      checkTypeSorts(P.Type, A.Line);
       if (!Locals.emplace(P.Name, P.Type).second)
         error(A.Line, "duplicate parameter '" + P.Name + "' in action '" +
                           A.Name + "'");

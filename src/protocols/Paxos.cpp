@@ -4,8 +4,10 @@
 
 #include "protocols/ProtocolUtil.h"
 #include "protocols/ScheduleInvariant.h"
+#include "semantics/Symmetry.h"
 
 #include <algorithm>
+#include <memory>
 
 using namespace isq;
 using namespace isq::protocols;
@@ -269,7 +271,7 @@ std::optional<std::vector<int64_t>> paxosRank(const PendingAsync &PA) {
 
 } // namespace
 
-Program protocols::makePaxosProgram(const PaxosParams &) {
+Program protocols::makePaxosProgram(const PaxosParams &Params) {
   Program P;
   P.addAction(makeMain());
   P.addAction(makeStartRound());
@@ -284,6 +286,38 @@ Program protocols::makePaxosProgram(const PaxosParams &) {
   P.addAction(Action("Vote", 3, Action::alwaysEnabled(), voteTransitions));
   P.addAction(
       Action("Conclude", 2, Action::alwaysEnabled(), concludeTransitions));
+
+  // Acceptors 1..N are interchangeable: every action treats node IDs
+  // uniformly (quorums are counted, never enumerated by identity), so the
+  // engine may explore the quotient under node permutations. Rounds and
+  // values are NOT symmetric (ownValue(r) = r ties values to rounds).
+  int64_t N = Params.NumNodes;
+  if (N >= 1 && static_cast<size_t>(N) <= SymmetrySpec::MaxDomainSize) {
+    std::vector<int64_t> Domain;
+    for (int64_t Node = 1; Node <= N; ++Node)
+      Domain.push_back(Node);
+    auto Sym = std::make_shared<SymmetrySpec>("node", std::move(Domain));
+    Sym->setGlobalShape(
+        Symbol::get(VarLastJoined),
+        ValueShape::mapOf(ValueShape::id(), ValueShape::plain()));
+    Sym->setGlobalShape(
+        Symbol::get(VarJoinedNodes),
+        ValueShape::mapOf(ValueShape::plain(),
+                          ValueShape::setOf(ValueShape::id())));
+    Sym->setGlobalShape(
+        Symbol::get(VarVoteInfo),
+        ValueShape::mapOf(
+            ValueShape::plain(),
+            ValueShape::option(ValueShape::tuple(
+                {ValueShape::plain(),
+                 ValueShape::setOf(ValueShape::id())}))));
+    Sym->setActionShape(Symbol::get("Join"),
+                        {ValueShape::plain(), ValueShape::id()});
+    Sym->setActionShape(
+        Symbol::get("Vote"),
+        {ValueShape::plain(), ValueShape::id(), ValueShape::plain()});
+    P.setSymmetry(std::move(Sym));
+  }
   return P;
 }
 

@@ -4,6 +4,9 @@
 
 #include "protocols/ProtocolUtil.h"
 #include "protocols/ScheduleInvariant.h"
+#include "semantics/Symmetry.h"
+
+#include <memory>
 
 using namespace isq;
 using namespace isq::protocols;
@@ -214,13 +217,41 @@ Action makeFinalizeAbs(const Program &P) {
 } // namespace
 
 Program
-protocols::makeTwoPhaseCommitProgram(const TwoPhaseCommitParams &) {
+protocols::makeTwoPhaseCommitProgram(const TwoPhaseCommitParams &Params) {
   Program P;
   P.addAction(makeMain());
   P.addAction(makeRequestVotes());
   P.addAction(makeVote());
   P.addAction(makeDecide());
   P.addAction(makeFinalize());
+
+  // Participants 1..n are interchangeable: votes and decisions flow
+  // through per-participant channels addressed only by the ID itself, so
+  // the engine may explore the quotient under participant permutations.
+  int64_t N = Params.NumParticipants;
+  if (N >= 1 && static_cast<size_t>(N) <= SymmetrySpec::MaxDomainSize) {
+    std::vector<int64_t> Domain;
+    for (int64_t I = 1; I <= N; ++I)
+      Domain.push_back(I);
+    auto Sym = std::make_shared<SymmetrySpec>("participant",
+                                              std::move(Domain));
+    ValueShape IdToBag =
+        ValueShape::mapOf(ValueShape::id(), ValueShape::bagOf(ValueShape::plain()));
+    ValueShape IdToOption =
+        ValueShape::mapOf(ValueShape::id(),
+                          ValueShape::option(ValueShape::plain()));
+    Sym->setGlobalShape(Symbol::get(VarReqCh), IdToBag);
+    Sym->setGlobalShape(
+        Symbol::get(VarVoteCh),
+        ValueShape::bagOf(
+            ValueShape::tuple({ValueShape::id(), ValueShape::plain()})));
+    Sym->setGlobalShape(Symbol::get(VarDecCh), IdToBag);
+    Sym->setGlobalShape(Symbol::get(VarVoted), IdToOption);
+    Sym->setGlobalShape(Symbol::get(VarFinalized), IdToOption);
+    Sym->setActionShape(Symbol::get("Vote"), {ValueShape::id()});
+    Sym->setActionShape(Symbol::get("Finalize"), {ValueShape::id()});
+    P.setSymmetry(std::move(Sym));
+  }
   return P;
 }
 

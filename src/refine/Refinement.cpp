@@ -3,6 +3,7 @@
 #include "refine/Refinement.h"
 
 #include "engine/ActionCaches.h"
+#include "semantics/Symmetry.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -243,6 +244,17 @@ isq::checkProgramRefinement(const Program &P1, const Program &P2,
                             const std::vector<InitialCondition> &Inits,
                             const ExploreOptions &Opts) {
   CheckResult Result;
+  // Symmetry: when P1 explores reduced but P2 does not (applyIS strips the
+  // symmetry spec, so the sequentialization always runs unreduced), P1's
+  // terminal stores are orbit representatives while P2's terminal set need
+  // not be orbit-closed. Soundness then requires expanding every
+  // representative back to its full orbit before the membership check —
+  // which also makes the obligation count match the unreduced run exactly.
+  // When both sides run reduced (or both unreduced), representatives
+  // compare directly.
+  const SymmetrySpec *Sym =
+      Opts.Symmetry ? P1.symmetry().get() : nullptr;
+  bool Expand = Sym && !(Opts.Symmetry && P2.symmetry());
   for (const InitialCondition &Init : Inits) {
     auto [Good2, Trans2] = summarize(P2, Init.Global, Init.MainArgs, Opts);
     Result.countObligation();
@@ -257,6 +269,15 @@ isq::checkProgramRefinement(const Program &P1, const Program &P2,
     // (2) Good(P2) ∘ Trans(P1) ⊆ Trans(P2).
     std::unordered_set<Store> Allowed(Trans2.begin(), Trans2.end());
     for (const Store &Final : Trans1) {
+      if (Expand) {
+        for (const Store &Image : Sym->storeOrbit(Final)) {
+          Result.countObligation();
+          if (!Allowed.count(Image))
+            Result.fail("terminal store of P1 unreachable in P2: " +
+                        Image.str() + " from " + Init.Global.str());
+        }
+        continue;
+      }
       Result.countObligation();
       if (!Allowed.count(Final))
         Result.fail("terminal store of P1 unreachable in P2: " +

@@ -32,6 +32,10 @@ std::vector<Symbol> Program::actionNames() const {
 Program Program::withAction(Action A) const {
   assert(hasAction(A.name()) && "withAction expects an existing action name");
   Program P = *this;
+  // The substituted action may not be equivariant under the declared
+  // symmetry (schedule invariants rank by node ID); the substituted
+  // program is conservatively treated as asymmetric.
+  P.Sym.reset();
   P.addAction(std::move(A));
   return P;
 }

@@ -14,10 +14,13 @@
 #include "semantics/Action.h"
 #include "semantics/Configuration.h"
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 namespace isq {
+
+class SymmetrySpec;
 
 /// A finite mapping from action names to actions. Value type; the
 /// substitution P[A ↦ a] of the paper is withAction().
@@ -52,9 +55,22 @@ public:
   /// True if the program declares Main.
   bool hasMain() const { return hasAction(mainSymbol()); }
 
+  /// Declares the program symmetric under the given spec. Symmetry is a
+  /// property of the *whole* action set (every action must be
+  /// equivariant), so withAction() drops the spec: substituting an action
+  /// — e.g. a rank-ordered schedule invariant for Main, or the
+  /// sequentialization produced by applyIS — may break equivariance, and
+  /// the substituted program then explores unreduced.
+  void setSymmetry(std::shared_ptr<const SymmetrySpec> Spec) {
+    Sym = std::move(Spec);
+  }
+  /// The declared symmetry, or null for asymmetric programs.
+  const std::shared_ptr<const SymmetrySpec> &symmetry() const { return Sym; }
+
 private:
   std::vector<Action> Actions;
   std::unordered_map<Symbol, size_t> Index;
+  std::shared_ptr<const SymmetrySpec> Sym;
 };
 
 /// Builds the initialized configuration (g, {(ℓ, Main)}) of §3.

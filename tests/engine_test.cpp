@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "engine/ActionCaches.h"
 #include "engine/StateArena.h"
 #include "explorer/Explorer.h"
 #include "protocols/Broadcast.h"
@@ -123,6 +124,55 @@ TEST(StateArenaTest, HashConsHitsAreCounted) {
   EXPECT_GE(Stats.Lookups, 2u);
 }
 
+TEST(OmegaGateCacheTest, CountsLookupsAndHits) {
+  StateArena Arena;
+  // An Ω-observing gate: enabled while anything is still pending. Counting
+  // its evaluations pins the memoization: each distinct (store, args, Ω)
+  // point runs the gate once; repeats are hits.
+  size_t Evals = 0;
+  Action A(
+      "Guard", 0,
+      [&Evals](const GateContext &Ctx) {
+        ++Evals;
+        return Ctx.Omega.size() > 0;
+      },
+      [](const Store &, const std::vector<Value> &) {
+        return std::vector<Transition>{};
+      },
+      /*GateReadsOmega=*/true);
+
+  StoreId G = Arena.internStore(makeStore({{"x", 1}}));
+  PaId Args = Arena.internPa(PendingAsync(Symbol::get("Guard"), {}));
+  PaMultiset Pending;
+  Pending.insert(PendingAsync(Symbol::get("Guard"), {}));
+  PaSetId NonEmpty = Arena.internPaSet(Pending);
+  PaSetId Empty = Arena.emptyPaSet();
+
+  OmegaGateCache Cache(Arena);
+  EXPECT_EQ(Cache.lookups(), 0u);
+  EXPECT_EQ(Cache.hits(), 0u);
+
+  EXPECT_TRUE(Cache.get(A, G, Args, NonEmpty));   // miss
+  EXPECT_FALSE(Cache.get(A, G, Args, Empty));     // distinct Ω: miss
+  EXPECT_EQ(Cache.lookups(), 2u);
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Evals, 2u);
+
+  EXPECT_TRUE(Cache.get(A, G, Args, NonEmpty));   // hit
+  EXPECT_FALSE(Cache.get(A, G, Args, Empty));     // hit
+  EXPECT_TRUE(Cache.get(A, G, Args, NonEmpty));   // hit
+  EXPECT_EQ(Cache.lookups(), 5u);
+  EXPECT_EQ(Cache.hits(), 3u);
+  EXPECT_EQ(Evals, 2u) << "hits must not re-run the gate";
+
+  // A different store misses again under the same Ω.
+  StoreId G2 = Arena.internStore(makeStore({{"x", 2}}));
+  EXPECT_TRUE(Cache.get(A, G2, Args, NonEmpty));
+  EXPECT_EQ(Cache.lookups(), 6u);
+  EXPECT_EQ(Cache.hits(), 3u);
+  EXPECT_EQ(Evals, 3u);
+}
+
 TEST(StateArenaTest, PaCountVecOperations) {
   StateArena Arena;
   PaId A = Arena.internPa(PendingAsync(Symbol::get("A"), {}));
@@ -232,7 +282,11 @@ TEST(EngineDifferentialTest, MatchesLegacyExplorer) {
   for (const Instance &I : tier1Instances()) {
     std::vector<Configuration> Inits{initialConfiguration(I.Init)};
     ExploreResult Legacy = exploreAllLegacy(I.P, Inits);
-    ExploreResult Engine = exploreAll(I.P, Inits);
+    // The legacy explorer is always unreduced; compare like with like
+    // (symmetry-vs-unreduced differentials live in symmetry_test.cpp).
+    ExploreOptions Unreduced;
+    Unreduced.Symmetry = false;
+    ExploreResult Engine = exploreAll(I.P, Inits, Unreduced);
     EXPECT_EQ(Engine.Reachable, Legacy.Reachable) << I.Name;
     EXPECT_EQ(Engine.FailureReachable, Legacy.FailureReachable) << I.Name;
     EXPECT_EQ(Engine.TerminalStores, Legacy.TerminalStores) << I.Name;

@@ -127,7 +127,34 @@ TEST(ParserTest, MissingAssignInVarDecl) {
 }
 
 TEST(ParserTest, BadTypeDiagnosed) {
-  parseFails("var x: float := 0;", "expected a type");
+  // An identifier in type position parses as a named sort (the type
+  // checker rejects undeclared names); only a non-identifier token is a
+  // parse-level error.
+  parseFails("var x: 3 := 0;", "expected a type");
+}
+
+TEST(ParserTest, SymmetricSortDecl) {
+  Module M = parseOk("const n: int;\n"
+                     "symmetric node: 1 .. n;\n"
+                     "var owner: option<node> := none;\n"
+                     "action Claim(who: node) { skip; }\n");
+  ASSERT_EQ(M.Symmetrics.size(), 1u);
+  EXPECT_EQ(M.Symmetrics[0].Name, "node");
+  ASSERT_EQ(M.Vars.size(), 1u);
+  // Structural equality ignores the sort annotation...
+  EXPECT_EQ(M.Vars[0].Type, TypeRef::optionTy(TypeRef::intTy()));
+  // ...but the annotation is retained for the symmetry spec.
+  EXPECT_EQ(M.Vars[0].Type.Params[0].Sort, "node");
+  ASSERT_EQ(M.Actions[0].Params.size(), 1u);
+  EXPECT_EQ(M.Actions[0].Params[0].Type.Sort, "node");
+}
+
+TEST(ParserTest, SymmetricAsOrdinaryIdentifier) {
+  // "symmetric" is only a keyword in declaration position.
+  Module M = parseOk("var symmetric: int := 0;\n"
+                     "action Main() { symmetric := 1; }\n");
+  ASSERT_EQ(M.Vars.size(), 1u);
+  EXPECT_EQ(M.Vars[0].Name, "symmetric");
 }
 
 TEST(ParserTest, NonIntConstRejected) {

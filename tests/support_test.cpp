@@ -100,6 +100,87 @@ TEST(MultisetTest, FlattenRepeatsElements) {
   EXPECT_EQ(F, (std::vector<int>{1, 2, 2}));
 }
 
+// Property sweeps over pseudo-random sequences: the canonical form is a
+// pure function of the element multiset, however it was built.
+
+TEST(MultisetTest, PropertyFromSequenceEqualsRepeatedInsert) {
+  Rng R(7);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    std::vector<int> Elems;
+    size_t Len = R.below(24);
+    for (size_t I = 0; I < Len; ++I)
+      Elems.push_back(static_cast<int>(R.below(6)));
+
+    Multiset<int> FromSeq = Multiset<int>::fromSequence(Elems);
+    Multiset<int> Inserted;
+    for (int E : Elems)
+      Inserted.insert(E);
+    EXPECT_EQ(FromSeq, Inserted);
+    // Batched insertion of counted runs lands on the same canonical form.
+    Multiset<int> Batched;
+    for (const auto &[E, Count] : FromSeq.entries())
+      Batched.insert(E, Count);
+    EXPECT_EQ(FromSeq, Batched);
+    EXPECT_EQ(FromSeq.size(), Elems.size());
+  }
+}
+
+TEST(MultisetTest, PropertyEraseToZeroRemovesEntry) {
+  Rng R(11);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    std::vector<int> Elems;
+    size_t Len = 1 + R.below(20);
+    for (size_t I = 0; I < Len; ++I)
+      Elems.push_back(static_cast<int>(R.below(5)));
+    Multiset<int> M = Multiset<int>::fromSequence(Elems);
+
+    // Erase every copy of one present element: the entry must vanish from
+    // the canonical entries, not linger with multiplicity zero.
+    int Victim = Elems[R.below(Elems.size())];
+    M.erase(Victim, M.count(Victim));
+    EXPECT_EQ(M.count(Victim), 0u);
+    EXPECT_FALSE(M.contains(Victim));
+    for (const auto &[E, Count] : M.entries()) {
+      EXPECT_NE(E, Victim);
+      EXPECT_GT(Count, 0u);
+    }
+    // The survivor equals the multiset built without the victim.
+    std::vector<int> Rest;
+    for (int E : Elems)
+      if (E != Victim)
+        Rest.push_back(E);
+    EXPECT_EQ(M, Multiset<int>::fromSequence(Rest));
+  }
+}
+
+TEST(MultisetTest, PropertyHashAgreesWithEquality) {
+  Rng R(13);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    std::vector<int> Elems;
+    size_t Len = R.below(16);
+    for (size_t I = 0; I < Len; ++I)
+      Elems.push_back(static_cast<int>(R.below(4)));
+
+    // Any permutation of the build sequence is the same multiset: equal,
+    // and therefore equal hashes.
+    std::vector<int> Shuffled = Elems;
+    for (size_t I = Shuffled.size(); I > 1; --I)
+      std::swap(Shuffled[I - 1], Shuffled[R.below(I)]);
+    Multiset<int> A = Multiset<int>::fromSequence(Elems);
+    Multiset<int> B = Multiset<int>::fromSequence(Shuffled);
+    EXPECT_EQ(A, B);
+    EXPECT_EQ(A.hash(), B.hash());
+
+    // Inserting one more copy changes the multiset; hashes of unequal
+    // multisets may collide in principle, but not on these small integer
+    // universes (this pins hash() actually observing multiplicities).
+    Multiset<int> C = A;
+    C.insert(1);
+    EXPECT_NE(A, C);
+    EXPECT_NE(A.hash(), C.hash());
+  }
+}
+
 // --- Format -----------------------------------------------------------------
 
 TEST(FormatTest, Join) {

@@ -1,20 +1,43 @@
 #!/usr/bin/env bash
 # Runs the engine-vs-seed exploration benchmarks (bench_statespace.cpp,
-# BM_Engine*) and the checker-phase benchmarks (bench_verify.cpp,
-# BM_Checker*), merges both into BENCH_engine.json, then prints
+# BM_Engine*), the symmetry-reduction benchmarks (BM_Symmetry*,
+# BM_VerifySymmetry*), and the checker-phase benchmarks (bench_verify.cpp,
+# BM_Checker*), merges everything into BENCH_engine.json, then prints
 #  - the speedup of the hash-consed engine (serial and 4-thread) over the
-#    seed value-level BFS for each instance, and
+#    seed value-level BFS for each instance,
+#  - the state-count and wall-clock reduction of the orbit-canonical
+#    symmetry quotient over the unreduced engine, and
 #  - the speedup of the obligation scheduler (1 and 4 workers) over the
 #    serial reference checker loops for each isq-verify instance.
+#
+# Numbers are recorded from a dedicated Release build directory
+# (build-bench, configured here on first use): recording from a
+# RelWithDebInfo or Debug tree is refused, and the merged JSON embeds the
+# build type and git revision so a committed BENCH_engine.json is
+# self-describing.
 #
 # Usage: tools/bench_engine.sh [BUILD_DIR] [OUT_JSON]
 
 set -euo pipefail
 
-BUILD="${1:-build}"
+BUILD="${1:-build-bench}"
 OUT="${2:-BENCH_engine.json}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+if [ "$BUILD_TYPE" != "Release" ]; then
+  echo "error: $BUILD is a '$BUILD_TYPE' tree; benchmarks must be recorded" >&2
+  echo "from a Release build (rerun without arguments, or point BUILD_DIR" >&2
+  echo "at a -DCMAKE_BUILD_TYPE=Release configuration)." >&2
+  exit 1
+fi
+
+GIT_SHA="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 cmake --build "$BUILD" -j --target bench_statespace bench_verify
 
@@ -23,7 +46,7 @@ TMP_CHECKER="$(mktemp)"
 trap 'rm -f "$TMP_ENGINE" "$TMP_CHECKER"' EXIT
 
 "$BUILD/bench/bench_statespace" \
-  --benchmark_filter='BM_Engine' \
+  --benchmark_filter='BM_Engine|BM_Symmetry' \
   --benchmark_out="$TMP_ENGINE" \
   --benchmark_out_format=json \
   --benchmark_repetitions=3 \
@@ -31,11 +54,11 @@ trap 'rm -f "$TMP_ENGINE" "$TMP_CHECKER"' EXIT
 
 # The Paxos N=3 checker rows run ~1 min per mode; one repetition each.
 "$BUILD/bench/bench_verify" \
-  --benchmark_filter='BM_Checker' \
+  --benchmark_filter='BM_Checker|BM_VerifySymmetry' \
   --benchmark_out="$TMP_CHECKER" \
   --benchmark_out_format=json
 
-python3 - "$TMP_ENGINE" "$TMP_CHECKER" "$OUT" <<'EOF'
+python3 - "$TMP_ENGINE" "$TMP_CHECKER" "$OUT" "$BUILD_TYPE" "$GIT_SHA" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -43,17 +66,24 @@ with open(sys.argv[1]) as f:
 with open(sys.argv[2]) as f:
     checker = json.load(f)
 
-# One merged document: shared context, both benchmark families.
-merged = {"context": engine["context"],
+# One merged document: shared context, both benchmark families. The
+# context carries how *our* library was compiled (library_build_type is
+# the google-benchmark library, which may differ) and the revision.
+context = dict(engine["context"])
+context["isq_build_type"] = sys.argv[4]
+context["isq_git_sha"] = sys.argv[5]
+merged = {"context": context,
           "benchmarks": engine["benchmarks"] + checker["benchmarks"]}
 with open(sys.argv[3], "w") as f:
     json.dump(merged, f, indent=1)
 
 # Median real time (aggregated families) or single-run real time per
 # (benchmark family, mode). The mode is the last /-separated argument:
-# 0 = serial baseline (seed BFS / serial checker loops), N >= 1 = the
-# parallel engine/scheduler with N threads.
+# for BM_Engine*/BM_Checker*, 0 = serial baseline (seed BFS / serial
+# checker loops), N >= 1 = the parallel engine/scheduler with N threads;
+# for BM_Symmetry*/BM_VerifySymmetry*, 0 = unreduced, 1 = reduced.
 times = {}
+counters = {}
 for b in merged["benchmarks"]:
     agg = b.get("aggregate_name")
     if agg is not None and agg != "median":
@@ -63,6 +93,7 @@ for b in merged["benchmarks"]:
     mode = int(args[-1])
     key = (family, "/".join(args[:-1]))
     times.setdefault(key, {})[mode] = b["real_time"]
+    counters.setdefault(key, {})[mode] = b
 
 def table(title, rows):
     print()
@@ -81,12 +112,39 @@ def table(title, rows):
         row += f" {e4:>11.2f} {serial / e4:>5.2f}x" if e4 else ""
         print(row)
 
+# The config counter differs per family: BM_Symmetry* explores one
+# program, so interned_configs is exactly the (quotient) state count;
+# the end-to-end BM_VerifySymmetry* drivers share one arena across all
+# proof legs, and the always-unreduced P[M -> I] leg dominates the
+# interned set, so the explored-node counter is the meaningful one.
+def symmetry_table(title, prefix, counter):
+    rows = sorted(i for i in times.items() if i[0][0].startswith(prefix))
+    if not rows:
+        return
+    print()
+    print(title)
+    print(f"{'instance':<34} {'full_ms':>10} {'quot_ms':>10} {'time':>6} "
+          f"{'full_cfg':>9} {'quot_cfg':>9} {'cfg':>6}")
+    for (family, inst), by_mode in rows:
+        full, quot = by_mode.get(0), by_mode.get(1)
+        if full is None or quot is None:
+            continue
+        cf = counters[(family, inst)][0][counter]
+        cq = counters[(family, inst)][1][counter]
+        print(f"{family}/{inst:<12}".ljust(34) +
+              f" {full:>10.2f} {quot:>10.2f} {full / quot:>5.2f}x"
+              f" {cf:>9.0f} {cq:>9.0f} {cf / cq:>5.2f}x")
+
 table("exploration: seed value-level BFS vs hash-consed engine",
       sorted(i for i in times.items() if i[0][0].startswith("BM_Engine")))
+symmetry_table("symmetry: unreduced engine vs orbit-canonical quotient",
+               "BM_Symmetry", "interned_configs")
+symmetry_table("symmetry end-to-end: isq-verify --no-symmetry vs reduced",
+               "BM_VerifySymmetry", "configs")
 table("checking: serial loops vs obligation scheduler "
       "(end-to-end isq-verify, cross-check off)",
       sorted(i for i in times.items() if i[0][0].startswith("BM_Checker")))
 print()
 EOF
 
-echo "wrote $OUT"
+echo "wrote $OUT (build type $BUILD_TYPE, git $GIT_SHA)"

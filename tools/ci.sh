@@ -2,8 +2,10 @@
 # CI entry point: build and test the normal configuration, then the
 # sanitized (address + undefined) configuration; verify every shipped
 # example end-to-end in both report formats (with a JSON schema sanity
-# check); finally run the threaded engine + obligation-scheduler tests
-# under ThreadSanitizer. All stages must pass.
+# check); smoke-run the benchmark binaries for one tiny iteration; finally
+# run the threaded engine + obligation-scheduler + symmetry tests under
+# ThreadSanitizer, including the --no-symmetry differential. All stages
+# must pass.
 #
 # Usage: tools/ci.sh [JOBS]
 
@@ -45,7 +47,7 @@ verify_example() {
     python3 -c '
 import json, sys
 doc = json.load(sys.stdin)
-assert doc["schema_version"] == 1, doc["schema_version"]
+assert doc["schema_version"] == 2, doc["schema_version"]
 assert doc["tool"] == "isq-verify"
 assert doc["exit_code"] == 0 and doc["accepted"] is True
 names = [c["name"] for c in doc["conditions"]]
@@ -54,8 +56,13 @@ assert names == ["side_conditions", "abstraction_refinement", "base_case",
                  "cooperation"], names
 assert all(c["ok"] and c["failures"] == 0 for c in doc["conditions"])
 assert all(c["obligations"] > 0 for c in doc["conditions"])
+assert all("orbit_configs" in c and "orbit_states" in c
+           for c in doc["conditions"])
 assert doc["cross_check"]["ran"] and doc["cross_check"]["ok"]
 assert doc["scheduler"]["threads"] == 2 and doc["scheduler"]["jobs"] > 0
+for key in ("symmetry_reduced", "canon_calls", "canon_cache_hits",
+            "orbit_states_represented"):
+    assert key in doc["engine"], key
 for key in ("engine", "diagnostics", "total_seconds"):
     assert key in doc, key
 print("  json ok")
@@ -70,14 +77,34 @@ for f in examples/asl/*.asl; do
   verify_example build/tools/isq-verify "$f"
 done
 
-echo "==== TSan: threaded engine + obligation scheduler ===="
+echo "==== bench smoke: one tiny iteration per benchmark binary ===="
+# Catches bit-rot in the benchmark code without paying for real timing
+# runs: smallest instances only, with a near-zero minimum measuring time.
+cmake --build build -j "$JOBS" --target bench_statespace bench_verify
+build/bench/bench_statespace \
+  --benchmark_filter='BM_Broadcast/2|BM_EngineTwoPhaseCommit/4/1|BM_SymmetryTwoPhaseCommit/4/1' \
+  --benchmark_min_time=0.01 >/dev/null
+build/bench/bench_verify \
+  --benchmark_filter='BM_CheckerPaxos/2/1|BM_VerifySymmetryTwoPhaseCommit/3/1' \
+  --benchmark_min_time=0.01 >/dev/null
+
+echo "==== TSan: threaded engine + scheduler + symmetry ===="
 cmake -B build-tsan -S . -DISQ_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target engine_test scheduler_test \
-  cli_test isq-verify
+  symmetry_test cli_test isq-verify
 (cd build-tsan && ctest -j "$JOBS" --output-on-failure \
-  -R 'Engine|Scheduler|Cli')
+  -R 'Engine|Scheduler|Symmetry|Cli')
 build-tsan/tools/isq-verify examples/asl/broadcast.asl --const n=3 \
   --eliminate Broadcast,Collect --abstract Collect=CollectAbs \
   --threads 4 >/dev/null
+# Symmetry differential under TSan: the reduced and unreduced paths must
+# both accept the symmetric module with the racy-memo canonicalizer active.
+for sym_flag in "" "--no-symmetry"; do
+  # shellcheck disable=SC2086
+  build-tsan/tools/isq-verify examples/asl/two_phase_commit.asl \
+    --const n=2 --eliminate RequestVotes,Vote,Decide,Finalize \
+    --abstract Decide=DecideAbs --weight RequestVotes=8 --weight Decide=4 \
+    --threads 4 $sym_flag >/dev/null
+done
 
 echo "==== CI OK ===="

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates tests/golden/*.json from the current renderer output.
+#
+# The golden files pin the versioned JSON report schema (see
+# src/driver/ReportRender.h). After an intentional schema change — bumping
+# JsonSchemaVersion, adding fields — run this script, eyeball the diff, and
+# commit the refreshed goldens together with the renderer change. Timing
+# fields are scrubbed to 0 by the test harness, so the files are
+# deterministic.
+#
+# Usage: tools/update_goldens.sh [BUILD_DIR]
+
+set -euo pipefail
+
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake --build "$BUILD" -j --target cli_test
+
+ISQ_UPDATE_GOLDEN=1 "$BUILD/tests/cli_test" \
+  --gtest_filter='CliTest.Golden*'
+
+# Show what changed; a clean tree means the goldens were already current.
+git --no-pager diff --stat -- tests/golden || true
+echo "goldens regenerated under tests/golden/"
