@@ -1,0 +1,112 @@
+//===- serve/Client.cpp - isq-serve client ---------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace isq;
+using namespace isq::serve;
+
+bool ServeClient::connect(const std::string &Host, uint16_t Port,
+                          std::string &Error) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Error = "invalid host address '" + Host + "'";
+    close();
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "connect " + Host + ":" + std::to_string(Port) + ": " +
+            strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void ServeClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool ServeClient::send(const SubmitRequest &Request) {
+  return Fd >= 0 && writeMessage(Fd, MsgType::SubmitRequest, Request);
+}
+
+bool ServeClient::sendStats(const StatsRequest &Request) {
+  return Fd >= 0 && writeMessage(Fd, MsgType::StatsRequest, Request);
+}
+
+bool ServeClient::sendRaw(const std::string &Bytes) {
+  if (Fd < 0)
+    return false;
+  size_t Sent = 0;
+  while (Sent < Bytes.size()) {
+    ssize_t W =
+        ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+ServeReply ServeClient::receive() {
+  ServeReply Reply;
+  if (Fd < 0)
+    return disconnected("not connected");
+  FrameResult Frame = readFrame(Fd);
+  if (Frame.St != FrameResult::Status::Ok)
+    return disconnected(Frame.St == FrameResult::Status::Eof
+                            ? "connection closed"
+                            : "malformed reply: " + Frame.Error);
+  if (Frame.Version != WireVersion)
+    return disconnected("unsupported reply version " +
+                        std::to_string(Frame.Version));
+  Unmarshall U(std::move(Frame.Body));
+  switch (Frame.Type) {
+  case MsgType::VerdictResponse:
+    U >> Reply.Verdict;
+    Reply.K = ServeReply::Kind::Verdict;
+    break;
+  case MsgType::BusyResponse:
+    U >> Reply.Busy;
+    Reply.K = ServeReply::Kind::Busy;
+    break;
+  case MsgType::StatsResponse:
+    U >> Reply.Stats;
+    Reply.K = ServeReply::Kind::Stats;
+    break;
+  case MsgType::ErrorResponse: {
+    ErrorResponse E;
+    U >> E;
+    Reply.K = ServeReply::Kind::ServerError;
+    Reply.Error = E.Message;
+    break;
+  }
+  default:
+    return disconnected("unexpected reply type " +
+                        std::to_string(static_cast<unsigned>(Frame.Type)));
+  }
+  if (!U.ok() || !U.atEnd())
+    return disconnected("malformed reply body");
+  return Reply;
+}

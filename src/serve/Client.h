@@ -1,0 +1,89 @@
+//===- serve/Client.h - isq-serve client ------------------------*- C++ -*-===//
+///
+/// \file
+/// A blocking client for the isq-serve wire protocol, shared by the
+/// isq-loadgen tool and the serve tests. One connection per client;
+/// submissions carry client-chosen request ids, so callers may pipeline
+/// (submit several, then read replies in order). Raw frame access is
+/// exposed for protocol negative tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SERVE_CLIENT_H
+#define ISQ_SERVE_CLIENT_H
+
+#include "serve/Wire.h"
+
+#include <string>
+
+namespace isq {
+namespace serve {
+
+/// What the server answered to one request.
+struct ServeReply {
+  enum class Kind {
+    Verdict,      ///< VerdictResponse in Verdict
+    Busy,         ///< admission control rejected; Busy is valid
+    ServerError,  ///< ErrorResponse in Error
+    Stats,        ///< StatsResponse in Stats
+    Disconnected, ///< stream ended or local IO error; Error has detail
+  };
+  Kind K = Kind::Disconnected;
+  VerdictResponse Verdict;
+  BusyResponse Busy;
+  StatsResponse Stats;
+  std::string Error;
+};
+
+class ServeClient {
+public:
+  ServeClient() = default;
+  ~ServeClient() { close(); }
+  ServeClient(const ServeClient &) = delete;
+  ServeClient &operator=(const ServeClient &) = delete;
+
+  /// Connects to \p Host:\p Port. Returns false with \p Error set on
+  /// failure.
+  bool connect(const std::string &Host, uint16_t Port, std::string &Error);
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends one submission (fire-and-forget half of a pipelined call).
+  bool send(const SubmitRequest &Request);
+  /// Sends one stats request.
+  bool sendStats(const StatsRequest &Request);
+  /// Reads the next reply frame.
+  ServeReply receive();
+
+  /// Sends a submission and waits for its reply.
+  ServeReply submit(const SubmitRequest &Request) {
+    if (!send(Request))
+      return disconnected("send failed");
+    return receive();
+  }
+  /// Fetches the server counters.
+  ServeReply stats(uint64_t RequestId = 0) {
+    if (!sendStats(StatsRequest{RequestId}))
+      return disconnected("send failed");
+    return receive();
+  }
+
+  /// Raw bytes access for protocol negative tests.
+  bool sendRaw(const std::string &Bytes);
+  int fd() const { return Fd; }
+
+private:
+  static ServeReply disconnected(std::string Why) {
+    ServeReply R;
+    R.K = ServeReply::Kind::Disconnected;
+    R.Error = std::move(Why);
+    return R;
+  }
+
+  int Fd = -1;
+};
+
+} // namespace serve
+} // namespace isq
+
+#endif // ISQ_SERVE_CLIENT_H

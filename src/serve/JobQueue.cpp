@@ -1,0 +1,52 @@
+//===- serve/JobQueue.cpp - Bounded fair job queue -------------------------===//
+
+#include "serve/JobQueue.h"
+
+using namespace isq;
+using namespace isq::serve;
+
+bool JobQueue::tryPush(Job J) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Closed || Depth >= Capacity)
+      return false;
+    auto [It, New] = PerClient.try_emplace(J.ClientId);
+    if (New || It->second.empty())
+      Rotation.push_back(J.ClientId);
+    It->second.push_back(std::move(J));
+    ++Depth;
+  }
+  NotEmpty.notify_one();
+  return true;
+}
+
+std::optional<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> Lock(M);
+  NotEmpty.wait(Lock, [&] { return Depth > 0 || Closed; });
+  if (Depth == 0)
+    return std::nullopt;
+  uint64_t Client = Rotation.front();
+  Rotation.pop_front();
+  auto It = PerClient.find(Client);
+  Job J = std::move(It->second.front());
+  It->second.pop_front();
+  --Depth;
+  if (!It->second.empty())
+    Rotation.push_back(Client);
+  else
+    PerClient.erase(It);
+  return J;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Closed = true;
+  }
+  NotEmpty.notify_all();
+}
+
+size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Depth;
+}

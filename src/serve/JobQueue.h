@@ -1,0 +1,77 @@
+//===- serve/JobQueue.h - Bounded fair job queue -----------------*- C++ -*-===//
+///
+/// \file
+/// The admission-controlled job queue between isq-serve's connection
+/// handlers and its worker pool.
+///
+/// Admission control: the queue is bounded. tryPush refuses (returns
+/// false) when the total depth is at capacity, and the server answers the
+/// client with an explicit BusyResponse — overload is surfaced, never
+/// absorbed into an unbounded queue.
+///
+/// Fairness: jobs are tagged with a client id (one per connection) and
+/// dequeued round-robin across clients with pending work, so a client
+/// that floods the queue cannot starve the others: with clients A and B
+/// pending, pops alternate A, B, A, B regardless of how many jobs A
+/// enqueued first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SERVE_JOBQUEUE_H
+#define ISQ_SERVE_JOBQUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+
+namespace isq {
+namespace serve {
+
+/// One unit of server work (a closure the worker runs).
+struct Job {
+  uint64_t ClientId = 0;
+  std::function<void()> Work;
+};
+
+/// Bounded multi-producer multi-consumer queue with per-client
+/// round-robin dequeue order.
+class JobQueue {
+public:
+  /// \p Capacity: maximum total queued jobs (≥ 1).
+  explicit JobQueue(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
+
+  /// Enqueues \p J unless the queue is full or closed. Never blocks.
+  bool tryPush(Job J);
+
+  /// Dequeues the next job in round-robin client order; blocks until a
+  /// job arrives or the queue is closed. Returns nullopt only after
+  /// close() with the queue drained.
+  std::optional<Job> pop();
+
+  /// Wakes all blocked poppers; subsequent tryPush fails. Queued jobs
+  /// are still handed out (drain semantics).
+  void close();
+
+  size_t depth() const;
+
+private:
+  size_t Capacity;
+  mutable std::mutex M;
+  std::condition_variable NotEmpty;
+  /// Pending jobs per client, FIFO within a client.
+  std::map<uint64_t, std::deque<Job>> PerClient;
+  /// Clients with pending jobs, in round-robin order: pop serves the
+  /// front client and, if it still has work, rotates it to the back.
+  std::deque<uint64_t> Rotation;
+  size_t Depth = 0;
+  bool Closed = false;
+};
+
+} // namespace serve
+} // namespace isq
+
+#endif // ISQ_SERVE_JOBQUEUE_H

@@ -1,0 +1,61 @@
+//===- serve/VerdictCache.cpp - Cross-request verdict cache ----------------===//
+
+#include "serve/VerdictCache.h"
+
+using namespace isq;
+using namespace isq::serve;
+
+std::string serve::verdictCacheKey(const SubmitRequest &R) {
+  // The request's own marshalled form is already canonical except for the
+  // request id, so serialize a copy with the id zeroed. std::map fields
+  // marshall sorted by name, which gives the order-insensitivity for
+  // consts/abstractions/weights; Eliminate is a vector and stays
+  // order-sensitive.
+  SubmitRequest Canon = R;
+  Canon.RequestId = 0;
+  Marshall M;
+  M << Canon;
+  return M.take();
+}
+
+std::optional<VerdictCache::Entry>
+VerdictCache::lookup(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  ++Stats.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second);
+  return It->second->Value;
+}
+
+void VerdictCache::insert(const std::string &Key, Entry Value) {
+  if (Capacity == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    // Refresh: identical key means identical verdict (the pipeline is
+    // deterministic), but a concurrent duplicate job may insert twice.
+    It->second->Value = std::move(Value);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  if (Lru.size() == Capacity) {
+    Index.erase(Lru.back().Key);
+    Lru.pop_back();
+    ++Stats.Evictions;
+  }
+  Lru.push_front({Key, std::move(Value)});
+  Index.emplace(Lru.front().Key, Lru.begin());
+  Stats.Entries = Lru.size();
+}
+
+VerdictCache::Counters VerdictCache::counters() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Counters Out = Stats;
+  Out.Entries = Lru.size();
+  return Out;
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Load-benchmarks the verification service: starts isq-serve from a
+# Release build, replays the shipped manifest (examples/asl/
+# serve_manifest.txt) with isq-loadgen at 1, 4, and 16 concurrent
+# clients — each concurrency first against a cold verdict cache (fresh
+# daemon) and then against the warm cache — and merges the per-run
+# reports into BENCH_serve.json: one row per (clients, cache) cell with
+# p50/p95/p99 latency, throughput, and cache-hit rate.
+#
+# Numbers are recorded from a dedicated Release build directory
+# (build-bench, configured here on first use): recording from a
+# RelWithDebInfo or Debug tree is refused, and the merged JSON embeds the
+# build type and git revision so a committed BENCH_serve.json is
+# self-describing.
+#
+# Usage: tools/bench_serve.sh [BUILD_DIR] [OUT_JSON]
+
+set -euo pipefail
+
+BUILD="${1:-build-bench}"
+OUT="${2:-BENCH_serve.json}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+if [ "$BUILD_TYPE" != "Release" ]; then
+  echo "error: $BUILD is a '$BUILD_TYPE' tree; benchmarks must be recorded" >&2
+  echo "from a Release build (rerun without arguments, or point BUILD_DIR" >&2
+  echo "at a -DCMAKE_BUILD_TYPE=Release configuration)." >&2
+  exit 1
+fi
+
+GIT_SHA="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+cmake --build "$BUILD" -j --target isq-serve isq-loadgen
+
+MANIFEST="examples/asl/serve_manifest.txt"
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+start_server() {
+  rm -f "$TMP/port"
+  "$BUILD/tools/isq-serve" --port-file "$TMP/port" --workers 4 \
+    --queue-cap 256 >/dev/null &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$TMP/port" ] && return 0
+    sleep 0.1
+  done
+  echo "error: isq-serve did not come up" >&2
+  exit 1
+}
+
+stop_server() {
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"
+  SERVE_PID=""
+}
+
+# One row per (clients, cache) cell. Cold measures first-submission
+# latency (every job runs the pipeline): a fresh daemon per concurrency,
+# one pass over the manifest. Warm measures cache-served latency against
+# the daemon the cold pass just populated: three passes, all hits.
+ROWS=()
+for clients in 1 4 16; do
+  start_server
+  echo "==== clients=$clients cache=cold ===="
+  "$BUILD/tools/isq-loadgen" --port-file "$TMP/port" \
+    --manifest "$MANIFEST" --clients "$clients" --repeats 1 \
+    --check-identical --json-out "$TMP/cold_$clients.json"
+  ROWS+=("cold $clients $TMP/cold_$clients.json")
+  echo "==== clients=$clients cache=warm ===="
+  "$BUILD/tools/isq-loadgen" --port-file "$TMP/port" \
+    --manifest "$MANIFEST" --clients "$clients" --repeats 3 \
+    --check-identical --json-out "$TMP/warm_$clients.json"
+  ROWS+=("warm $clients $TMP/warm_$clients.json")
+  stop_server
+done
+
+python3 - "$OUT" "$BUILD_TYPE" "$GIT_SHA" "${ROWS[@]}" <<'EOF'
+import json, sys
+
+out, build_type, git_sha, *rows = sys.argv[1:]
+doc = {"context": {"isq_build_type": build_type, "isq_git_sha": git_sha},
+       "rows": []}
+for row in rows:
+    cache, clients, path = row.split()
+    with open(path) as f:
+        report = json.load(f)
+    doc["rows"].append({"cache": cache, "clients": int(clients), **report})
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+
+print()
+print(f"{'cache':<6} {'clients':>7} {'subs':>6} {'p50_ms':>9} {'p95_ms':>9} "
+      f"{'p99_ms':>9} {'jobs/s':>8} {'hit_rate':>8}")
+for r in doc["rows"]:
+    print(f"{r['cache']:<6} {r['clients']:>7} {r['submissions']:>6} "
+          f"{r['p50_ms']:>9.2f} {r['p95_ms']:>9.2f} {r['p99_ms']:>9.2f} "
+          f"{r['throughput_rps']:>8.2f} {r['cache_hit_rate']:>8.2f}")
+print()
+EOF
+
+echo "wrote $OUT (build type $BUILD_TYPE, git $GIT_SHA)"

@@ -2,10 +2,12 @@
 # CI entry point: build and test the normal configuration, then the
 # sanitized (address + undefined) configuration; verify every shipped
 # example end-to-end in both report formats (with a JSON schema sanity
-# check); smoke-run the benchmark binaries for one tiny iteration; finally
-# run the threaded engine + obligation-scheduler + symmetry tests under
-# ThreadSanitizer, including the --no-symmetry differential. All stages
-# must pass.
+# check); smoke-run the benchmark binaries for one tiny iteration;
+# smoke-test the verification service (isq-serve + isq-loadgen: verdict
+# cache hit, schema sanity, bit-identity against one-shot isq-verify);
+# finally run the threaded engine + obligation-scheduler + symmetry +
+# serve + driver-re-entrancy tests under ThreadSanitizer, including the
+# --no-symmetry differential. All stages must pass.
 #
 # Usage: tools/ci.sh [JOBS]
 
@@ -88,12 +90,69 @@ build/bench/bench_verify \
   --benchmark_filter='BM_CheckerPaxos/2/1|BM_VerifySymmetryTwoPhaseCommit/3/1' \
   --benchmark_min_time=0.01 >/dev/null
 
-echo "==== TSan: threaded engine + scheduler + symmetry ===="
+echo "==== serve smoke: daemon + verdict cache + schema sanity ===="
+cmake --build build -j "$JOBS" --target isq-serve isq-loadgen isq-verify
+SERVE_TMP=$(mktemp -d)
+SERVE_PID=""
+cleanup_serve() {
+  if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi
+  rm -rf "$SERVE_TMP"
+}
+trap cleanup_serve EXIT
+build/tools/isq-serve --port-file "$SERVE_TMP/port" --workers 2 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  [ -s "$SERVE_TMP/port" ] && break
+  sleep 0.1
+done
+[ -s "$SERVE_TMP/port" ] || { echo "isq-serve did not come up"; exit 1; }
+
+# Submit the paxos example twice over one connection: the second pass
+# must be served from the verdict cache, and all verdicts must agree
+# after timing fields are scrubbed.
+paxos_line=$(grep '^paxos' examples/asl/serve_manifest.txt)
+echo "$ROOT/examples/asl/${paxos_line}" > "$SERVE_TMP/manifest.txt"
+build/tools/isq-loadgen --port-file "$SERVE_TMP/port" \
+  --manifest "$SERVE_TMP/manifest.txt" --clients 1 --repeats 2 \
+  --check-identical --dump-dir "$SERVE_TMP" \
+  --json-out "$SERVE_TMP/loadgen.json"
+
+# The served verdict must be bit-identical (modulo timings) to a one-shot
+# isq-verify run of the same job, and pass the schema sanity checks.
+paxos_flags=${paxos_line#paxos.asl }
+# shellcheck disable=SC2086
+build/tools/isq-verify examples/asl/paxos.asl $paxos_flags \
+  --format json > "$SERVE_TMP/oneshot.json"
+python3 - "$SERVE_TMP" <<'EOF'
+import json, re, sys
+tmp = sys.argv[1]
+report = json.load(open(tmp + "/loadgen.json"))
+assert report["failures"] == 0, report
+assert report["submissions"] == 2, report
+assert report["cache_hits"] == 1 and report["cache_hit_rate"] == 0.5, report
+assert report["non_zero_exits"] == 0, report
+served = open(tmp + "/entry0.json").read()
+oneshot = open(tmp + "/oneshot.json").read()
+scrub = lambda s: re.sub(r'("[a-z_]*seconds":)[0-9.]+', r'\g<1>0', s)
+assert scrub(served) == scrub(oneshot), "served verdict != one-shot isq-verify"
+doc = json.loads(served)
+assert doc["schema_version"] == 2 and doc["tool"] == "isq-verify"
+assert doc["exit_code"] == 0 and doc["accepted"] is True
+assert all(c["ok"] for c in doc["conditions"])
+assert doc["cross_check"]["ran"] and doc["cross_check"]["ok"]
+print("  serve smoke ok")
+EOF
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+
+echo "==== TSan: threaded engine + scheduler + symmetry + serve ===="
 cmake -B build-tsan -S . -DISQ_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target engine_test scheduler_test \
-  symmetry_test cli_test isq-verify
+  symmetry_test cli_test serve_test reentrancy_test isq-verify
 (cd build-tsan && ctest -j "$JOBS" --output-on-failure \
-  -R 'Engine|Scheduler|Symmetry|Cli')
+  -R 'Engine|Scheduler|Symmetry|Cli|Serve|VerdictCache|JobQueue|Reentrancy')
 build-tsan/tools/isq-verify examples/asl/broadcast.asl --const n=3 \
   --eliminate Broadcast,Collect --abstract Collect=CollectAbs \
   --threads 4 >/dev/null
