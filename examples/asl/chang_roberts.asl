@@ -1,0 +1,49 @@
+// Chang-Roberts leader election on a unidirectional ring (§5.3 of
+// "Inductive Sequentialization of Asynchronous Programs", PLDI 2020).
+// Every node sends its ID to its successor; a node forwards IDs greater
+// than its own, declares itself leader when its own ID comes back, and
+// drops the rest. With the identity assignment id[i] = i (imported from
+// lib/ring.asl) the unique winner is node n — asserted in place where
+// the leader flag is set.
+//
+// ASL port of src/protocols/ChangRoberts.cpp (the one-shot IS that
+// eliminates Init and Handle together), and the shipped example of the
+// module system: the ring declarations are imported, not inlined.
+//
+// `--weight Init=2` makes the cooperation measure strict: Init(n) spawns
+// Handle(1, n), which runs *earlier* in the schedule rank, so only the
+// weighted-count component can decrease there (2 consumed, 1 created).
+// Every Handle either forwards strictly up-ring (i < n, since node n
+// never forwards an ID greater than its own maximal one) or spawns
+// nothing.
+//
+// Verify with:
+//   isq-verify chang_roberts.asl --param n=3 --eliminate Init,Handle \
+//              --weight Init=2 --arg-major
+
+import "lib/ring.asl";
+
+action Main() {
+  for i in 1 .. n {
+    async Init(i);
+  }
+}
+
+// Init(i): node i starts the election by sending its ID to its successor.
+action Init(i: int) {
+  async Handle(i % n + 1, id[i]);
+}
+
+// Handle(i, v): node i processes ID v — forward if greater than its own,
+// declare leadership if equal, drop otherwise.
+action Handle(i: int, v: int) {
+  if v > id[i] {
+    async Handle(i % n + 1, v);
+  } else {
+    if v == id[i] {
+      leader[i] := true;
+      // Identity IDs: only the maximum node may win the election.
+      assert i == n;
+    }
+  }
+}

@@ -1,0 +1,14 @@
+// Shared ring-network declarations: the ring size, the fixed ID
+// assignment (identity: id[i] = i, so node n holds the maximum ID), and
+// the per-node leader flag. Imported by chang_roberts.asl — declarations
+// here precede the importer's, which may reference them freely.
+//
+// Not a standalone protocol: there is no Main action, so this file only
+// makes sense as an import (which is why it lives under lib/, outside the
+// examples/asl/*.asl globs that verify each shipped example).
+
+// Ring size; `--param n=..` overrides the default per instance.
+param n: int := 3;
+
+var id: map<int, int> := map i in 1 .. n : i;
+var leader: map<int, bool> := map i in 1 .. n : false;

@@ -9,7 +9,7 @@
 // rounds decide different values.
 //
 // Verify with:
-//   isq-verify paxos.asl --const R=2 --const N=2 --arg-major \
+//   isq-verify paxos.asl --param R=2 --param N=2 --arg-major \
 //       --eliminate StartRound,Join,Propose,Vote,Conclude \
 //       --abstract Join=JoinAbs --abstract Propose=ProposeAbs \
 //       --abstract Vote=VoteAbs --abstract Conclude=ConcludeAbs \
@@ -20,8 +20,11 @@
 // The (CO) condition rejects inconsistent weights with a concrete
 // counterexample.
 
-const R: int;
-const N: int;
+// R and N are parameters with defaults: one paxos.asl serves every
+// instance size; `--param R=.. --param N=..` overrides at the CLI or in
+// a serve manifest.
+param R: int := 2;
+param N: int := 2;
 
 // Acceptors are interchangeable: every action treats node IDs uniformly
 // (quorums are counted, never picked by identity), so the engine explores

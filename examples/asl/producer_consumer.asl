@@ -1,0 +1,62 @@
+// Producer-Consumer (§5.3 of "Inductive Sequentialization of Asynchronous
+// Programs", PLDI 2020): the producer enqueues items 1..T and never
+// blocks, so it can run arbitrarily far ahead; the consumer dequeues in
+// FIFO order, blocking on an empty queue. The consumer's gate asserts the
+// FIFO discipline: whenever the queue is non-empty, its front is exactly
+// the item the consumer expects next.
+//
+// ASL port of src/protocols/ProducerConsumer.cpp; the differential test
+// in tests/frontend_v2_test.cpp keeps the two in lockstep.
+//
+// Verify with:
+//   isq-verify producer_consumer.asl --param T=3 \
+//              --eliminate Producer,Consumer \
+//              --abstract Consumer=ConsumerAbs --arg-major
+
+// Number of items; `--param T=..` overrides the default per instance.
+param T: int := 3;
+
+var queue: seq<int> := [];
+var produced: int := 0;
+var consumed: int := 0;
+
+action Main() {
+  async Producer(1);
+  async Consumer(1);
+}
+
+// Producer(k): enqueue k; continue while k < T. Never blocks — this is
+// what lets the producer run arbitrarily far ahead of the consumer.
+action Producer(k: int) {
+  queue := push_back(queue, k);
+  produced := k;
+  if k < T {
+    async Producer(k + 1);
+  }
+}
+
+// Consumer(k): the gate asserts the FIFO order (front element, when
+// present, is exactly k); the transitions block on an empty queue.
+action Consumer(k: int) {
+  assert size(queue) == 0 || front(queue) == k;
+  await size(queue) >= 1;
+  queue := pop_front(queue);
+  consumed := k;
+  if k < T {
+    async Consumer(k + 1);
+  }
+}
+
+// Producer is a left mover as-is: push-back commutes to the left of
+// pop-front on the queues reachable here. Only Consumer needs an
+// abstraction (non-blocking: the queue is non-empty with k in front in
+// the sequential context).
+action ConsumerAbs(k: int) {
+  assert size(queue) >= 1 && front(queue) == k;
+  await size(queue) >= 1;
+  queue := pop_front(queue);
+  consumed := k;
+  if k < T {
+    async Consumer(k + 1);
+  }
+}

@@ -8,12 +8,14 @@
 // processing their own request.
 //
 // Verify with:
-//   isq-verify two_phase_commit.asl --const n=3 \
+//   isq-verify two_phase_commit.asl --param n=3 \
 //       --eliminate RequestVotes,Vote,Decide,Finalize \
 //       --abstract Decide=DecideAbs \
 //       --weight RequestVotes=8 --weight Decide=4
 
-const n: int;
+// The participant count is a parameter with a default; `--param n=..`
+// overrides it per instance.
+param n: int := 2;
 
 // Participants are interchangeable: channels are addressed only by the
 // participant's own ID and votes are counted, never inspected by

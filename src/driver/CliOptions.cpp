@@ -51,6 +51,13 @@ const char *driver::usageText() {
          "\n"
          "options:\n"
          "  --const NAME=VALUE    bind a module constant (repeatable)\n"
+         "  --param NAME=VALUE    bind a module parameter (repeatable;\n"
+         "                        alias of --const — parameters declared\n"
+         "                        `param n: int := 2;` may also be left\n"
+         "                        to their default)\n"
+         "  --frontend v1|v2      frontend pipeline (default: v2; v1 is\n"
+         "                        the legacy tree-walk kept as a\n"
+         "                        differential oracle — same Programs)\n"
          "  --eliminate A,B,C     eliminated actions in schedule order\n"
          "  --rewrite NAME        the action to rewrite (default: Main)\n"
          "  --abstract ACT=ABS    use module action ABS as α(ACT)\n"
@@ -152,7 +159,22 @@ CliParse driver::parseCommandLine(const std::vector<std::string> &Args) {
       Cli.Verify.NumThreads = N;
       continue;
     }
-    if (Arg == "--const" || Arg == "--abstract" || Arg == "--weight") {
+    if (Arg == "--frontend") {
+      std::string V;
+      if (!NeedValue("--frontend needs a value (v1 or v2)", V))
+        return Parse;
+      if (V == "v1")
+        Cli.Verify.Frontend = asl::frontend::FrontendVersion::V1;
+      else if (V == "v2")
+        Cli.Verify.Frontend = asl::frontend::FrontendVersion::V2;
+      else {
+        Parse.Error = "--frontend expects 'v1' or 'v2', got '" + V + "'";
+        return Parse;
+      }
+      continue;
+    }
+    if (Arg == "--const" || Arg == "--param" || Arg == "--abstract" ||
+        Arg == "--weight") {
       std::string V;
       if (!NeedValue(Arg + " needs a NAME=VALUE argument", V))
         return Parse;
@@ -161,10 +183,10 @@ CliParse driver::parseCommandLine(const std::vector<std::string> &Args) {
         Parse.Error = Arg + " expects NAME=VALUE, got '" + V + "'";
         return Parse;
       }
-      if (Arg == "--const") {
+      if (Arg == "--const" || Arg == "--param") {
         int64_t N = 0;
         if (!parseNumber(Value, N)) {
-          Parse.Error = "--const " + Key + " expects an integer, got '" +
+          Parse.Error = Arg + " " + Key + " expects an integer, got '" +
                         Value + "'";
           return Parse;
         }

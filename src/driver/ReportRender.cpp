@@ -140,9 +140,14 @@ std::string driver::renderJson(const VerifyResult &Result) {
   W.key("diagnostics").beginArray();
   for (const asl::Diagnostic &D : Result.Diags) {
     W.beginObject();
+    W.key("severity").value(asl::severityName(D.Sev));
     W.key("message").value(D.Message);
+    W.key("file").value(D.FileName);
     W.key("line").value(D.Line);
-    W.key("column").value(D.Column);
+    W.key("col").value(D.Column);
+    W.key("end_line").value(D.EndLine);
+    W.key("end_col").value(D.EndColumn);
+    W.key("note").value(D.Note);
     W.endObject();
   }
   W.endArray();

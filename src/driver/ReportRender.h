@@ -7,9 +7,9 @@
 /// has always printed, the JSON form is the machine-readable report
 /// behind `isq-verify --format json`.
 ///
-/// JSON schema (version 2):
+/// JSON schema (version 3):
 ///   {
-///     "schema_version": 2,
+///     "schema_version": 3,
 ///     "tool": "isq-verify",
 ///     "exit_code": 0|1|2,
 ///     "compile_ok": bool, "input_ok": bool, "accepted": bool,
@@ -25,7 +25,8 @@
 ///                  "orbit_states_represented" },
 ///     "scheduler": { "threads", "jobs", "units", "dedup_discarded",
 ///                    "cpu_seconds", "wall_seconds" },
-///     "diagnostics": [ { "message", "line", "column" } ],
+///     "diagnostics": [ { "severity", "message", "file", "line", "col",
+///                        "end_line", "end_col", "note" } ],
 ///     "total_seconds": number
 ///   }
 /// The schema_version field only changes on breaking changes; adding
@@ -33,6 +34,9 @@
 /// observability: per-condition "orbit_configs"/"orbit_states" (the
 /// condition's quantifier universe in orbit representatives and the
 /// unreduced states those stand for) and the engine's symmetry counters.
+/// Version 3 restructured "diagnostics": every entry now carries the
+/// severity, the owning file, a location span and an optional note, and
+/// the "column" key was renamed to "col" (the breaking part).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,7 +51,7 @@ namespace isq {
 namespace driver {
 
 /// The version of the JSON report schema emitted by renderJson.
-constexpr int JsonSchemaVersion = 2;
+constexpr int JsonSchemaVersion = 3;
 
 /// Renders the human-readable summary (the `--format text` output).
 std::string renderText(const VerifyResult &Result);

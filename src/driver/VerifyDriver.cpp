@@ -65,8 +65,9 @@ VerifyResult driver::verifyModule(const VerifyOptions &Options) {
   Timer Total;
 
   // 1. Compile the module.
-  std::optional<asl::CompiledModule> Compiled =
-      asl::compileModule(Options.Source, Options.Consts, Result.Diags);
+  std::optional<asl::CompiledModule> Compiled = asl::frontend::compileSource(
+      Options.Source, Options.SourcePath, Options.Consts, Options.Frontend,
+      Result.Diags);
   if (!Compiled) {
     Result.TotalSeconds = Total.elapsed();
     Result.Summary = renderText(Result);

@@ -19,7 +19,7 @@
 #define ISQ_DRIVER_VERIFYDRIVER_H
 
 #include "is/ISCheck.h"
-#include "lang/Compile.h"
+#include "lang/Frontend.h"
 
 #include <cstdint>
 #include <map>
@@ -33,8 +33,18 @@ namespace driver {
 struct VerifyOptions {
   /// ASL module text.
   std::string Source;
-  /// Bindings for the module's integer constants.
+  /// Path the source was read from. Display name of the main input in
+  /// diagnostics and the base directory for resolving its imports; empty
+  /// for sources without a file (imports are then unavailable).
+  std::string SourcePath;
+  /// Bindings for the module's integer constants and parameters
+  /// (--const and --param contribute here alike).
   std::map<std::string, int64_t> Consts;
+  /// Which frontend pipeline compiles the source. V2 (staged, default)
+  /// and V1 (legacy tree-walk, the differential oracle) produce
+  /// bit-identical Programs.
+  asl::frontend::FrontendVersion Frontend =
+      asl::frontend::FrontendVersion::V2;
   /// The action to rewrite (defaults to Main).
   std::string RewriteAction = "Main";
   /// The eliminated actions in sequentialization order. This determines

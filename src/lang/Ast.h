@@ -19,6 +19,8 @@
 #ifndef ISQ_LANG_AST_H
 #define ISQ_LANG_AST_H
 
+#include "lang/Diagnostics.h"
+
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -102,6 +104,10 @@ struct Expr {
   ExprKind Kind;
   unsigned Line = 0;
   unsigned Column = 0;
+  /// SourceManager id of the owning file (0 = main input).
+  uint32_t File = 0;
+
+  SourceLoc loc() const { return {File, Line, Column}; }
   int64_t IntValue = 0;
   std::string Name; ///< variable / builtin / bound comprehension variable
   std::string Op;   ///< unary/binary operator spelling
@@ -129,7 +135,10 @@ struct Stmt {
   StmtKind Kind;
   unsigned Line = 0;
   unsigned Column = 0;
+  uint32_t File = 0;
   std::string Name;
+
+  SourceLoc loc() const { return {File, Line, Column}; }
   std::vector<ExprPtr> Exprs;
   std::vector<std::unique_ptr<Stmt>> Body;
   std::vector<std::unique_ptr<Stmt>> ElseBody;
@@ -149,12 +158,28 @@ struct ActionDecl {
   std::vector<ParamDecl> Params;
   std::vector<StmtPtr> Body;
   unsigned Line = 0;
+  unsigned Column = 0;
+  uint32_t File = 0;
 };
 
-/// A compile-time integer constant (bound by the host, e.g. n).
+/// A compile-time integer constant. Three spellings:
+///
+///   const x: int;          host-bound (a --const binding is required)
+///   param n: int;          instantiation parameter, no default
+///                          (a --param/--const binding is required)
+///   param n: int := 2;     instantiation parameter with a default
+///   const q: int := e;     derived: folded from parameters and earlier
+///                          constants; never externally bindable
 struct ConstDecl {
   std::string Name;
   unsigned Line = 0;
+  unsigned Column = 0;
+  uint32_t File = 0;
+  /// Declared with `param` (externally bindable, may carry a default).
+  bool IsParam = false;
+  /// Default (param) or derived-value (const) initializer expression;
+  /// null for host-bound constants and defaultless parameters.
+  ExprPtr Init;
 };
 
 /// An initialized global variable.
@@ -163,6 +188,8 @@ struct VarDecl {
   TypeRef Type;
   ExprPtr Init;
   unsigned Line = 0;
+  unsigned Column = 0;
+  uint32_t File = 0;
 };
 
 /// A declared symmetric node-ID sort: `symmetric node: lo .. hi;`. The
@@ -174,10 +201,23 @@ struct SymmetricDecl {
   ExprPtr Lo;
   ExprPtr Hi;
   unsigned Line = 0;
+  unsigned Column = 0;
+  uint32_t File = 0;
+};
+
+/// An `import "path.asl";` declaration. Kept on the parsed module so the
+/// printer round-trips; the module resolver consumes and clears them when
+/// it merges the imported declarations in.
+struct ImportDecl {
+  std::string Path;
+  unsigned Line = 0;
+  unsigned Column = 0;
+  uint32_t File = 0;
 };
 
 /// A parsed ASL module.
 struct Module {
+  std::vector<ImportDecl> Imports;
   std::vector<ConstDecl> Consts;
   std::vector<SymmetricDecl> Symmetrics;
   std::vector<VarDecl> Vars;

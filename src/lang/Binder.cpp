@@ -1,0 +1,149 @@
+//===- lang/Binder.cpp - ASL symbol binding ------------------------------------===//
+
+#include "lang/Binder.h"
+
+using namespace isq;
+using namespace isq::asl;
+
+namespace {
+
+class Binder {
+public:
+  Binder(const Module &M, SymbolTable &Syms, std::vector<Diagnostic> &Diags)
+      : M(M), Syms(Syms), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void error(SourceLoc At, std::string Message, std::string Note = "") {
+    Diags.push_back({std::move(Message), At.Line, At.Column,
+                     Severity::Error, At.File, 0, 0, "", std::move(Note)});
+  }
+
+  static std::string firstDeclaredNote(SourceLoc At) {
+    return "first declared at line " + std::to_string(At.Line);
+  }
+
+  /// Reports globals referenced by \p E that are not in \p DeclaredSoFar.
+  /// \p Bound holds comprehension binders currently in scope.
+  void checkInitRefs(const Expr &E, const VarDecl &V,
+                     const std::set<std::string> &DeclaredSoFar,
+                     std::set<std::string> &Bound);
+
+  const Module &M;
+  SymbolTable &Syms;
+  std::vector<Diagnostic> &Diags;
+  /// Declaration site of every known name, for "first declared" notes.
+  std::map<std::string, SourceLoc> DeclSites;
+  bool Failed = false;
+};
+
+void Binder::checkInitRefs(const Expr &E, const VarDecl &V,
+                           const std::set<std::string> &DeclaredSoFar,
+                           std::set<std::string> &Bound) {
+  if (E.Kind == ExprKind::VarRef && !Bound.count(E.Name) &&
+      !Syms.Consts.count(E.Name) && !DeclaredSoFar.count(E.Name)) {
+    if (Syms.Globals.count(E.Name)) {
+      error(E.loc(),
+            "initializer of '" + V.Name + "' reads '" + E.Name +
+                "' before its declaration",
+            "global initializers run in declaration order");
+      Failed = true;
+    }
+    // Unknown names fall through to the type checker's resolution.
+    return;
+  }
+  if (E.Kind == ExprKind::MapCompr) {
+    checkInitRefs(*E.Children[0], V, DeclaredSoFar, Bound);
+    checkInitRefs(*E.Children[1], V, DeclaredSoFar, Bound);
+    bool Fresh = Bound.insert(E.Name).second;
+    checkInitRefs(*E.Children[2], V, DeclaredSoFar, Bound);
+    if (Fresh)
+      Bound.erase(E.Name);
+    return;
+  }
+  for (const ExprPtr &C : E.Children)
+    checkInitRefs(*C, V, DeclaredSoFar, Bound);
+}
+
+bool Binder::run() {
+  // Constants, in declaration order.
+  for (const ConstDecl &C : M.Consts) {
+    SourceLoc At{C.File, C.Line, C.Column};
+    if (!Syms.Consts.insert(C.Name).second) {
+      error(At, "duplicate constant '" + C.Name + "'",
+            firstDeclaredNote(DeclSites[C.Name]));
+      Failed = true;
+      continue;
+    }
+    Syms.ConstOrder.push_back(C.Name);
+    DeclSites.emplace(C.Name, At);
+  }
+  // Symmetric sorts.
+  for (const SymmetricDecl &D : M.Symmetrics) {
+    SourceLoc At{D.File, D.Line, D.Column};
+    if (!Syms.Sorts.insert(D.Name).second) {
+      error(At, "duplicate symmetric sort '" + D.Name + "'",
+            firstDeclaredNote(DeclSites[D.Name]));
+      Failed = true;
+    } else if (Syms.Consts.count(D.Name)) {
+      error(At, "symmetric sort '" + D.Name + "' shadows a constant",
+            firstDeclaredNote(DeclSites[D.Name]));
+      Failed = true;
+    } else {
+      DeclSites.emplace(D.Name, At);
+    }
+  }
+  if (M.Symmetrics.size() > 1) {
+    error(SourceLoc{M.Symmetrics[1].File, M.Symmetrics[1].Line,
+                    M.Symmetrics[1].Column},
+          "at most one symmetric sort may be declared per module");
+    Failed = true;
+  }
+  // Globals.
+  for (const VarDecl &V : M.Vars) {
+    SourceLoc At{V.File, V.Line, V.Column};
+    if (Syms.Consts.count(V.Name) ||
+        !Syms.Globals.emplace(V.Name, V.Type).second) {
+      error(At, "duplicate variable '" + V.Name + "'",
+            firstDeclaredNote(DeclSites[V.Name]));
+      Failed = true;
+      continue;
+    }
+    DeclSites.emplace(V.Name, At);
+  }
+  // Actions.
+  for (const ActionDecl &A : M.Actions) {
+    SourceLoc At{A.File, A.Line, A.Column};
+    if (!Syms.ActionArity.emplace(A.Name, A.Params.size()).second) {
+      error(At, "duplicate action '" + A.Name + "'",
+            firstDeclaredNote(DeclSites["action " + A.Name]));
+      Failed = true;
+      continue;
+    }
+    DeclSites.emplace("action " + A.Name, At);
+    std::set<std::string> ParamNames;
+    for (const ParamDecl &P : A.Params)
+      if (!ParamNames.insert(P.Name).second) {
+        error(At, "duplicate parameter '" + P.Name + "' in action '" +
+                      A.Name + "'");
+        Failed = true;
+      }
+  }
+  // Initializer ordering: later initializers may read earlier globals
+  // only (the initial store is built in declaration order).
+  std::set<std::string> DeclaredSoFar;
+  for (const VarDecl &V : M.Vars) {
+    std::set<std::string> Bound;
+    checkInitRefs(*V.Init, V, DeclaredSoFar, Bound);
+    DeclaredSoFar.insert(V.Name);
+  }
+  return !Failed;
+}
+
+} // namespace
+
+bool asl::bindModule(const Module &M, SymbolTable &Syms,
+                     std::vector<Diagnostic> &Diags) {
+  return Binder(M, Syms, Diags).run();
+}

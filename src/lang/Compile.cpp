@@ -63,7 +63,96 @@ ValueShape shapeOf(const TypeRef &T, const std::string &Sort) {
   }
 }
 
+/// Minimal compile-time integer evaluator for constant initializers.
+/// Only literals, references to already-resolved constants, unary minus,
+/// and integer arithmetic are permitted.
+std::optional<int64_t>
+evalConstExpr(const Expr &E, const std::map<std::string, int64_t> &Resolved,
+              std::vector<Diagnostic> &Diags) {
+  auto Fail = [&](const std::string &Msg) -> std::optional<int64_t> {
+    Diags.push_back({Msg, E.Line, E.Column, Severity::Error, E.File});
+    return std::nullopt;
+  };
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return E.IntValue;
+  case ExprKind::VarRef: {
+    auto It = Resolved.find(E.Name);
+    if (It == Resolved.end())
+      return Fail("constant initializer references '" + E.Name +
+                  "', which is not a previously declared constant");
+    return It->second;
+  }
+  case ExprKind::Unary: {
+    if (E.Op != "-")
+      return Fail("constant initializer must be an integer expression");
+    auto V = evalConstExpr(*E.Children[0], Resolved, Diags);
+    if (!V)
+      return std::nullopt;
+    return -*V;
+  }
+  case ExprKind::Binary: {
+    auto L = evalConstExpr(*E.Children[0], Resolved, Diags);
+    auto R = evalConstExpr(*E.Children[1], Resolved, Diags);
+    if (!L || !R)
+      return std::nullopt;
+    if (E.Op == "+")
+      return *L + *R;
+    if (E.Op == "-")
+      return *L - *R;
+    if (E.Op == "*")
+      return *L * *R;
+    if (E.Op == "/" || E.Op == "%") {
+      if (*R == 0)
+        return Fail("division by zero in constant initializer");
+      return E.Op == "/" ? *L / *R : *L % *R;
+    }
+    return Fail("constant initializer must be an integer expression");
+  }
+  default:
+    return Fail(
+        "constant initializer must be a compile-time integer expression");
+  }
+}
+
 } // namespace
+
+bool asl::resolveConstBindings(const Module &M,
+                               const std::map<std::string, int64_t> &Bindings,
+                               std::map<std::string, int64_t> &Resolved,
+                               std::vector<Diagnostic> &Diags) {
+  size_t Before = Diags.size();
+  for (const ConstDecl &C : M.Consts) {
+    auto It = Bindings.find(C.Name);
+    if (It != Bindings.end()) {
+      if (!C.IsParam && C.Init) {
+        Diags.push_back({"constant '" + C.Name +
+                             "' is derived and cannot be bound externally",
+                         C.Line, C.Column, Severity::Error, C.File});
+        continue;
+      }
+      Resolved[C.Name] = It->second;
+      continue;
+    }
+    if (C.Init) {
+      if (auto V = evalConstExpr(*C.Init, Resolved, Diags))
+        Resolved[C.Name] = *V;
+      continue;
+    }
+    Diags.push_back({"no binding supplied for constant '" + C.Name + "'",
+                     C.Line, C.Column, Severity::Error, C.File});
+  }
+  for (const auto &[Name, V] : Bindings) {
+    (void)V;
+    bool Known = false;
+    for (const ConstDecl &C : M.Consts)
+      Known = Known || C.Name == Name;
+    if (!Known)
+      Diags.push_back(
+          {"binding for undeclared constant '" + Name + "'", 0, 0});
+  }
+  return Diags.size() == Before;
+}
 
 std::optional<CompiledModule>
 asl::compileModule(const std::string &Source,
@@ -72,32 +161,30 @@ asl::compileModule(const std::string &Source,
   std::optional<Module> Parsed = parseModule(Source, Diags);
   if (!Parsed)
     return std::nullopt;
-  if (!typeCheck(*Parsed, Diags))
-    return std::nullopt;
-
-  // Validate the constant bindings.
-  for (const ConstDecl &C : Parsed->Consts)
-    if (!ConstBindings.count(C.Name))
-      Diags.push_back(
-          {"no binding supplied for constant '" + C.Name + "'", C.Line, 0});
-  for (const auto &[Name, V] : ConstBindings) {
-    (void)V;
-    bool Known = false;
-    for (const ConstDecl &C : Parsed->Consts)
-      Known = Known || C.Name == Name;
-    if (!Known)
-      Diags.push_back({"binding for undeclared constant '" + Name + "'",
-                       0, 0});
-  }
+  for (const ImportDecl &I : Parsed->Imports)
+    Diags.push_back({"imports require a module-resolving frontend (use "
+                     "frontend::compileSource)",
+                     I.Line, I.Column, Severity::Error, I.File});
   if (!Diags.empty())
     return std::nullopt;
+  if (!typeCheck(*Parsed, Diags))
+    return std::nullopt;
+  std::map<std::string, int64_t> Resolved;
+  if (!resolveConstBindings(*Parsed, ConstBindings, Resolved, Diags))
+    return std::nullopt;
+  return compileParsedModule(std::move(*Parsed), Resolved, Diags);
+}
 
+std::optional<CompiledModule>
+asl::compileParsedModule(Module &&Parsed,
+                         const std::map<std::string, int64_t> &ResolvedConsts,
+                         std::vector<Diagnostic> &Diags) {
   // The compiled actions share ownership of the module AST.
-  auto Shared = std::make_shared<Module>(std::move(*Parsed));
+  auto Shared = std::make_shared<Module>(std::move(Parsed));
 
   // Constants become pre-bound locals of every evaluation.
   Locals ConstLocals;
-  for (const auto &[Name, V] : ConstBindings)
+  for (const auto &[Name, V] : ResolvedConsts)
     ConstLocals[Name] = Value::integer(V);
 
   // Initial store: evaluate initializers in declaration order; later
@@ -118,7 +205,7 @@ asl::compileModule(const std::string &Source,
     if (Lo > Hi) {
       Diags.push_back({"symmetric sort '" + D.Name + "' has empty domain " +
                            std::to_string(Lo) + " .. " + std::to_string(Hi),
-                       D.Line, 0});
+                       D.Line, D.Column, Severity::Error, D.File});
       continue;
     }
     size_t Size = static_cast<size_t>(Hi - Lo + 1);
@@ -127,7 +214,7 @@ asl::compileModule(const std::string &Source,
           {"symmetric sort '" + D.Name + "' has " + std::to_string(Size) +
                " members; at most " +
                std::to_string(SymmetrySpec::MaxDomainSize) + " supported",
-           D.Line, 0});
+           D.Line, D.Column, Severity::Error, D.File});
       continue;
     }
     std::vector<int64_t> Domain;
@@ -154,7 +241,7 @@ asl::compileModule(const std::string &Source,
           {"initial store is not invariant under permutations of "
            "symmetric sort '" +
                D.Name + "'",
-           D.Line, 0});
+           D.Line, D.Column, Severity::Error, D.File});
       Sym.reset();
     }
   }

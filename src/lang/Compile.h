@@ -32,11 +32,33 @@ struct CompiledModule {
 
 /// Parses, type-checks and compiles \p Source, binding the module's
 /// constants from \p ConstBindings. Missing or extra bindings are
-/// diagnosed. Returns std::nullopt on any error.
+/// diagnosed. Returns std::nullopt on any error. This is the classic
+/// single-file entry point; sources with imports must go through
+/// frontend::compileSource, which resolves modules first.
 std::optional<CompiledModule>
 compileModule(const std::string &Source,
               const std::map<std::string, int64_t> &ConstBindings,
               std::vector<Diagnostic> &Diags);
+
+/// Resolves every constant of \p M to a concrete value, in declaration
+/// order: an external binding wins for host-bound consts and params, a
+/// param default or derived-const initializer is folded otherwise (it may
+/// reference constants declared before it). Diagnoses missing bindings,
+/// bindings for undeclared or derived constants, and non-constant or
+/// division-by-zero initializers. Returns false when diagnostics were
+/// appended.
+bool resolveConstBindings(const Module &M,
+                          const std::map<std::string, int64_t> &Bindings,
+                          std::map<std::string, int64_t> &Resolved,
+                          std::vector<Diagnostic> &Diags);
+
+/// Compiles an already parsed and type-checked module whose constants
+/// have been resolved (see resolveConstBindings). Takes ownership of the
+/// AST; the compiled actions share it.
+std::optional<CompiledModule>
+compileParsedModule(Module &&Parsed,
+                    const std::map<std::string, int64_t> &ResolvedConsts,
+                    std::vector<Diagnostic> &Diags);
 
 } // namespace asl
 } // namespace isq

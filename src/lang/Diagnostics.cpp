@@ -1,0 +1,18 @@
+//===- lang/Diagnostics.cpp - Frontend diagnostics ----------------------------===//
+
+#include "lang/Diagnostics.h"
+
+using namespace isq;
+using namespace isq::asl;
+
+const char *asl::severityName(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  }
+  return "error";
+}

@@ -1,0 +1,48 @@
+//===- lang/Frontend.h - staged ASL frontend ----------------------*- C++ -*-===//
+///
+/// \file
+/// The top-level frontend entry point. Two pipelines compile the same
+/// surface language to the same CompiledModule:
+///
+///   v1 (legacy, differential oracle):
+///     parse+imports -> typecheck -> resolve consts -> tree-walk compile
+///   v2 (staged, default):
+///     parse+imports -> bind -> typecheck -> resolve consts ->
+///     build HIR -> instantiate -> optimize -> lower
+///
+/// Both share the lexer/parser, the module resolver, the type checker and
+/// constant resolution, and both must produce bit-identical Programs for
+/// every input (tested differentially over the example corpus). The
+/// pipeline stops at the first failing stage; diagnostics leave this
+/// entry with their file names resolved (FrontendDiagnostic::FileName).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_FRONTEND_H
+#define ISQ_LANG_FRONTEND_H
+
+#include "lang/Compile.h"
+
+namespace isq {
+namespace asl {
+namespace frontend {
+
+/// Which pipeline compiles the source. V2 is the default; V1 is kept as
+/// the differential oracle (--frontend=v1).
+enum class FrontendVersion { V1, V2 };
+
+/// Compiles \p Source, binding constants and parameters from
+/// \p ConstBindings. \p SourcePath is the display name of the main input
+/// and the base for resolving its imports; when empty (e.g. a source
+/// submitted over the wire), imports are unavailable and diagnostics name
+/// the file "<input>". Returns std::nullopt on any error.
+std::optional<CompiledModule>
+compileSource(const std::string &Source, const std::string &SourcePath,
+              const std::map<std::string, int64_t> &ConstBindings,
+              FrontendVersion Version, std::vector<Diagnostic> &Diags);
+
+} // namespace frontend
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_FRONTEND_H

@@ -1,0 +1,301 @@
+//===- lang/HirBuilder.cpp - typed AST to HIR ----------------------------------===//
+
+#include "lang/HirBuilder.h"
+
+#include <cassert>
+
+using namespace isq;
+using namespace isq::asl;
+
+namespace {
+
+/// Builds the HIR of one slot space: an action (parameters + body) or
+/// the module's shared initializer space.
+class Builder {
+public:
+  Builder(const SymbolTable &Syms, hir::TypeTable &Types)
+      : Syms(Syms), Types(Types) {}
+
+  uint32_t freshSlot() { return NextSlot++; }
+  uint32_t numSlots() const { return NextSlot; }
+  bool usesPending() const { return UsesPending; }
+
+  void bindParam(const std::string &Name, uint32_t Slot) {
+    Scope[Name] = Slot;
+  }
+
+  hir::ExprPtr buildExpr(const Expr &E);
+  std::vector<hir::StmtPtr> buildStmts(const std::vector<StmtPtr> &Stmts,
+                                       size_t Begin);
+
+private:
+  hir::StmtPtr buildStmt(const Stmt &S);
+
+  const SymbolTable &Syms;
+  hir::TypeTable &Types;
+  /// Innermost slot for each visible local name.
+  std::map<std::string, uint32_t> Scope;
+  uint32_t NextSlot = 0;
+  bool UsesPending = false;
+};
+
+hir::ExprPtr Builder::buildExpr(const Expr &E) {
+  auto Out = std::make_unique<hir::Expr>();
+  Out->Loc = E.loc();
+  Out->Type = Types.intern(E.Type);
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    Out->Kind = hir::ExprKind::IntLit;
+    Out->IntValue = E.IntValue;
+    break;
+  case ExprKind::BoolLit:
+    Out->Kind = hir::ExprKind::BoolLit;
+    Out->IntValue = E.IntValue;
+    break;
+  case ExprKind::NoneLit:
+    Out->Kind = hir::ExprKind::NoneLit;
+    break;
+  case ExprKind::EmptyLit:
+    Out->Kind = hir::ExprKind::EmptyLit;
+    break;
+  case ExprKind::VarRef: {
+    auto It = Scope.find(E.Name);
+    if (It != Scope.end()) {
+      Out->Kind = hir::ExprKind::LocalRef;
+      Out->Slot = It->second;
+      break;
+    }
+    if (Syms.Consts.count(E.Name)) {
+      Out->Kind = hir::ExprKind::ConstRef;
+      Out->Name = E.Name;
+      break;
+    }
+    assert(Syms.Globals.count(E.Name) &&
+           "unresolved name survived type checking");
+    Out->Kind = hir::ExprKind::GlobalRef;
+    Out->Name = E.Name;
+    break;
+  }
+  case ExprKind::Index:
+    Out->Kind = hir::ExprKind::Index;
+    Out->Children.push_back(buildExpr(*E.Children[0]));
+    Out->Children.push_back(buildExpr(*E.Children[1]));
+    break;
+  case ExprKind::Unary:
+    Out->Kind = hir::ExprKind::Unary;
+    Out->Op = E.Op;
+    Out->Children.push_back(buildExpr(*E.Children[0]));
+    break;
+  case ExprKind::Binary:
+    Out->Kind = hir::ExprKind::Binary;
+    Out->Op = E.Op;
+    Out->Children.push_back(buildExpr(*E.Children[0]));
+    Out->Children.push_back(buildExpr(*E.Children[1]));
+    break;
+  case ExprKind::Call: {
+    Out->Kind = hir::ExprKind::Call;
+    Out->Name = E.Name;
+    size_t FirstArg = 0;
+    if (E.Name == "pending" || E.Name == "pending_le" ||
+        E.Name == "pending_le_at") {
+      // The first argument is the target action's name, not a value.
+      Out->Callee = E.Children[0]->Name;
+      FirstArg = 1;
+      UsesPending = true;
+    }
+    for (size_t I = FirstArg; I < E.Children.size(); ++I)
+      Out->Children.push_back(buildExpr(*E.Children[I]));
+    break;
+  }
+  case ExprKind::SomeExpr:
+    Out->Kind = hir::ExprKind::Some;
+    Out->Children.push_back(buildExpr(*E.Children[0]));
+    break;
+  case ExprKind::MapCompr: {
+    Out->Kind = hir::ExprKind::MapCompr;
+    Out->Children.push_back(buildExpr(*E.Children[0]));
+    Out->Children.push_back(buildExpr(*E.Children[1]));
+    uint32_t Slot = freshSlot();
+    Out->Slot = Slot;
+    auto Saved = Scope.find(E.Name);
+    bool Had = Saved != Scope.end();
+    uint32_t Old = Had ? Saved->second : 0;
+    Scope[E.Name] = Slot;
+    Out->Children.push_back(buildExpr(*E.Children[2]));
+    if (Had)
+      Scope[E.Name] = Old;
+    else
+      Scope.erase(E.Name);
+    break;
+  }
+  }
+  return Out;
+}
+
+hir::StmtPtr Builder::buildStmt(const Stmt &S) {
+  auto Out = std::make_unique<hir::Stmt>();
+  Out->Loc = S.loc();
+  switch (S.Kind) {
+  case StmtKind::Skip:
+    Out->Kind = hir::StmtKind::Skip;
+    break;
+  case StmtKind::Assert:
+    Out->Kind = hir::StmtKind::Assert;
+    Out->Exprs.push_back(buildExpr(*S.Exprs[0]));
+    break;
+  case StmtKind::Await:
+    Out->Kind = hir::StmtKind::Await;
+    Out->Exprs.push_back(buildExpr(*S.Exprs[0]));
+    break;
+  case StmtKind::Assign:
+    Out->Kind = hir::StmtKind::Assign;
+    Out->Name = S.Name;
+    for (const ExprPtr &E : S.Exprs)
+      Out->Exprs.push_back(buildExpr(*E));
+    break;
+  case StmtKind::Async:
+    Out->Kind = hir::StmtKind::Async;
+    Out->Name = S.Name;
+    for (const ExprPtr &E : S.Exprs)
+      Out->Exprs.push_back(buildExpr(*E));
+    break;
+  case StmtKind::If:
+    Out->Kind = hir::StmtKind::If;
+    Out->Exprs.push_back(buildExpr(*S.Exprs[0]));
+    Out->Body = buildStmts(S.Body, 0);
+    Out->ElseBody = buildStmts(S.ElseBody, 0);
+    break;
+  case StmtKind::For: {
+    Out->Kind = hir::StmtKind::For;
+    Out->Exprs.push_back(buildExpr(*S.Exprs[0]));
+    Out->Exprs.push_back(buildExpr(*S.Exprs[1]));
+    uint32_t Slot = freshSlot();
+    Out->Slot = Slot;
+    auto Saved = Scope.find(S.Name);
+    bool Had = Saved != Scope.end();
+    uint32_t Old = Had ? Saved->second : 0;
+    Scope[S.Name] = Slot;
+    Out->Body = buildStmts(S.Body, 0);
+    if (Had)
+      Scope[S.Name] = Old;
+    else
+      Scope.erase(S.Name);
+    break;
+  }
+  case StmtKind::Choose:
+    // Handled in buildStmts (the binding scopes over the remaining
+    // statements of the enclosing list).
+    Out->Kind = hir::StmtKind::Choose;
+    Out->Exprs.push_back(buildExpr(*S.Exprs[0]));
+    break;
+  }
+  return Out;
+}
+
+std::vector<hir::StmtPtr>
+Builder::buildStmts(const std::vector<StmtPtr> &Stmts, size_t Begin) {
+  std::vector<hir::StmtPtr> Out;
+  /// Choose bindings opened in this list, undone on exit (the type
+  /// checker guarantees they shadow nothing).
+  std::vector<std::string> ChooseBindings;
+  for (size_t I = Begin; I < Stmts.size(); ++I) {
+    hir::StmtPtr S = buildStmt(*Stmts[I]);
+    if (Stmts[I]->Kind == StmtKind::Choose) {
+      uint32_t Slot = freshSlot();
+      S->Slot = Slot;
+      Scope[Stmts[I]->Name] = Slot;
+      ChooseBindings.push_back(Stmts[I]->Name);
+    }
+    Out.push_back(std::move(S));
+  }
+  for (const std::string &Name : ChooseBindings)
+    Scope.erase(Name);
+  return Out;
+}
+
+void instantiateExpr(hir::ExprPtr &E,
+                     const std::map<std::string, int64_t> &Consts) {
+  if (E->Kind == hir::ExprKind::ConstRef) {
+    auto It = Consts.find(E->Name);
+    assert(It != Consts.end() && "unresolved constant at instantiation");
+    auto Lit = std::make_unique<hir::Expr>();
+    Lit->Kind = hir::ExprKind::IntLit;
+    Lit->Loc = E->Loc;
+    Lit->Type = E->Type;
+    Lit->IntValue = It->second;
+    E = std::move(Lit);
+    return;
+  }
+  for (hir::ExprPtr &C : E->Children)
+    instantiateExpr(C, Consts);
+}
+
+void instantiateStmts(std::vector<hir::StmtPtr> &Stmts,
+                      const std::map<std::string, int64_t> &Consts) {
+  for (hir::StmtPtr &S : Stmts) {
+    for (hir::ExprPtr &E : S->Exprs)
+      instantiateExpr(E, Consts);
+    instantiateStmts(S->Body, Consts);
+    instantiateStmts(S->ElseBody, Consts);
+  }
+}
+
+} // namespace
+
+hir::Module asl::buildHir(const Module &M, const SymbolTable &Syms) {
+  hir::Module Out;
+  for (const std::string &Name : Syms.ConstOrder)
+    Out.ConstNames.push_back(Name);
+
+  // Globals and symmetric bounds share one initializer slot space.
+  Builder Init(Syms, Out.Types);
+  for (const VarDecl &V : M.Vars) {
+    hir::Global G;
+    G.Name = V.Name;
+    G.Loc = {V.File, V.Line, V.Column};
+    G.Type = Out.Types.intern(V.Type);
+    G.Init = Init.buildExpr(*V.Init);
+    Out.Globals.push_back(std::move(G));
+  }
+  for (const SymmetricDecl &D : M.Symmetrics) {
+    hir::Symmetric S;
+    S.Name = D.Name;
+    S.Loc = {D.File, D.Line, D.Column};
+    S.Lo = Init.buildExpr(*D.Lo);
+    S.Hi = Init.buildExpr(*D.Hi);
+    Out.Symmetrics.push_back(std::move(S));
+  }
+  Out.NumInitSlots = Init.numSlots();
+
+  for (const ActionDecl &A : M.Actions) {
+    hir::Action Act;
+    Act.Name = A.Name;
+    Act.Loc = {A.File, A.Line, A.Column};
+    Builder B(Syms, Out.Types);
+    for (const ParamDecl &P : A.Params) {
+      hir::Param Param;
+      Param.Name = P.Name;
+      Param.Type = Out.Types.intern(P.Type);
+      Param.Slot = B.freshSlot();
+      B.bindParam(P.Name, Param.Slot);
+      Act.Params.push_back(std::move(Param));
+    }
+    Act.Body = B.buildStmts(A.Body, 0);
+    Act.NumSlots = B.numSlots();
+    Act.UsesPending = B.usesPending();
+    Out.Actions.push_back(std::move(Act));
+  }
+  return Out;
+}
+
+void asl::instantiate(hir::Module &M,
+                      const std::map<std::string, int64_t> &Consts) {
+  for (hir::Global &G : M.Globals)
+    instantiateExpr(G.Init, Consts);
+  for (hir::Symmetric &S : M.Symmetrics) {
+    instantiateExpr(S.Lo, Consts);
+    instantiateExpr(S.Hi, Consts);
+  }
+  for (hir::Action &A : M.Actions)
+    instantiateStmts(A.Body, Consts);
+}

@@ -1,0 +1,40 @@
+//===- lang/HirBuilder.h - typed AST to HIR -----------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a bound, type-checked AST module to HIR: resolves every name
+/// reference to a local slot, a constant, or a global using the binder's
+/// symbol table; assigns a fresh slot to each parameter and binder; and
+/// interns all types. Must only be called on a module that passed
+/// bindModule and typeCheck — structural problems assert here.
+///
+/// instantiate() then closes the HIR over one concrete parameter
+/// binding, replacing every ConstRef by an integer literal. The result
+/// is the per-(program, binding) HIR the optimizer folds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_HIRBUILDER_H
+#define ISQ_LANG_HIRBUILDER_H
+
+#include "lang/Binder.h"
+#include "lang/Hir.h"
+
+#include <cstdint>
+#include <map>
+
+namespace isq {
+namespace asl {
+
+/// Builds the HIR of \p M (bound and type-checked).
+hir::Module buildHir(const Module &M, const SymbolTable &Syms);
+
+/// Substitutes the resolved constant values into \p M, eliminating every
+/// ConstRef node. \p Consts must bind each constant the module mentions
+/// (guaranteed by resolveConstBindings).
+void instantiate(hir::Module &M,
+                 const std::map<std::string, int64_t> &Consts);
+
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_HIRBUILDER_H

@@ -1,0 +1,50 @@
+//===- lang/HirEval.h - HIR evaluator -----------------------------*- C++ -*-===//
+///
+/// \file
+/// Concrete evaluation of HIR expressions and action bodies. A structural
+/// mirror of the AST evaluator (lang/Eval.h): the same short-circuiting,
+/// the same builtin semantics, and the same continuation-passing path
+/// enumeration with the same branch order — so an action lowered from
+/// HIR produces the same transition list, in the same order, as the v1
+/// compile of the same source. Locals live in a flat slot vector instead
+/// of a name map, and the pending-async mirror is a dedicated
+/// environment field instead of the reserved "__pending" local.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_HIREVAL_H
+#define ISQ_LANG_HIREVAL_H
+
+#include "lang/Eval.h"
+#include "lang/Hir.h"
+
+namespace isq {
+namespace asl {
+
+/// The evaluation environment of one HIR slot space. Plain pointers plus
+/// a value vector: environments are copied per control path, and
+/// evaluation itself holds no shared mutable state, so compiled actions
+/// stay safe to run from concurrent checker jobs.
+struct HirEnv {
+  std::vector<Value> Slots;
+  /// Type table of the owning module (EmptyLit materialization).
+  const hir::TypeTable *Types = nullptr;
+  /// The pending-async mirror: a bag of (action-symbol index, args...)
+  /// tuples, or nullptr outside gate evaluation (all counts read 0).
+  const Value *Pending = nullptr;
+};
+
+/// Evaluates \p E under global store \p G and environment \p Env. The
+/// environment is taken mutably for map-comprehension binders (written
+/// and restored); it is otherwise unchanged on return.
+Value evalHirExpr(const hir::Expr &E, const Store &G, HirEnv &Env);
+
+/// Runs an action body from (\p G, \p Env), enumerating all control
+/// paths. Same outcome contract as runBody.
+BodyOutcome runHirBody(const std::vector<hir::StmtPtr> &Body,
+                       const Store &G, const HirEnv &Env);
+
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_HIREVAL_H

@@ -1,0 +1,316 @@
+//===- lang/HirOptimizer.cpp - HIR simplification ------------------------------===//
+
+#include "lang/HirOptimizer.h"
+
+#include <cassert>
+#include <set>
+
+using namespace isq;
+using namespace isq::asl;
+
+
+
+namespace {
+
+bool isIntLit(const hir::Expr &E) {
+  return E.Kind == hir::ExprKind::IntLit;
+}
+bool isBoolLit(const hir::Expr &E) {
+  return E.Kind == hir::ExprKind::BoolLit;
+}
+bool isTrue(const hir::Expr &E) { return isBoolLit(E) && E.IntValue != 0; }
+bool isFalse(const hir::Expr &E) { return isBoolLit(E) && E.IntValue == 0; }
+
+/// True when evaluating \p E can neither fail nor diverge for any store
+/// and environment: no calls (several builtins are partial), no map
+/// indexing (missing keys fail), no division or modulo unless the
+/// divisor is a nonzero literal. Such expressions may be dropped.
+bool isTotal(const hir::Expr &E) {
+  switch (E.Kind) {
+  case hir::ExprKind::Call:
+  case hir::ExprKind::Index:
+    return false;
+  case hir::ExprKind::Binary:
+    if ((E.Op == "/" || E.Op == "%") &&
+        !(isIntLit(*E.Children[1]) && E.Children[1]->IntValue != 0))
+      return false;
+    break;
+  default:
+    break;
+  }
+  for (const hir::ExprPtr &C : E.Children)
+    if (!isTotal(*C))
+      return false;
+  return true;
+}
+
+class Optimizer {
+public:
+  bool Changed = false;
+
+  void foldExpr(hir::ExprPtr &E);
+  /// Returns the optimized replacement of \p Stmts.
+  std::vector<hir::StmtPtr> simplifyStmts(std::vector<hir::StmtPtr> Stmts);
+
+private:
+  hir::ExprPtr makeIntLit(const hir::Expr &At, int64_t V) {
+    auto Out = std::make_unique<hir::Expr>();
+    Out->Kind = hir::ExprKind::IntLit;
+    Out->Loc = At.Loc;
+    Out->Type = At.Type;
+    Out->IntValue = V;
+    return Out;
+  }
+  hir::ExprPtr makeBoolLit(const hir::Expr &At, bool V) {
+    auto Out = std::make_unique<hir::Expr>();
+    Out->Kind = hir::ExprKind::BoolLit;
+    Out->Loc = At.Loc;
+    Out->Type = At.Type;
+    Out->IntValue = V ? 1 : 0;
+    return Out;
+  }
+};
+
+void Optimizer::foldExpr(hir::ExprPtr &E) {
+  for (hir::ExprPtr &C : E->Children)
+    foldExpr(C);
+
+  if (E->Kind == hir::ExprKind::Unary) {
+    const hir::Expr &A = *E->Children[0];
+    if (E->Op == "-" && isIntLit(A)) {
+      E = makeIntLit(*E, -A.IntValue);
+      Changed = true;
+    } else if (E->Op == "!" && isBoolLit(A)) {
+      E = makeBoolLit(*E, A.IntValue == 0);
+      Changed = true;
+    }
+    return;
+  }
+  if (E->Kind != hir::ExprKind::Binary)
+    return;
+
+  const hir::Expr &A = *E->Children[0];
+  const hir::Expr &B = *E->Children[1];
+  const std::string &Op = E->Op;
+
+  if (Op == "&&") {
+    // `g && false` is NOT folded: g must still be evaluated.
+    if (isTrue(A))
+      E = std::move(E->Children[1]);
+    else if (isFalse(A))
+      E = makeBoolLit(*E, false);
+    else if (isTrue(B))
+      E = std::move(E->Children[0]);
+    else
+      return;
+    Changed = true;
+    return;
+  }
+  if (Op == "||") {
+    // `g || true` is NOT folded, symmetrically.
+    if (isFalse(A))
+      E = std::move(E->Children[1]);
+    else if (isTrue(A))
+      E = makeBoolLit(*E, true);
+    else if (isFalse(B))
+      E = std::move(E->Children[0]);
+    else
+      return;
+    Changed = true;
+    return;
+  }
+
+  if (isIntLit(A) && isIntLit(B)) {
+    int64_t X = A.IntValue, Y = B.IntValue;
+    if (Op == "+")
+      E = makeIntLit(*E, X + Y);
+    else if (Op == "-")
+      E = makeIntLit(*E, X - Y);
+    else if (Op == "*")
+      E = makeIntLit(*E, X * Y);
+    else if (Op == "/" && Y != 0)
+      E = makeIntLit(*E, X / Y);
+    else if (Op == "%" && Y != 0)
+      E = makeIntLit(*E, X % Y);
+    else if (Op == "<")
+      E = makeBoolLit(*E, X < Y);
+    else if (Op == "<=")
+      E = makeBoolLit(*E, X <= Y);
+    else if (Op == ">")
+      E = makeBoolLit(*E, X > Y);
+    else if (Op == ">=")
+      E = makeBoolLit(*E, X >= Y);
+    else if (Op == "==")
+      E = makeBoolLit(*E, X == Y);
+    else if (Op == "!=")
+      E = makeBoolLit(*E, X != Y);
+    else
+      return; // division/modulo by literal zero: left for evaluation
+    Changed = true;
+    return;
+  }
+  if (isBoolLit(A) && isBoolLit(B) && (Op == "==" || Op == "!=")) {
+    bool Equal = (A.IntValue != 0) == (B.IntValue != 0);
+    E = makeBoolLit(*E, Op == "==" ? Equal : !Equal);
+    Changed = true;
+  }
+}
+
+std::vector<hir::StmtPtr> Optimizer::simplifyStmts(std::vector<hir::StmtPtr> Stmts) {
+  std::vector<hir::StmtPtr> Out;
+  for (size_t I = 0; I < Stmts.size(); ++I) {
+    hir::StmtPtr S = std::move(Stmts[I]);
+    for (hir::ExprPtr &E : S->Exprs)
+      foldExpr(E);
+    S->Body = simplifyStmts(std::move(S->Body));
+    S->ElseBody = simplifyStmts(std::move(S->ElseBody));
+
+    switch (S->Kind) {
+    case hir::StmtKind::Skip:
+      Changed = true;
+      continue;
+    case hir::StmtKind::Assert:
+      if (isTrue(*S->Exprs[0])) {
+        Changed = true;
+        continue;
+      }
+      if (isFalse(*S->Exprs[0])) {
+        // The path unconditionally fails here; everything after is
+        // unreachable.
+        Out.push_back(std::move(S));
+        if (I + 1 < Stmts.size())
+          Changed = true;
+        return Out;
+      }
+      break;
+    case hir::StmtKind::Await:
+      if (isTrue(*S->Exprs[0])) {
+        Changed = true;
+        continue;
+      }
+      if (isFalse(*S->Exprs[0])) {
+        // The path unconditionally blocks here.
+        Out.push_back(std::move(S));
+        if (I + 1 < Stmts.size())
+          Changed = true;
+        return Out;
+      }
+      break;
+    case hir::StmtKind::If: {
+      if (isBoolLit(*S->Exprs[0])) {
+        // Inline the taken branch. Scope-safe: bindings are slots, and
+        // the statements after the if never read the branch's slots.
+        std::vector<hir::StmtPtr> &Taken =
+            isTrue(*S->Exprs[0]) ? S->Body : S->ElseBody;
+        for (hir::StmtPtr &Inner : Taken)
+          Out.push_back(std::move(Inner));
+        Changed = true;
+        continue;
+      }
+      if (S->Body.empty() && S->ElseBody.empty() &&
+          isTotal(*S->Exprs[0])) {
+        Changed = true;
+        continue;
+      }
+      break;
+    }
+    case hir::StmtKind::For:
+      if (S->Body.empty() && isTotal(*S->Exprs[0]) &&
+          isTotal(*S->Exprs[1])) {
+        Changed = true;
+        continue;
+      }
+      break;
+    case hir::StmtKind::Assign:
+    case hir::StmtKind::Async:
+    case hir::StmtKind::Choose:
+      // Never touched: assignments and asyncs are the transition payload,
+      // and a choose's branching *is* the transition relation.
+      break;
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+/// Collects every slot read by a LocalRef.
+void collectUsedSlots(const hir::Expr &E, std::set<uint32_t> &Used) {
+  if (E.Kind == hir::ExprKind::LocalRef)
+    Used.insert(E.Slot);
+  for (const hir::ExprPtr &C : E.Children)
+    collectUsedSlots(*C, Used);
+}
+
+void collectUsedSlots(const std::vector<hir::StmtPtr> &Stmts,
+                      std::set<uint32_t> &Used) {
+  for (const hir::StmtPtr &S : Stmts) {
+    for (const hir::ExprPtr &E : S->Exprs)
+      collectUsedSlots(*E, Used);
+    collectUsedSlots(S->Body, Used);
+    collectUsedSlots(S->ElseBody, Used);
+  }
+}
+
+/// Marks binder slots that are never read as NoSlot.
+bool elideDeadBindingsExpr(hir::Expr &E, const std::set<uint32_t> &Used) {
+  bool Changed = false;
+  if (E.Kind == hir::ExprKind::MapCompr && E.Slot != hir::NoSlot &&
+      !Used.count(E.Slot)) {
+    E.Slot = hir::NoSlot;
+    Changed = true;
+  }
+  for (hir::ExprPtr &C : E.Children)
+    Changed = elideDeadBindingsExpr(*C, Used) || Changed;
+  return Changed;
+}
+
+bool elideDeadBindingsStmts(std::vector<hir::StmtPtr> &Stmts,
+                            const std::set<uint32_t> &Used) {
+  bool Changed = false;
+  for (hir::StmtPtr &S : Stmts) {
+    if ((S->Kind == hir::StmtKind::For ||
+         S->Kind == hir::StmtKind::Choose) &&
+        S->Slot != hir::NoSlot && !Used.count(S->Slot)) {
+      S->Slot = hir::NoSlot;
+      Changed = true;
+    }
+    for (hir::ExprPtr &E : S->Exprs)
+      Changed = elideDeadBindingsExpr(*E, Used) || Changed;
+    Changed = elideDeadBindingsStmts(S->Body, Used) || Changed;
+    Changed = elideDeadBindingsStmts(S->ElseBody, Used) || Changed;
+  }
+  return Changed;
+}
+
+} // namespace
+
+void asl::optimizeHir(hir::Module &M) {
+  // Fold the initializer expressions once (they are evaluated a single
+  // time to build the initial store; statement rules do not apply).
+  Optimizer Init;
+  for (hir::Global &G : M.Globals)
+    Init.foldExpr(G.Init);
+  for (hir::Symmetric &S : M.Symmetrics) {
+    Init.foldExpr(S.Lo);
+    Init.foldExpr(S.Hi);
+  }
+
+  for (hir::Action &A : M.Actions) {
+    // Simplify to a fixpoint, so the pass is idempotent by construction.
+    while (true) {
+      Optimizer Pass;
+      A.Body = Pass.simplifyStmts(std::move(A.Body));
+      std::set<uint32_t> Used;
+      collectUsedSlots(A.Body, Used);
+      bool Elided = elideDeadBindingsStmts(A.Body, Used);
+      if (!Pass.Changed && !Elided)
+        break;
+    }
+  }
+  // Dead map-comprehension binders in initializers.
+  for (hir::Global &G : M.Globals) {
+    std::set<uint32_t> Used;
+    collectUsedSlots(*G.Init, Used);
+    elideDeadBindingsExpr(*G.Init, Used);
+  }
+}

@@ -1,0 +1,47 @@
+//===- lang/HirOptimizer.h - HIR simplification -------------------*- C++ -*-===//
+///
+/// \file
+/// Semantics-preserving simplification of instantiated HIR. Every rule
+/// preserves the *transition list* of each action — not just the set of
+/// reachable stores, but their enumeration order and multiplicity — so
+/// the optimized module still lowers to a Program bit-identical to the
+/// unoptimized one. The admitted rules:
+///
+///  - constant folding of integer arithmetic and comparisons on literals
+///    (never division or modulo by a zero or non-literal divisor);
+///  - gate simplification: `true && g -> g`, `g && true -> g`,
+///    `false && g -> false`, `false || g -> g`, `g || false -> g`,
+///    `true || g -> true`. `g && false` and `g || true` are NOT folded:
+///    dropping g would skip its evaluation, which may be partial;
+///  - `assert true` and `await true` removal; contradiction pruning of
+///    the statements following an `assert false` or `await false` (the
+///    path always fails resp. blocks there);
+///  - inlining of `if` on a literal condition (order-preserving: slots
+///    make splicing the branch into the enclosing list scope-safe);
+///  - removal of `skip`, of empty `if`, and of empty `for`, when any
+///    condition/bound expressions they would still evaluate are
+///    syntactically total;
+///  - dead-binding elimination: a for/choose/map binder whose slot is
+///    never read is marked NoSlot, so evaluation skips the write. The
+///    choose statement itself is never touched (its branching structure
+///    is the transition relation).
+///
+/// Runs to a fixpoint, so optimize(optimize(M)) == optimize(M) (tested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_HIROPTIMIZER_H
+#define ISQ_LANG_HIROPTIMIZER_H
+
+#include "lang/Hir.h"
+
+namespace isq {
+namespace asl {
+
+/// Optimizes \p M in place.
+void optimizeHir(hir::Module &M);
+
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_HIROPTIMIZER_H

@@ -14,6 +14,8 @@ const char *asl::tokenKindName(TokenKind K) {
     return "identifier";
   case TokenKind::IntLiteral:
     return "integer literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
   case TokenKind::KwConst:
     return "'const'";
   case TokenKind::KwVar:
@@ -139,7 +141,8 @@ const std::unordered_map<std::string, TokenKind> &keywords() {
 } // namespace
 
 std::vector<Token> asl::lex(const std::string &Source,
-                            std::vector<Diagnostic> &Diags) {
+                            std::vector<Diagnostic> &Diags,
+                            uint32_t FileId) {
   std::vector<Token> Tokens;
   size_t I = 0;
   unsigned Line = 1, Column = 1;
@@ -208,6 +211,31 @@ std::vector<Token> asl::lex(const std::string &Source,
       T.Line = StartLine;
       T.Column = StartColumn;
       Tokens.push_back(std::move(T));
+      continue;
+    }
+    // String literals (import paths). No escape sequences; a newline or
+    // end of input before the closing quote is an error.
+    if (Ch == '"') {
+      Advance();
+      std::string Text;
+      bool Closed = false;
+      while (I < Source.size()) {
+        char C = Peek();
+        if (C == '"') {
+          Advance();
+          Closed = true;
+          break;
+        }
+        if (C == '\n')
+          break;
+        Text += C;
+        Advance();
+      }
+      if (!Closed)
+        Diags.push_back({"unterminated string literal", StartLine,
+                         StartColumn, Severity::Error, FileId});
+      Emit(TokenKind::StringLiteral, std::move(Text), StartLine,
+           StartColumn);
       continue;
     }
     // Operators and punctuation.
@@ -285,7 +313,7 @@ std::vector<Token> asl::lex(const std::string &Source,
       break;
     default:
       Diags.push_back({std::string("unexpected character '") + Ch + "'",
-                       StartLine, StartColumn});
+                       StartLine, StartColumn, Severity::Error, FileId});
       Advance();
       continue;
     }

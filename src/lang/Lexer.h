@@ -10,6 +10,7 @@
 #ifndef ISQ_LANG_LEXER_H
 #define ISQ_LANG_LEXER_H
 
+#include "lang/Diagnostics.h"
 #include "lang/Token.h"
 
 #include <string>
@@ -18,22 +19,12 @@
 namespace isq {
 namespace asl {
 
-/// A source-located diagnostic message.
-struct Diagnostic {
-  std::string Message;
-  unsigned Line = 0;
-  unsigned Column = 0;
-
-  std::string str() const {
-    return "line " + std::to_string(Line) + ":" + std::to_string(Column) +
-           ": " + Message;
-  }
-};
-
 /// Tokenizes \p Source completely. On errors, diagnostics are appended to
-/// \p Diags and lexing continues past the offending character.
+/// \p Diags and lexing continues past the offending character. \p FileId
+/// is stamped into every diagnostic (the token stream itself is
+/// file-agnostic; the parser knows which file it is consuming).
 std::vector<Token> lex(const std::string &Source,
-                       std::vector<Diagnostic> &Diags);
+                       std::vector<Diagnostic> &Diags, uint32_t FileId = 0);
 
 } // namespace asl
 } // namespace isq

@@ -1,0 +1,150 @@
+//===- lang/ModuleResolver.cpp - ASL import resolution -------------------------===//
+
+#include "lang/ModuleResolver.h"
+
+#include "lang/Parser.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace isq;
+using namespace isq::asl;
+
+namespace {
+
+/// Lexically normalized form of \p Path, used as the identity of a file
+/// for diamond deduplication and cycle detection. Purely textual: two
+/// spellings that normalize differently (e.g. via symlinks) count as
+/// distinct files.
+std::string normalized(const std::string &Path) {
+  if (Path.empty())
+    return Path;
+  return std::filesystem::path(Path).lexically_normal().generic_string();
+}
+
+/// Resolves \p ImportPath against the directory of \p ImporterPath.
+std::string joinRelative(const std::string &ImporterPath,
+                         const std::string &ImportPath) {
+  std::filesystem::path P(ImportPath);
+  if (P.is_absolute() || ImporterPath.empty())
+    return normalized(ImportPath);
+  std::filesystem::path Dir =
+      std::filesystem::path(ImporterPath).parent_path();
+  return normalized((Dir / P).generic_string());
+}
+
+class Resolver {
+public:
+  Resolver(const ModuleLoader &Loader, SourceManager &SM,
+           std::vector<Diagnostic> &Diags)
+      : Loader(Loader), SM(SM), Diags(Diags) {}
+
+  /// Resolves the imports of \p M (parsed from \p Path), then merges M's
+  /// own declarations. Post-order: imported declarations come first.
+  void resolve(Module &&M, const std::string &Path);
+
+  bool failed() const { return Failed; }
+  Module take() { return std::move(Merged); }
+
+private:
+  void error(const ImportDecl &At, std::string Message,
+             std::string Note = "") {
+    Diags.push_back({std::move(Message), At.Line, At.Column,
+                     Severity::Error, At.File, 0, 0, "", std::move(Note)});
+    Failed = true;
+  }
+
+  const ModuleLoader &Loader;
+  SourceManager &SM;
+  std::vector<Diagnostic> &Diags;
+  /// Normalized paths of the files currently being resolved, outermost
+  /// first; an import that names one of these closes a cycle.
+  std::vector<std::string> Stack;
+  std::set<std::string> Done;
+  Module Merged;
+  bool Failed = false;
+};
+
+void Resolver::resolve(Module &&M, const std::string &Path) {
+  Stack.push_back(normalized(Path));
+  for (const ImportDecl &I : M.Imports) {
+    std::string Full = joinRelative(Path, I.Path);
+    if (std::find(Stack.begin(), Stack.end(), Full) != Stack.end()) {
+      std::string Chain;
+      for (const std::string &S : Stack) {
+        if (!Chain.empty())
+          Chain += " -> ";
+        Chain += S.empty() ? "<input>" : S;
+      }
+      error(I, "circular import of '" + I.Path + "'",
+            "import chain: " + Chain + " -> " + Full);
+      continue;
+    }
+    if (Done.count(Full))
+      continue;
+    Done.insert(Full);
+    if (!Loader) {
+      error(I, "imports are unavailable in this context (the source has "
+               "no on-disk path to resolve '" +
+                   I.Path + "' against)");
+      continue;
+    }
+    std::optional<std::string> Text = Loader(Full);
+    if (!Text) {
+      error(I, "cannot open imported module '" + I.Path + "'",
+            "resolved to '" + Full + "'");
+      continue;
+    }
+    uint32_t FileId = SM.add(Full);
+    std::optional<Module> Sub = parseModule(*Text, Diags, FileId);
+    if (!Sub) {
+      Failed = true;
+      continue;
+    }
+    resolve(std::move(*Sub), Full);
+  }
+  Stack.pop_back();
+  for (ConstDecl &C : M.Consts)
+    Merged.Consts.push_back(std::move(C));
+  for (SymmetricDecl &S : M.Symmetrics)
+    Merged.Symmetrics.push_back(std::move(S));
+  for (VarDecl &V : M.Vars)
+    Merged.Vars.push_back(std::move(V));
+  for (ActionDecl &A : M.Actions)
+    Merged.Actions.push_back(std::move(A));
+}
+
+} // namespace
+
+ModuleLoader asl::diskLoader() {
+  return [](const std::string &Path) -> std::optional<std::string> {
+    std::ifstream In(Path, std::ios::binary);
+    if (!In)
+      return std::nullopt;
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    return Buffer.str();
+  };
+}
+
+std::optional<Module> asl::resolveModules(const std::string &Source,
+                                          const std::string &SourcePath,
+                                          const ModuleLoader &Loader,
+                                          SourceManager &SM,
+                                          std::vector<Diagnostic> &Diags) {
+  if (SM.size() == 0)
+    SM.add(SourcePath.empty() ? "<input>" : normalized(SourcePath));
+  std::optional<Module> Main = parseModule(Source, Diags, /*FileId=*/0);
+  if (!Main)
+    return std::nullopt;
+  if (Main->Imports.empty())
+    return Main;
+  Resolver R(Loader, SM, Diags);
+  R.resolve(std::move(*Main), SourcePath);
+  if (R.failed())
+    return std::nullopt;
+  return R.take();
+}

@@ -1,0 +1,51 @@
+//===- lang/ModuleResolver.h - ASL import resolution --------------*- C++ -*-===//
+///
+/// \file
+/// Resolves `import "file.asl";` declarations into a single merged
+/// module. Imports are loaded depth-first and merged in post-order, so
+/// the declarations of an imported file always precede the declarations
+/// of its importer — an importer may reference imported constants, sorts,
+/// variables, and actions, never the other way around. Import paths are
+/// resolved relative to the directory of the importing file; a file
+/// reached through several routes (diamond imports) is merged exactly
+/// once, and an import cycle is a diagnosed error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_LANG_MODULERESOLVER_H
+#define ISQ_LANG_MODULERESOLVER_H
+
+#include "lang/Ast.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace isq {
+namespace asl {
+
+/// Loads the text of an imported module by path (as resolved against the
+/// importing file's directory). Returns std::nullopt when the file cannot
+/// be read. An empty function disables imports entirely (e.g. for sources
+/// submitted over the wire, which have no directory to resolve against).
+using ModuleLoader =
+    std::function<std::optional<std::string>(const std::string &Path)>;
+
+/// A loader that reads files from disk.
+ModuleLoader diskLoader();
+
+/// Parses \p Source (registered in \p SM as file 0 under \p SourcePath,
+/// or "<input>" when the path is empty) and resolves its imports
+/// recursively through \p Loader. Returns the merged module, or
+/// std::nullopt with diagnostics on any lexical, syntactic, or import
+/// error.
+std::optional<Module> resolveModules(const std::string &Source,
+                                     const std::string &SourcePath,
+                                     const ModuleLoader &Loader,
+                                     SourceManager &SM,
+                                     std::vector<Diagnostic> &Diags);
+
+} // namespace asl
+} // namespace isq
+
+#endif // ISQ_LANG_MODULERESOLVER_H

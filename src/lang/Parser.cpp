@@ -10,8 +10,9 @@ namespace {
 /// The parser state: a token cursor with diagnostics.
 class Parser {
 public:
-  Parser(std::vector<Token> Tokens, std::vector<Diagnostic> &Diags)
-      : Tokens(std::move(Tokens)), Diags(Diags) {}
+  Parser(std::vector<Token> Tokens, std::vector<Diagnostic> &Diags,
+         uint32_t FileId)
+      : Tokens(std::move(Tokens)), Diags(Diags), FileId(FileId) {}
 
   std::optional<Module> parseModule();
 
@@ -36,8 +37,17 @@ private:
     return false;
   }
   void error(const std::string &Message) {
-    Diags.push_back({Message, peek().Line, peek().Column});
+    Diags.push_back(
+        {Message, peek().Line, peek().Column, Severity::Error, FileId});
     Failed = true;
+  }
+  ExprPtr makeExpr(ExprKind Kind, const Token &At) const {
+    auto E = std::make_unique<Expr>();
+    E->Kind = Kind;
+    E->Line = At.Line;
+    E->Column = At.Column;
+    E->File = FileId;
+    return E;
   }
 
   std::optional<TypeRef> parseType();
@@ -50,6 +60,7 @@ private:
 
   std::vector<Token> Tokens;
   std::vector<Diagnostic> &Diags;
+  uint32_t FileId = 0;
   size_t Pos = 0;
   bool Failed = false;
 };
@@ -79,14 +90,6 @@ int precedenceOf(TokenKind K) {
   default:
     return -1;
   }
-}
-
-ExprPtr makeExpr(ExprKind Kind, const Token &At) {
-  auto E = std::make_unique<Expr>();
-  E->Kind = Kind;
-  E->Line = At.Line;
-  E->Column = At.Column;
-  return E;
 }
 
 } // namespace
@@ -300,6 +303,7 @@ StmtPtr Parser::parseStmt() {
   auto S = std::make_unique<Stmt>();
   S->Line = T.Line;
   S->Column = T.Column;
+  S->File = FileId;
   switch (T.Kind) {
   case TokenKind::KwSkip:
     advance();
@@ -404,12 +408,56 @@ StmtPtr Parser::parseStmt() {
 std::optional<Module> Parser::parseModule() {
   Module M;
   while (!check(TokenKind::Eof)) {
-    // `symmetric` is a context-sensitive keyword: only an identifier
-    // spelled "symmetric" in declaration position opens a symmetric-sort
-    // declaration, so existing modules may keep using the name elsewhere.
+    // `symmetric`, `import`, and `param` are context-sensitive keywords:
+    // only an identifier with that spelling in declaration position opens
+    // the corresponding declaration, so existing modules may keep using
+    // the names elsewhere (e.g. as action parameters).
+    if (check(TokenKind::Identifier) && peek().Text == "import") {
+      ImportDecl D;
+      D.Line = peek().Line;
+      D.Column = peek().Column;
+      D.File = FileId;
+      advance();
+      if (check(TokenKind::StringLiteral)) {
+        D.Path = peek().Text;
+        advance();
+        if (D.Path.empty())
+          error("import path must not be empty");
+      } else {
+        error("expected a quoted path after 'import'");
+      }
+      expect(TokenKind::Semicolon, "after import declaration");
+      M.Imports.push_back(std::move(D));
+      continue;
+    }
+    if (check(TokenKind::Identifier) && peek().Text == "param") {
+      ConstDecl D;
+      D.Line = peek().Line;
+      D.Column = peek().Column;
+      D.File = FileId;
+      D.IsParam = true;
+      advance();
+      if (check(TokenKind::Identifier)) {
+        D.Name = peek().Text;
+        advance();
+      } else {
+        error("expected parameter name after 'param'");
+      }
+      expect(TokenKind::Colon, "in param declaration");
+      auto Ty = parseType();
+      if (Ty && *Ty != TypeRef::intTy())
+        error("parameters must have type int");
+      if (match(TokenKind::Assign))
+        D.Init = parseExpr();
+      expect(TokenKind::Semicolon, "after param declaration");
+      M.Consts.push_back(std::move(D));
+      continue;
+    }
     if (check(TokenKind::Identifier) && peek().Text == "symmetric") {
       SymmetricDecl D;
       D.Line = peek().Line;
+      D.Column = peek().Column;
+      D.File = FileId;
       advance();
       if (check(TokenKind::Identifier)) {
         D.Name = peek().Text;
@@ -428,6 +476,8 @@ std::optional<Module> Parser::parseModule() {
     if (match(TokenKind::KwConst)) {
       ConstDecl D;
       D.Line = peek().Line;
+      D.Column = peek().Column;
+      D.File = FileId;
       if (check(TokenKind::Identifier)) {
         D.Name = peek().Text;
         advance();
@@ -438,6 +488,8 @@ std::optional<Module> Parser::parseModule() {
       auto Ty = parseType();
       if (Ty && *Ty != TypeRef::intTy())
         error("constants must have type int");
+      if (match(TokenKind::Assign))
+        D.Init = parseExpr();
       expect(TokenKind::Semicolon, "after const declaration");
       M.Consts.push_back(std::move(D));
       continue;
@@ -445,6 +497,8 @@ std::optional<Module> Parser::parseModule() {
     if (match(TokenKind::KwVar)) {
       VarDecl D;
       D.Line = peek().Line;
+      D.Column = peek().Column;
+      D.File = FileId;
       if (check(TokenKind::Identifier)) {
         D.Name = peek().Text;
         advance();
@@ -464,6 +518,8 @@ std::optional<Module> Parser::parseModule() {
     if (match(TokenKind::KwAction)) {
       ActionDecl A;
       A.Line = peek().Line;
+      A.Column = peek().Column;
+      A.File = FileId;
       if (check(TokenKind::Identifier)) {
         A.Name = peek().Text;
         advance();
@@ -503,10 +559,11 @@ std::optional<Module> Parser::parseModule() {
 }
 
 std::optional<Module> asl::parseModule(const std::string &Source,
-                                       std::vector<Diagnostic> &Diags) {
-  std::vector<Token> Tokens = lex(Source, Diags);
+                                       std::vector<Diagnostic> &Diags,
+                                       uint32_t FileId) {
+  std::vector<Token> Tokens = lex(Source, Diags, FileId);
   if (!Diags.empty())
     return std::nullopt;
-  Parser P(std::move(Tokens), Diags);
+  Parser P(std::move(Tokens), Diags, FileId);
   return P.parseModule();
 }

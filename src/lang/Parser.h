@@ -18,9 +18,12 @@ namespace isq {
 namespace asl {
 
 /// Parses \p Source into a module. Returns std::nullopt (with diagnostics
-/// in \p Diags) on any lexical or syntactic error.
+/// in \p Diags) on any lexical or syntactic error. \p FileId is the
+/// SourceManager id stamped into every node and diagnostic (0 = main
+/// input).
 std::optional<Module> parseModule(const std::string &Source,
-                                  std::vector<Diagnostic> &Diags);
+                                  std::vector<Diagnostic> &Diags,
+                                  uint32_t FileId = 0);
 
 } // namespace asl
 } // namespace isq

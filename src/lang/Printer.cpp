@@ -136,8 +136,16 @@ std::string asl::printStmt(const Stmt &S, unsigned Indent) {
 
 std::string asl::printModule(const Module &M) {
   std::string Out;
-  for (const ConstDecl &C : M.Consts)
-    Out += "const " + C.Name + ": int;\n";
+  for (const ImportDecl &I : M.Imports)
+    Out += "import \"" + I.Path + "\";\n";
+  if (!M.Imports.empty())
+    Out += "\n";
+  for (const ConstDecl &C : M.Consts) {
+    Out += (C.IsParam ? "param " : "const ") + C.Name + ": int";
+    if (C.Init)
+      Out += " := " + printExpr(*C.Init);
+    Out += ";\n";
+  }
   for (const SymmetricDecl &D : M.Symmetrics)
     Out += "symmetric " + D.Name + ": " + printExpr(*D.Lo) + " .. " +
            printExpr(*D.Hi) + ";\n";

@@ -20,6 +20,7 @@ enum class TokenKind : uint8_t {
   // Literals and identifiers.
   Identifier,
   IntLiteral,
+  StringLiteral, ///< "path.asl" — import paths only; no escape sequences
   // Keywords.
   KwConst,
   KwVar,

@@ -21,13 +21,13 @@ public:
 
 private:
   void error(const Expr &At, const std::string &Message) {
-    Diags.push_back({Message, At.Line, At.Column});
+    Diags.push_back({Message, At.Line, At.Column, Severity::Error, At.File});
   }
   void error(const Stmt &At, const std::string &Message) {
-    Diags.push_back({Message, At.Line, At.Column});
+    Diags.push_back({Message, At.Line, At.Column, Severity::Error, At.File});
   }
-  void error(unsigned Line, const std::string &Message) {
-    Diags.push_back({Message, Line, 0});
+  void error(SourceLoc At, const std::string &Message) {
+    Diags.push_back({Message, At.Line, At.Column, Severity::Error, At.File});
   }
 
   /// Infers the type of \p E (optionally against an expected type, which
@@ -43,7 +43,7 @@ private:
   TypeRef inferCall(Expr &E, const TypeRef *Expected);
 
   /// Verifies every named sort mentioned in \p T was declared.
-  void checkTypeSorts(const TypeRef &T, unsigned Line);
+  void checkTypeSorts(const TypeRef &T, SourceLoc At);
 
   Module &M;
   std::vector<Diagnostic> &Diags;
@@ -491,27 +491,39 @@ void Checker::checkStmts(std::vector<StmtPtr> &Stmts, size_t Begin,
   }
 }
 
-void Checker::checkTypeSorts(const TypeRef &T, unsigned Line) {
+void Checker::checkTypeSorts(const TypeRef &T, SourceLoc At) {
   if (!T.Sort.empty() && !Sorts.count(T.Sort))
-    error(Line, "unknown type '" + T.Sort + "'");
+    error(At, "unknown type '" + T.Sort + "'");
   for (const TypeRef &P : T.Params)
-    checkTypeSorts(P, Line);
+    checkTypeSorts(P, At);
 }
 
 bool Checker::run() {
   size_t Before = Diags.size();
-  // Declarations first.
-  for (const ConstDecl &C : M.Consts) {
+  // Declarations first. Constant initializers (param defaults and derived
+  // consts) are checked in declaration order, so an initializer may only
+  // reference constants declared before it — the same order the binding
+  // resolver evaluates them in.
+  for (ConstDecl &C : M.Consts) {
+    if (C.Init) {
+      std::map<std::string, TypeRef> NoLocals;
+      CurrentLocals = &NoLocals;
+      check(*C.Init, TypeRef::intTy());
+      CurrentLocals = nullptr;
+    }
     if (!Consts.insert(C.Name).second)
-      error(C.Line, "duplicate constant '" + C.Name + "'");
+      error(SourceLoc{C.File, C.Line, C.Column},
+            "duplicate constant '" + C.Name + "'");
   }
   // Symmetric sorts: one per module (the reduction enumerates the full
   // permutation group of a single sort), with int constant bounds.
   for (SymmetricDecl &D : M.Symmetrics) {
     if (!Sorts.insert(D.Name).second)
-      error(D.Line, "duplicate symmetric sort '" + D.Name + "'");
+      error(SourceLoc{D.File, D.Line, D.Column},
+            "duplicate symmetric sort '" + D.Name + "'");
     else if (Consts.count(D.Name))
-      error(D.Line, "symmetric sort '" + D.Name + "' shadows a constant");
+      error(SourceLoc{D.File, D.Line, D.Column},
+            "symmetric sort '" + D.Name + "' shadows a constant");
     std::map<std::string, TypeRef> NoLocals;
     CurrentLocals = &NoLocals;
     check(*D.Lo, TypeRef::intTy());
@@ -519,12 +531,14 @@ bool Checker::run() {
     CurrentLocals = nullptr;
   }
   if (M.Symmetrics.size() > 1)
-    error(M.Symmetrics[1].Line,
+    error(SourceLoc{M.Symmetrics[1].File, M.Symmetrics[1].Line,
+                    M.Symmetrics[1].Column},
           "at most one symmetric sort may be declared per module");
   for (VarDecl &V : M.Vars) {
-    checkTypeSorts(V.Type, V.Line);
+    checkTypeSorts(V.Type, SourceLoc{V.File, V.Line, V.Column});
     if (Consts.count(V.Name) || !Globals.emplace(V.Name, V.Type).second)
-      error(V.Line, "duplicate variable '" + V.Name + "'");
+      error(SourceLoc{V.File, V.Line, V.Column},
+            "duplicate variable '" + V.Name + "'");
   }
   // Initializers (may reference constants and earlier globals; checked
   // with an empty locals scope plus the comprehension machinery).
@@ -538,13 +552,15 @@ bool Checker::run() {
   std::set<std::string> ActionNames;
   for (ActionDecl &A : M.Actions) {
     if (!ActionNames.insert(A.Name).second)
-      error(A.Line, "duplicate action '" + A.Name + "'");
+      error(SourceLoc{A.File, A.Line, A.Column},
+            "duplicate action '" + A.Name + "'");
     std::map<std::string, TypeRef> Locals;
     for (const ParamDecl &P : A.Params) {
-      checkTypeSorts(P.Type, A.Line);
+      checkTypeSorts(P.Type, SourceLoc{A.File, A.Line, A.Column});
       if (!Locals.emplace(P.Name, P.Type).second)
-        error(A.Line, "duplicate parameter '" + P.Name + "' in action '" +
-                          A.Name + "'");
+        error(SourceLoc{A.File, A.Line, A.Column},
+              "duplicate parameter '" + P.Name + "' in action '" + A.Name +
+                  "'");
     }
     CurrentLocals = &Locals;
     checkStmts(A.Body, 0, Locals);

@@ -1,0 +1,9 @@
+// Error corpus: a duplicate global declaration. The binder reports it
+// with a "first declared here" note, and the pipeline stops before the
+// type checker so the duplicate is not double-reported.
+var x: int := 0;
+var x: int := 1;
+
+action Main() {
+  x := 2;
+}

@@ -1,0 +1,7 @@
+// Error corpus: one half of an import cycle (a -> b -> a). Cycles are a
+// diagnosed error, not a stack overflow.
+import "import_cycle_b.asl";
+
+action Main() {
+  skip;
+}

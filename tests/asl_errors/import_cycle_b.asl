@@ -1,0 +1,4 @@
+// Error corpus: the other half of the a -> b -> a import cycle.
+import "import_cycle_a.asl";
+
+var shared: int := 0;

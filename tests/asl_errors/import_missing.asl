@@ -1,0 +1,7 @@
+// Error corpus: an import whose target does not exist on disk. The
+// diagnostic points at the import declaration in this file.
+import "no_such_module.asl";
+
+action Main() {
+  skip;
+}

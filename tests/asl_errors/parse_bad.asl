@@ -1,0 +1,7 @@
+// Error corpus: a missing semicolon after the initializer and an action
+// body that is never closed. Exercises parser recovery and the golden
+// text rendering of syntax diagnostics (file:line:col).
+var x: int := 0
+
+action Main() {
+  x := 1;

@@ -1,0 +1,11 @@
+// Error corpus: type mismatches inside one action. Every diagnostic must
+// carry the precise source span of the offending expression, and all of
+// them are reported in one run (no first-error bailout).
+var x: int := 0;
+var q: seq<int> := [];
+
+action Main() {
+  x := true;
+  x := front(x);
+  q := push_back(q, false);
+}

@@ -1,0 +1,10 @@
+// Error corpus: references to names that are never declared — a variable
+// read, an assignment target, and an async to an unknown action. All are
+// reported in one run, each with the precise use site.
+var x: int := 0;
+
+action Main() {
+  x := y + 1;
+  z := 2;
+  async Nope(3);
+}

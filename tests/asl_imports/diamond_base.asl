@@ -1,0 +1,4 @@
+// Shared base of the diamond-import fixture. Both diamond_left.asl and
+// diamond_right.asl import this file; the resolver must merge it exactly
+// once or 'base' becomes a duplicate declaration.
+var base: int := 1;

@@ -1,0 +1,3 @@
+import "diamond_base.asl";
+
+var left: int := base;

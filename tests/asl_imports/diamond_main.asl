@@ -1,0 +1,11 @@
+// Diamond-import fixture root: both arms import diamond_base.asl. The
+// post-order merge is left, right, then this file, with base included
+// exactly once ahead of both arms.
+import "diamond_left.asl";
+import "diamond_right.asl";
+
+var total: int := left + right + base;
+
+action Main() {
+  assert total == 3;
+}

@@ -1,0 +1,3 @@
+import "diamond_base.asl";
+
+var right: int := base;

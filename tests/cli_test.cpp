@@ -70,6 +70,46 @@ void expectMatchesGolden(const std::string &Rendered,
   EXPECT_EQ(Scrubbed, Buffer.str()) << "golden mismatch for " << Name;
 }
 
+/// Runs the driver over tests/asl_errors/\p Name exactly as isq-verify
+/// would: the source path is set so imports resolve relative to the
+/// corpus directory and diagnostics carry real file names.
+VerifyResult verifyErrorCorpus(const std::string &Name) {
+  std::string Dir = std::string(ISQ_SOURCE_DIR) + "/tests/asl_errors/";
+  std::ifstream In(Dir + Name);
+  EXPECT_TRUE(In.good()) << "missing error-corpus file " << Name;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  VerifyOptions Options;
+  Options.Source = Buffer.str();
+  Options.SourcePath = Dir + Name;
+  Options.Eliminate = {"Main"}; // never reached: every corpus file fails
+  return verifyModule(Options);
+}
+
+/// Strips the machine-dependent corpus directory from \p Text so the
+/// golden files show bare file names ("type_errors.asl:8:8: ...").
+std::string stripCorpusDir(std::string Text) {
+  const std::string Dir =
+      std::string(ISQ_SOURCE_DIR) + "/tests/asl_errors/";
+  size_t Pos;
+  while ((Pos = Text.find(Dir)) != std::string::npos)
+    Text.erase(Pos, Dir.size());
+  return Text;
+}
+
+/// Every compile diagnostic must be location-bearing: a 1-based line and
+/// column plus a resolved file name.
+void expectLocated(const VerifyResult &Result) {
+  EXPECT_FALSE(Result.CompileOk);
+  EXPECT_EQ(Result.exitCode(), 2);
+  ASSERT_FALSE(Result.Diags.empty());
+  for (const asl::Diagnostic &D : Result.Diags) {
+    EXPECT_GT(D.Line, 0u) << D.Message;
+    EXPECT_GT(D.Column, 0u) << D.Message;
+    EXPECT_FALSE(D.FileName.empty()) << D.Message;
+  }
+}
+
 } // namespace
 
 // --- Argument parsing ----------------------------------------------------
@@ -273,4 +313,66 @@ TEST(CliTest, GoldenJsonInputError) {
   VerifyResult Result = verifyModule(Options);
   EXPECT_EQ(Result.exitCode(), 2);
   expectMatchesGolden(renderJson(Result), "input_error.json");
+}
+
+// --- Golden diagnostics (tests/asl_errors corpus) -------------------------
+//
+// Each corpus file is compiled through the full driver; the rendered
+// text (file:line:col: severity: message) is pinned as a golden file, so
+// message wording, location precision, and multi-error behavior are all
+// part of the tested surface. The GoldenDiag* names ride the
+// CliTest.Golden* filter used by tools/update_goldens.sh.
+
+TEST(CliTest, GoldenDiagParseBad) {
+  VerifyResult Result = verifyErrorCorpus("parse_bad.asl");
+  expectLocated(Result);
+  expectMatchesGolden(stripCorpusDir(renderText(Result)),
+                      "diag_parse_bad.txt");
+}
+
+TEST(CliTest, GoldenDiagTypeErrors) {
+  VerifyResult Result = verifyErrorCorpus("type_errors.asl");
+  expectLocated(Result);
+  // No first-error bailout: one run reports every mismatch.
+  EXPECT_GE(Result.Diags.size(), 3u);
+  expectMatchesGolden(stripCorpusDir(renderText(Result)),
+                      "diag_type_errors.txt");
+}
+
+TEST(CliTest, GoldenDiagBindErrors) {
+  VerifyResult Result = verifyErrorCorpus("bind_errors.asl");
+  expectLocated(Result);
+  expectMatchesGolden(stripCorpusDir(renderText(Result)),
+                      "diag_bind_errors.txt");
+}
+
+TEST(CliTest, GoldenDiagUndefinedNames) {
+  VerifyResult Result = verifyErrorCorpus("undefined_names.asl");
+  expectLocated(Result);
+  EXPECT_GE(Result.Diags.size(), 3u);
+  expectMatchesGolden(stripCorpusDir(renderText(Result)),
+                      "diag_undefined_names.txt");
+}
+
+TEST(CliTest, GoldenDiagImportMissing) {
+  VerifyResult Result = verifyErrorCorpus("import_missing.asl");
+  expectLocated(Result);
+  expectMatchesGolden(stripCorpusDir(renderText(Result)),
+                      "diag_import_missing.txt");
+}
+
+TEST(CliTest, GoldenDiagImportCycle) {
+  VerifyResult Result = verifyErrorCorpus("import_cycle_a.asl");
+  expectLocated(Result);
+  expectMatchesGolden(stripCorpusDir(renderText(Result)),
+                      "diag_import_cycle.txt");
+}
+
+TEST(CliTest, GoldenDiagJson) {
+  // The JSON shape of located diagnostics is part of schema version 3:
+  // severity, file, line/col, end span, and note per entry.
+  VerifyResult Result = verifyErrorCorpus("type_errors.asl");
+  expectLocated(Result);
+  expectMatchesGolden(stripCorpusDir(renderJson(Result)),
+                      "diag_type_errors.json");
 }

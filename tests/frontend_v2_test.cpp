@@ -1,0 +1,405 @@
+//===- tests/frontend_v2_test.cpp - staged frontend differential tests --------------===//
+///
+/// \file
+/// The v2 frontend's acceptance surface, checked against the v1 oracle:
+/// every shipped example must compile and verify bit-identically under
+/// both pipelines (same verdict JSON modulo timings), the HIR optimizer
+/// must be idempotent, the printer must round-trip every example, module
+/// resolution must merge diamonds exactly once, parameters must obey the
+/// default/override/derived rules, and the two ASL protocol ports
+/// (ChangRoberts, ProducerConsumer) must match their native-program
+/// twins in src/protocols/ execution for execution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/ReportRender.h"
+#include "driver/VerifyDriver.h"
+#include "explorer/Explorer.h"
+#include "is/ISCheck.h"
+#include "lang/Binder.h"
+#include "lang/Frontend.h"
+#include "lang/HirBuilder.h"
+#include "lang/HirOptimizer.h"
+#include "lang/ModuleResolver.h"
+#include "lang/Printer.h"
+#include "lang/TypeCheck.h"
+#include "protocols/ChangRoberts.h"
+#include "protocols/ProducerConsumer.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+using namespace isq;
+using namespace isq::asl;
+using namespace isq::driver;
+
+namespace {
+
+std::string examplePath(const std::string &Name) {
+  return std::string(ISQ_SOURCE_DIR) + "/examples/asl/" + Name;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "missing file " << Path;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+std::string scrubTimings(const std::string &Json) {
+  static const std::regex Seconds("(\"[a-z_]*seconds\":)[0-9.]+");
+  return std::regex_replace(Json, Seconds, "$010");
+}
+
+/// With more than one worker thread the cache telemetry (hash-cons and
+/// canonicalization hit counts) depends on thread interleaving; the
+/// verdict, obligations and state counts do not. Multithreaded
+/// comparisons zero the telemetry, single-threaded ones stay strict.
+std::string scrubSchedulingCounters(const std::string &Json) {
+  static const std::regex Counter(
+      "(\"(?:hash_cons_lookups|hash_cons_hits|transition_cache_lookups|"
+      "transition_cache_hits|canon_calls|canon_cache_hits)\":)[0-9]+");
+  return std::regex_replace(Json, Counter, "$010");
+}
+
+/// One example with its documented proof artifacts (the "Verify with:"
+/// header), at the smallest instance that exercises the proof.
+struct ExampleJob {
+  const char *File;
+  std::map<std::string, int64_t> Consts;
+  std::vector<std::string> Eliminate;
+  std::map<std::string, std::string> Abstractions;
+  std::map<std::string, uint64_t> Weights;
+  bool ArgMajor = false;
+};
+
+std::vector<ExampleJob> exampleJobs() {
+  return {
+      {"ping_pong.asl",
+       {{"T", 3}},
+       {"Ping", "Pong"},
+       {{"Ping", "PingAbs"}, {"Pong", "PongAbs"}},
+       {},
+       /*ArgMajor=*/true},
+      {"broadcast.asl",
+       {{"n", 2}},
+       {"Broadcast", "Collect"},
+       {{"Collect", "CollectAbs"}},
+       {},
+       /*ArgMajor=*/false},
+      {"two_phase_commit.asl",
+       {{"n", 2}},
+       {"RequestVotes", "Vote", "Decide", "Finalize"},
+       {{"Decide", "DecideAbs"}},
+       {{"RequestVotes", 8}, {"Decide", 4}},
+       /*ArgMajor=*/false},
+      // paxos runs at its param defaults (R=2, N=2): no bindings at all.
+      {"paxos.asl",
+       {},
+       {"StartRound", "Join", "Propose", "Vote", "Conclude"},
+       {{"Join", "JoinAbs"},
+        {"Propose", "ProposeAbs"},
+        {"Vote", "VoteAbs"},
+        {"Conclude", "ConcludeAbs"}},
+       {{"StartRound", 9}, {"Propose", 5}, {"Conclude", 2}},
+       /*ArgMajor=*/true},
+      {"producer_consumer.asl",
+       {{"T", 3}},
+       {"Producer", "Consumer"},
+       {{"Consumer", "ConsumerAbs"}},
+       {},
+       /*ArgMajor=*/true},
+      {"chang_roberts.asl",
+       {{"n", 3}},
+       {"Init", "Handle"},
+       {},
+       {{"Init", 2}},
+       /*ArgMajor=*/true},
+  };
+}
+
+VerifyOptions optionsFor(const ExampleJob &Job,
+                         frontend::FrontendVersion Version) {
+  VerifyOptions Options;
+  Options.Source = readFile(examplePath(Job.File));
+  Options.SourcePath = examplePath(Job.File); // imports resolve from here
+  Options.Consts = Job.Consts;
+  Options.Eliminate = Job.Eliminate;
+  Options.Abstractions = Job.Abstractions;
+  Options.Weights = Job.Weights;
+  if (Job.ArgMajor)
+    Options.Order = VerifyOptions::RankOrder::ArgMajor;
+  Options.Frontend = Version;
+  return Options;
+}
+
+/// Compiles \p Job's example under \p Version, failing the test on any
+/// diagnostic.
+CompiledModule compileExample(const ExampleJob &Job,
+                              frontend::FrontendVersion Version) {
+  std::vector<Diagnostic> Diags;
+  std::optional<CompiledModule> C = frontend::compileSource(
+      readFile(examplePath(Job.File)), examplePath(Job.File), Job.Consts,
+      Version, Diags);
+  EXPECT_TRUE(C.has_value())
+      << Job.File << ": " << (Diags.empty() ? "" : Diags[0].str());
+  return C ? std::move(*C) : CompiledModule();
+}
+
+/// The instantiated (pre-optimizer) HIR of \p Job's example.
+hir::Module buildExampleHir(const ExampleJob &Job) {
+  SourceManager SM;
+  std::vector<Diagnostic> Diags;
+  std::optional<Module> M =
+      resolveModules(readFile(examplePath(Job.File)), examplePath(Job.File),
+                     diskLoader(), SM, Diags);
+  EXPECT_TRUE(M.has_value()) << Job.File;
+  SymbolTable Syms;
+  EXPECT_TRUE(bindModule(*M, Syms, Diags)) << Job.File;
+  EXPECT_TRUE(typeCheck(*M, Diags)) << Job.File;
+  std::map<std::string, int64_t> Resolved;
+  EXPECT_TRUE(resolveConstBindings(*M, Job.Consts, Resolved, Diags))
+      << Job.File;
+  hir::Module H = buildHir(*M, Syms);
+  instantiate(H, Resolved);
+  return H;
+}
+
+const std::vector<const char *> AllExampleFiles = {
+    "broadcast.asl",         "chang_roberts.asl", "lib/ring.asl",
+    "paxos.asl",             "ping_pong.asl",     "producer_consumer.asl",
+    "two_phase_commit.asl"};
+
+} // namespace
+
+// --- v1/v2 differential over the example corpus ---------------------------
+
+TEST(FrontendV2Test, EveryExampleVerdictBitIdenticalAcrossFrontends) {
+  for (const ExampleJob &Job : exampleJobs()) {
+    VerifyResult V1 =
+        verifyModule(optionsFor(Job, frontend::FrontendVersion::V1));
+    VerifyResult V2 =
+        verifyModule(optionsFor(Job, frontend::FrontendVersion::V2));
+    EXPECT_TRUE(V1.Accepted) << Job.File << ": " << V1.Summary;
+    EXPECT_TRUE(V2.Accepted) << Job.File << ": " << V2.Summary;
+    EXPECT_EQ(scrubTimings(renderJson(V1)), scrubTimings(renderJson(V2)))
+        << Job.File << ": frontends diverge";
+  }
+}
+
+TEST(FrontendV2Test, EveryExampleProgramShapeMatchesAcrossFrontends) {
+  // Beyond the verdict: the compiled artifacts themselves must agree —
+  // identical initial store and identical full state space.
+  for (const ExampleJob &Job : exampleJobs()) {
+    CompiledModule C1 = compileExample(Job, frontend::FrontendVersion::V1);
+    CompiledModule C2 = compileExample(Job, frontend::FrontendVersion::V2);
+    EXPECT_EQ(C1.InitialStore.str(), C2.InitialStore.str()) << Job.File;
+    ExploreResult R1 = explore(C1.P, initialConfiguration(C1.InitialStore));
+    ExploreResult R2 = explore(C2.P, initialConfiguration(C2.InitialStore));
+    EXPECT_EQ(R1.Stats.NumConfigurations, R2.Stats.NumConfigurations)
+        << Job.File;
+    EXPECT_EQ(R1.Stats.NumTransitions, R2.Stats.NumTransitions) << Job.File;
+    EXPECT_EQ(R1.FailureReachable, R2.FailureReachable) << Job.File;
+    ASSERT_EQ(R1.TerminalStores.size(), R2.TerminalStores.size())
+        << Job.File;
+    for (size_t I = 0; I < R1.TerminalStores.size(); ++I)
+      EXPECT_EQ(R1.TerminalStores[I].str(), R2.TerminalStores[I].str())
+          << Job.File;
+  }
+}
+
+// --- HIR optimizer --------------------------------------------------------
+
+TEST(FrontendV2Test, HirOptimizerIsIdempotentOnEveryExample) {
+  for (const ExampleJob &Job : exampleJobs()) {
+    hir::Module H = buildExampleHir(Job);
+    optimizeHir(H);
+    std::string Once = hir::print(H);
+    optimizeHir(H);
+    EXPECT_EQ(Once, hir::print(H))
+        << Job.File << ": optimize is not a fixpoint";
+  }
+}
+
+// --- Printer round-trip ---------------------------------------------------
+
+TEST(FrontendV2Test, PrinterRoundTripsEveryExample) {
+  // parse(print(parse(f))) == parse(f), compared via the printer itself:
+  // printing the reparsed module must reproduce the first print exactly.
+  for (const char *Name : AllExampleFiles) {
+    std::vector<Diagnostic> Diags;
+    std::optional<Module> First =
+        parseModule(readFile(examplePath(Name)), Diags);
+    ASSERT_TRUE(First.has_value()) << Name;
+    std::string Printed = printModule(*First);
+    std::optional<Module> Second = parseModule(Printed, Diags);
+    ASSERT_TRUE(Second.has_value())
+        << Name << ": printed form does not reparse:\n" << Printed;
+    EXPECT_EQ(Printed, printModule(*Second)) << Name;
+  }
+}
+
+// --- Parametric protocols -------------------------------------------------
+
+TEST(FrontendV2Test, ParamDefaultsOverridesAndDerivedConsts) {
+  const char *Source = "param n: int := 2;\n"
+                       "const m: int := n * 3;\n"
+                       "var x: int := m;\n"
+                       "action Main() { skip; }\n";
+  for (auto Version :
+       {frontend::FrontendVersion::V1, frontend::FrontendVersion::V2}) {
+    std::vector<Diagnostic> Diags;
+    // Default: n = 2, so the derived m = 6.
+    auto Defaulted = frontend::compileSource(Source, "", {}, Version, Diags);
+    ASSERT_TRUE(Defaulted.has_value());
+    EXPECT_EQ(Defaulted->InitialStore.get("x").getInt(), 6);
+    // Override: --param n=5.
+    auto Overridden =
+        frontend::compileSource(Source, "", {{"n", 5}}, Version, Diags);
+    ASSERT_TRUE(Overridden.has_value());
+    EXPECT_EQ(Overridden->InitialStore.get("x").getInt(), 15);
+    // Derived constants are not externally bindable.
+    Diags.clear();
+    auto BoundDerived =
+        frontend::compileSource(Source, "", {{"m", 9}}, Version, Diags);
+    EXPECT_FALSE(BoundDerived.has_value());
+    ASSERT_FALSE(Diags.empty());
+    EXPECT_NE(Diags[0].Message.find("derived"), std::string::npos)
+        << Diags[0].Message;
+    // A defaultless param requires a binding.
+    Diags.clear();
+    auto Unbound = frontend::compileSource(
+        "param n: int;\nvar x: int := n;\naction Main() { skip; }\n", "", {},
+        Version, Diags);
+    EXPECT_FALSE(Unbound.has_value());
+    ASSERT_FALSE(Diags.empty());
+    EXPECT_NE(Diags[0].Message.find("no binding"), std::string::npos)
+        << Diags[0].Message;
+  }
+}
+
+TEST(FrontendV2Test, PaxosParamInstancesMatchV1ConstPrograms) {
+  // The acceptance criterion for parametric protocols: one paxos.asl,
+  // instantiated at two sizes via bindings, produces verdicts
+  // bit-identical to the v1 (pre-refactor oracle) compilation of the same
+  // binding, for every --threads value.
+  ExampleJob Paxos = exampleJobs()[3];
+  ASSERT_STREQ(Paxos.File, "paxos.asl");
+  for (unsigned Threads : {1u, 2u}) {
+    VerifyOptions O1 = optionsFor(Paxos, frontend::FrontendVersion::V1);
+    VerifyOptions O2 = optionsFor(Paxos, frontend::FrontendVersion::V2);
+    O1.Consts = O2.Consts = {{"R", 2}, {"N", 2}};
+    O1.NumThreads = O2.NumThreads = Threads;
+    VerifyResult V1 = verifyModule(O1);
+    VerifyResult V2 = verifyModule(O2);
+    EXPECT_TRUE(V2.Accepted) << V2.Summary;
+    std::string J1 = scrubTimings(renderJson(V1));
+    std::string J2 = scrubTimings(renderJson(V2));
+    if (Threads > 1) {
+      J1 = scrubSchedulingCounters(J1);
+      J2 = scrubSchedulingCounters(J2);
+    }
+    EXPECT_EQ(J1, J2) << "N=2, threads " << Threads;
+  }
+  // N=3 needs the larger cooperation weights from the example header; the
+  // IS check dominates the runtime, so the instance cross-check is
+  // skipped and only one thread count is exercised.
+  VerifyOptions O1 = optionsFor(Paxos, frontend::FrontendVersion::V1);
+  VerifyOptions O2 = optionsFor(Paxos, frontend::FrontendVersion::V2);
+  O1.Consts = O2.Consts = {{"R", 2}, {"N", 3}};
+  O1.Weights = O2.Weights = {{"StartRound", 11}, {"Propose", 6},
+                             {"Conclude", 2}};
+  O1.CrossCheck = O2.CrossCheck = false;
+  O1.NumThreads = O2.NumThreads = 2;
+  VerifyResult V1 = verifyModule(O1);
+  VerifyResult V2 = verifyModule(O2);
+  EXPECT_TRUE(V2.Accepted) << V2.Summary;
+  EXPECT_EQ(scrubSchedulingCounters(scrubTimings(renderJson(V1))),
+            scrubSchedulingCounters(scrubTimings(renderJson(V2))))
+      << "N=3";
+}
+
+// --- Module resolution ----------------------------------------------------
+
+TEST(FrontendV2Test, DiamondImportMergesBaseExactlyOnce) {
+  std::string Dir = std::string(ISQ_SOURCE_DIR) + "/tests/asl_imports/";
+  for (auto Version :
+       {frontend::FrontendVersion::V1, frontend::FrontendVersion::V2}) {
+    std::vector<Diagnostic> Diags;
+    auto C = frontend::compileSource(readFile(Dir + "diamond_main.asl"),
+                                     Dir + "diamond_main.asl", {}, Version,
+                                     Diags);
+    ASSERT_TRUE(C.has_value())
+        << (Diags.empty() ? "" : Diags[0].str());
+    // Were the base merged twice, its variable would be a diagnosed
+    // duplicate and the sum below would see a stale initializer.
+    EXPECT_EQ(C->InitialStore.get("base").getInt(), 1);
+    EXPECT_EQ(C->InitialStore.get("total").getInt(), 3);
+  }
+}
+
+// --- Native-vs-ASL protocol differentials ---------------------------------
+
+TEST(FrontendV2Test, ChangRobertsAslMatchesNative) {
+  protocols::ChangRobertsParams Params; // 3 nodes, identity IDs
+  ISApplication Native = protocols::makeChangRobertsOneShotIS(Params);
+  Store NativeInit = protocols::makeChangRobertsInitialStore(Params);
+  EXPECT_TRUE(checkIS(Native, {{NativeInit, {}}}).ok());
+
+  ExampleJob Job = exampleJobs()[5];
+  ASSERT_STREQ(Job.File, "chang_roberts.asl");
+  VerifyResult Asl = verifyModule(optionsFor(Job, frontend::FrontendVersion::V2));
+  EXPECT_TRUE(Asl.Accepted) << Asl.Summary;
+
+  // Same state space (modulo the native store's constant-valued n) and
+  // the same unique final outcome: only node n leads.
+  CompiledModule C = compileExample(Job, frontend::FrontendVersion::V2);
+  ExploreResult NativeR =
+      explore(Native.P, initialConfiguration(NativeInit));
+  ExploreResult AslR = explore(C.P, initialConfiguration(C.InitialStore));
+  EXPECT_FALSE(NativeR.FailureReachable);
+  EXPECT_FALSE(AslR.FailureReachable);
+  EXPECT_EQ(NativeR.Stats.NumConfigurations, AslR.Stats.NumConfigurations);
+  EXPECT_EQ(NativeR.Stats.NumTransitions, AslR.Stats.NumTransitions);
+  ASSERT_EQ(NativeR.TerminalStores.size(), 1u);
+  ASSERT_EQ(AslR.TerminalStores.size(), 1u);
+  EXPECT_TRUE(
+      protocols::checkChangRobertsSpec(NativeR.TerminalStores[0], Params));
+  EXPECT_EQ(NativeR.TerminalStores[0].get("leader").str(),
+            AslR.TerminalStores[0].get("leader").str());
+  EXPECT_EQ(NativeR.TerminalStores[0].get("id").str(),
+            AslR.TerminalStores[0].get("id").str());
+}
+
+TEST(FrontendV2Test, ProducerConsumerAslMatchesNative) {
+  protocols::ProducerConsumerParams Params; // 3 items
+  ISApplication Native = protocols::makeProducerConsumerIS(Params);
+  Store NativeInit = protocols::makeProducerConsumerInitialStore(Params);
+  EXPECT_TRUE(checkIS(Native, {{NativeInit, {}}}).ok());
+
+  ExampleJob Job = exampleJobs()[4];
+  ASSERT_STREQ(Job.File, "producer_consumer.asl");
+  VerifyResult Asl = verifyModule(optionsFor(Job, frontend::FrontendVersion::V2));
+  EXPECT_TRUE(Asl.Accepted) << Asl.Summary;
+
+  CompiledModule C = compileExample(Job, frontend::FrontendVersion::V2);
+  ExploreResult NativeR =
+      explore(Native.P, initialConfiguration(NativeInit));
+  ExploreResult AslR = explore(C.P, initialConfiguration(C.InitialStore));
+  EXPECT_FALSE(NativeR.FailureReachable);
+  EXPECT_FALSE(AslR.FailureReachable);
+  EXPECT_EQ(NativeR.Stats.NumConfigurations, AslR.Stats.NumConfigurations);
+  EXPECT_EQ(NativeR.Stats.NumTransitions, AslR.Stats.NumTransitions);
+  ASSERT_EQ(NativeR.TerminalStores.size(), 1u);
+  ASSERT_EQ(AslR.TerminalStores.size(), 1u);
+  EXPECT_TRUE(protocols::checkProducerConsumerSpec(NativeR.TerminalStores[0],
+                                                   Params));
+  for (const char *Var : {"queue", "produced", "consumed"})
+    EXPECT_EQ(NativeR.TerminalStores[0].get(Var).str(),
+              AslR.TerminalStores[0].get(Var).str())
+        << Var;
+}

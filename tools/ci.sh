@@ -4,9 +4,12 @@
 # example end-to-end in both report formats (with a JSON schema sanity
 # check); smoke-run the benchmark binaries for one tiny iteration;
 # smoke-test the verification service (isq-serve + isq-loadgen: verdict
-# cache hit, schema sanity, bit-identity against one-shot isq-verify);
-# finally run the threaded engine + obligation-scheduler + symmetry +
-# serve + driver-re-entrancy tests under ThreadSanitizer, including the
+# cache hits across both manifest paxos instances, schema sanity,
+# per-entry bit-identity against one-shot isq-verify); exercise the
+# staged frontend under AddressSanitizer (golden diagnostics plus the
+# v1/v2 differential over the whole example corpus); finally run the
+# threaded engine + obligation-scheduler + symmetry + serve +
+# driver-re-entrancy tests under ThreadSanitizer, including the
 # --no-symmetry differential. All stages must pass.
 #
 # Usage: tools/ci.sh [JOBS]
@@ -27,20 +30,27 @@ run_config() {
   (cd "$dir" && ctest -j "$JOBS" --output-on-failure)
 }
 
-# Runs isq-verify over one example in text and JSON format; the example
-# header documents its own invocation ("Verify with:"), so CI follows the
-# same command users see, plus --threads 2 to exercise the parallel
-# scheduler. The JSON report must parse and match the v1 schema.
-verify_example() {
-  local bin="$1" file="$2" flags
-  flags=$(awk '
+# Extracts the flags of an example's documented invocation (the
+# multi-line "Verify with:" header), without the leading tool/file words.
+example_flags() {
+  awk '
     /isq-verify/ { on = 1 }
     on {
       line = $0
       sub(/^\/\/ */, "", line); sub(/\\$/, "", line)
       printf "%s ", line
       if ($0 !~ /\\$/) exit
-    }' "$file" | sed 's/^isq-verify  *[^ ]*\.asl //')
+    }' "$1" | sed 's/^isq-verify  *[^ ]*\.asl //'
+}
+
+# Runs isq-verify over one example in text and JSON format; the example
+# header documents its own invocation ("Verify with:"), so CI follows the
+# same command users see, plus --threads 2 to exercise the parallel
+# scheduler. The JSON report must parse and match the versioned schema
+# (v3: located diagnostics, frontend-era fields).
+verify_example() {
+  local bin="$1" file="$2" flags
+  flags=$(example_flags "$file")
   echo "==== isq-verify $file ===="
   # shellcheck disable=SC2086
   "$bin" "$file" $flags --threads 2 >/dev/null
@@ -49,9 +59,10 @@ verify_example() {
     python3 -c '
 import json, sys
 doc = json.load(sys.stdin)
-assert doc["schema_version"] == 2, doc["schema_version"]
+assert doc["schema_version"] == 3, doc["schema_version"]
 assert doc["tool"] == "isq-verify"
 assert doc["exit_code"] == 0 and doc["accepted"] is True
+assert doc["diagnostics"] == []
 names = [c["name"] for c in doc["conditions"]]
 assert names == ["side_conditions", "abstraction_refinement", "base_case",
                  "conclusion", "inductive_step", "left_movers",
@@ -107,45 +118,81 @@ for _ in $(seq 1 50); do
 done
 [ -s "$SERVE_TMP/port" ] || { echo "isq-serve did not come up"; exit 1; }
 
-# Submit the paxos example twice over one connection: the second pass
-# must be served from the verdict cache, and all verdicts must agree
-# after timing fields are scrubbed.
-paxos_line=$(grep '^paxos' examples/asl/serve_manifest.txt)
-echo "$ROOT/examples/asl/${paxos_line}" > "$SERVE_TMP/manifest.txt"
+# Submit both paxos instances from the manifest (the parametric
+# paxos.asl at --param N=2 and N=3) twice each over one connection: the
+# second pass of each must be served from the verdict cache, and every
+# served verdict must agree with itself across repeats after timing
+# fields are scrubbed.
+grep '^paxos' examples/asl/serve_manifest.txt |
+  sed "s|^|$ROOT/examples/asl/|" > "$SERVE_TMP/manifest.txt"
+[ "$(wc -l < "$SERVE_TMP/manifest.txt")" -eq 2 ] ||
+  { echo "expected two paxos manifest lines"; exit 1; }
 build/tools/isq-loadgen --port-file "$SERVE_TMP/port" \
   --manifest "$SERVE_TMP/manifest.txt" --clients 1 --repeats 2 \
   --check-identical --dump-dir "$SERVE_TMP" \
   --json-out "$SERVE_TMP/loadgen.json"
 
-# The served verdict must be bit-identical (modulo timings) to a one-shot
-# isq-verify run of the same job, and pass the schema sanity checks.
-paxos_flags=${paxos_line#paxos.asl }
-# shellcheck disable=SC2086
-build/tools/isq-verify examples/asl/paxos.asl $paxos_flags \
-  --format json > "$SERVE_TMP/oneshot.json"
+# Each entry's served verdict must be bit-identical (modulo timings) to a
+# one-shot isq-verify run of the same job, and pass the schema sanity
+# checks.
+entry=0
+grep '^paxos' examples/asl/serve_manifest.txt | while IFS= read -r line; do
+  flags=${line#paxos.asl }
+  # shellcheck disable=SC2086
+  build/tools/isq-verify examples/asl/paxos.asl $flags \
+    --format json > "$SERVE_TMP/oneshot$entry.json"
+  entry=$((entry + 1))
+done
 python3 - "$SERVE_TMP" <<'EOF'
 import json, re, sys
 tmp = sys.argv[1]
 report = json.load(open(tmp + "/loadgen.json"))
 assert report["failures"] == 0, report
-assert report["submissions"] == 2, report
-assert report["cache_hits"] == 1 and report["cache_hit_rate"] == 0.5, report
+assert report["submissions"] == 4, report
+assert report["cache_hits"] == 2 and report["cache_hit_rate"] == 0.5, report
 assert report["non_zero_exits"] == 0, report
-served = open(tmp + "/entry0.json").read()
-oneshot = open(tmp + "/oneshot.json").read()
 scrub = lambda s: re.sub(r'("[a-z_]*seconds":)[0-9.]+', r'\g<1>0', s)
-assert scrub(served) == scrub(oneshot), "served verdict != one-shot isq-verify"
-doc = json.loads(served)
-assert doc["schema_version"] == 2 and doc["tool"] == "isq-verify"
-assert doc["exit_code"] == 0 and doc["accepted"] is True
-assert all(c["ok"] for c in doc["conditions"])
-assert doc["cross_check"]["ran"] and doc["cross_check"]["ok"]
+for entry in (0, 1):
+    served = open(tmp + "/entry%d.json" % entry).read()
+    oneshot = open(tmp + "/oneshot%d.json" % entry).read()
+    assert scrub(served) == scrub(oneshot), \
+        "entry %d: served verdict != one-shot isq-verify" % entry
+    doc = json.loads(served)
+    assert doc["schema_version"] == 3 and doc["tool"] == "isq-verify"
+    assert doc["exit_code"] == 0 and doc["accepted"] is True
+    assert doc["diagnostics"] == []
+    assert all(c["ok"] for c in doc["conditions"])
+    assert doc["cross_check"]["ran"] and doc["cross_check"]["ok"]
 print("  serve smoke ok")
 EOF
 
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 SERVE_PID=""
+
+echo "==== frontend: golden diagnostics + v1/v2 differential (ASan) ===="
+# The error corpus (tests/asl_errors/) through the sanitized binary's
+# test runner: every diagnostic must carry a source location and match
+# its golden rendering.
+build-asan/tests/cli_test --gtest_filter='CliTest.GoldenDiag*'
+# Differential oracle under ASan: every shipped example, with its
+# documented flags, must produce bit-identical verdict JSON under the
+# legacy v1 pipeline and the staged v2 pipeline (single-threaded, so all
+# engine counters are deterministic).
+for f in examples/asl/*.asl; do
+  flags=$(example_flags "$f")
+  for fe in v1 v2; do
+    # shellcheck disable=SC2086
+    build-asan/tools/isq-verify "$f" $flags --frontend "$fe" \
+      --format json > "$SERVE_TMP/frontend-$fe.json"
+  done
+  scrub_json() { sed -E 's/("[a-z_]*seconds":)[0-9.]+/\10/g' "$1"; }
+  if ! diff <(scrub_json "$SERVE_TMP/frontend-v1.json") \
+            <(scrub_json "$SERVE_TMP/frontend-v2.json") >/dev/null; then
+    echo "frontend differential mismatch: $f"; exit 1
+  fi
+  echo "  $f: v1 == v2"
+done
 
 echo "==== TSan: threaded engine + scheduler + symmetry + serve ===="
 cmake -B build-tsan -S . -DISQ_SANITIZE=thread

@@ -45,6 +45,8 @@ int main(int argc, char **argv) {
   std::stringstream Buffer;
   Buffer << In.rdbuf();
   Parse.Options.Verify.Source = Buffer.str();
+  // Imports resolve relative to the input file; diagnostics name it.
+  Parse.Options.Verify.SourcePath = Parse.Options.InputPath;
 
   VerifyResult Result = verifyModule(Parse.Options.Verify);
   std::string Report = Parse.Options.Format == OutputFormat::Json
