@@ -112,9 +112,9 @@ void reportEngineExplore(benchmark::State &State, const Program &P,
   // The legacy BFS is always unreduced; keep the engine on the same state
   // space so the speedup isolates hash-consing and parallelism. Symmetry
   // reduction is measured separately by BM_Symmetry*.
-  Opts.Symmetry = false;
+  Opts.Config.Symmetry = false;
   if (Mode >= 1)
-    Opts.NumThreads = static_cast<unsigned>(Mode);
+    Opts.Config.NumThreads = static_cast<unsigned>(Mode);
   size_t Configs = 0, Transitions = 0;
   double HitRate = 0;
   for (auto _ : State) {
@@ -166,7 +166,7 @@ BENCHMARK(BM_EngineTwoPhaseCommit)
 void reportSymmetryExplore(benchmark::State &State, const Program &P,
                            const Store &Init, int64_t Mode) {
   ExploreOptions Opts;
-  Opts.Symmetry = Mode == 1;
+  Opts.Config.Symmetry = Mode == 1;
   size_t Configs = 0, Interned = 0, OrbitStates = 0;
   for (auto _ : State) {
     ExploreResult R = exploreAll(P, {initialConfiguration(Init)}, Opts);
@@ -188,6 +188,53 @@ void BM_SymmetryPaxos(benchmark::State &State) {
 BENCHMARK(BM_SymmetryPaxos)
     ->Args({2, 3, 0}) // unreduced
     ->Args({2, 3, 1}) // orbit-canonical quotient
+    ->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===//
+// Compact-store scale target: Paxos with 2 rounds over FOUR acceptors
+// must explore end-to-end on one machine. Symmetry reduction and the
+// work-stealing engine are both on (this is the shipped default); Mode
+// selects the store encoding: 0 = raw interning arenas, 1 = the
+// delta/varint-compressed compact store. Counters record the quotient
+// size and the compressed footprint so BENCH_engine.json documents what
+// "fits on one machine" means. Consumed by tools/bench_engine.sh.
+//===----------------------------------------------------------------------===//
+
+void reportCompactExplore(benchmark::State &State, const Program &P,
+                          const Store &Init, int64_t Mode) {
+  ExploreOptions Opts;
+  // The quotient for 2 rounds x 4 acceptors still runs past the default
+  // 2M-configuration cap's comfort zone; raise it so truncation can
+  // never mask an incomplete run (the Truncated flag is asserted below).
+  Opts.MaxConfigurations = 50'000'000;
+  Opts.Config.Symmetry = true;
+  Opts.Config.NumThreads = 4;
+  Opts.Config.Compress = Mode == 1;
+  size_t Configs = 0, Interned = 0, CompressedBytes = 0;
+  for (auto _ : State) {
+    ExploreResult R = exploreAll(P, {initialConfiguration(Init)}, Opts);
+    if (R.Stats.Truncated) {
+      State.SkipWithError("Paxos/4 exploration truncated");
+      return;
+    }
+    Configs = R.Stats.NumConfigurations;
+    Interned = R.Engine.InternedConfigs;
+    CompressedBytes = R.Engine.CompressedBytes;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["configs"] = static_cast<double>(Configs);
+  State.counters["interned_configs"] = static_cast<double>(Interned);
+  State.counters["compressed_bytes"] = static_cast<double>(CompressedBytes);
+}
+
+void BM_CompactPaxos(benchmark::State &State) {
+  PaxosParams Params{State.range(0), State.range(1)};
+  reportCompactExplore(State, makePaxosProgram(Params),
+                       makePaxosInitialStore(Params), State.range(2));
+}
+BENCHMARK(BM_CompactPaxos)
+    ->Args({2, 4, 0}) // raw arenas
+    ->Args({2, 4, 1}) // compact (delta/varint) store
     ->Unit(benchmark::kMillisecond);
 
 void BM_SymmetryTwoPhaseCommit(benchmark::State &State) {

@@ -38,11 +38,11 @@ void reportVerify(benchmark::State &State, VerifyOptions Options,
                   int64_t Mode) {
   Options.CrossCheck = false; // exploration-bound; BM_Engine* covers it
   if (Mode == 0) {
-    Options.ParallelCheck = false;
-    Options.NumThreads = 1;
+    Options.Engine.ParallelCheck = false;
+    Options.Engine.NumThreads = 1;
   } else {
-    Options.ParallelCheck = true;
-    Options.NumThreads = static_cast<unsigned>(Mode);
+    Options.Engine.ParallelCheck = true;
+    Options.Engine.NumThreads = static_cast<unsigned>(Mode);
   }
   double CheckSeconds = 0, ExploreSeconds = 0;
   size_t Obligations = 0;
@@ -97,8 +97,17 @@ BENCHMARK(BM_CheckerPaxos)
     ->Args({2, 1}) // scheduler, 1 worker
     ->Args({2, 4}) // scheduler, 4 workers
     ->Args({3, 0})
+    // Full worker sweep on the paper-scale instance: BENCH_engine.json
+    // records how checker throughput scales from 1 to 8 workers (the
+    // acceptance target compares mode 0 against mode 4).
     ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({3, 3})
     ->Args({3, 4})
+    ->Args({3, 5})
+    ->Args({3, 6})
+    ->Args({3, 7})
+    ->Args({3, 8})
     ->Unit(benchmark::kMillisecond);
 
 /// End-to-end isq-verify wall-clock with and without symmetry reduction on
@@ -106,8 +115,8 @@ BENCHMARK(BM_CheckerPaxos)
 /// use the scheduler with one worker so the ratio isolates the quotient.
 void reportVerifySymmetry(benchmark::State &State, VerifyOptions Options,
                           int64_t Mode) {
-  Options.Symmetry = Mode == 1;
-  Options.NumThreads = 1;
+  Options.Engine.Symmetry = Mode == 1;
+  Options.Engine.NumThreads = 1;
   size_t Configs = 0, Interned = 0;
   for (auto _ : State) {
     VerifyResult R = verifyModule(Options);

@@ -20,14 +20,27 @@ template <typename T> bool parseNumber(const std::string &S, T &Out) {
   return Ec == std::errc() && Ptr == Last && !S.empty();
 }
 
-std::vector<std::string> splitList(const std::string &S) {
-  std::vector<std::string> Out;
-  std::stringstream Stream(S);
-  std::string Item;
-  while (std::getline(Stream, Item, ','))
-    if (!Item.empty())
-      Out.push_back(Item);
-  return Out;
+/// Splits a comma-separated list. An empty item between commas (or a
+/// leading/trailing comma) is a usage error, not silently dropped: \p
+/// Error names the malformed list and the function returns false.
+bool splitList(const std::string &S, std::vector<std::string> &Out,
+               std::string &Error) {
+  Out.clear();
+  size_t Pos = 0;
+  while (true) {
+    size_t Comma = S.find(',', Pos);
+    std::string Item = S.substr(Pos, Comma == std::string::npos
+                                         ? std::string::npos
+                                         : Comma - Pos);
+    if (Item.empty()) {
+      Error = "empty item in list '" + S + "'";
+      return false;
+    }
+    Out.push_back(Item);
+    if (Comma == std::string::npos)
+      return true;
+    Pos = Comma + 1;
+  }
 }
 
 bool splitKeyValue(const std::string &S, std::string &Key,
@@ -64,14 +77,30 @@ const char *driver::usageText() {
          "  --weight ACT=K        cooperation weight (default 1)\n"
          "  --arg-major           rank pending asyncs by first argument\n"
          "                        before elimination position\n"
-         "  --threads N           worker threads for exploration and\n"
-         "                        obligation checking (default 1);\n"
-         "                        results are identical for any N\n"
-         "  --no-parallel-check   discharge obligations with the serial\n"
-         "                        reference loops (differential oracle)\n"
-         "  --no-symmetry         explore the full state space even when\n"
-         "                        the module declares a symmetric sort\n"
-         "                        (differential oracle; same verdicts)\n"
+         "  --engine K=V[,K=V...] exploration/checking engine knobs; every\n"
+         "                        knob preserves verdicts, counts and\n"
+         "                        diagnostics bit-for-bit. Keys:\n"
+         "                          threads=N            worker threads (default 1)\n"
+         "                          work-stealing=BOOL   work-stealing frontier\n"
+         "                                               (default true; false runs\n"
+         "                                               the level-synchronous\n"
+         "                                               differential oracle)\n"
+         "                          steal-chunk=N        frontier chunk size\n"
+         "                                               (default 64)\n"
+         "                          shards=N             state-store shards, power\n"
+         "                                               of two <= 16 (default 16)\n"
+         "                          compress=BOOL        delta/varint-compressed\n"
+         "                                               state store (default false)\n"
+         "                          parallel-check=BOOL  scheduled obligation\n"
+         "                                               checking (default true;\n"
+         "                                               false runs the serial\n"
+         "                                               reference loops)\n"
+         "                          symmetry=BOOL        orbit-canonical symmetry\n"
+         "                                               reduction (default true)\n"
+         "  --threads N           deprecated alias of --engine threads=N\n"
+         "  --no-parallel-check   deprecated alias of --engine parallel-check=false\n"
+         "  --no-symmetry         deprecated alias of --engine symmetry=false\n"
+         "  --no-work-stealing    deprecated alias of --engine work-stealing=false\n"
          "  --no-cross-check      skip exploring P' / empirical refinement\n"
          "  --format text|json    verdict report format (default: text);\n"
          "                        json emits the schema-versioned report\n"
@@ -107,12 +136,30 @@ CliParse driver::parseCommandLine(const std::vector<std::string> &Args) {
       Cli.Verify.CrossCheck = false;
       continue;
     }
+    // Deprecated aliases of --engine KEY=VALUE (kept for one release; see
+    // usageText()).
     if (Arg == "--no-parallel-check") {
-      Cli.Verify.ParallelCheck = false;
+      Cli.Verify.Engine.ParallelCheck = false;
       continue;
     }
     if (Arg == "--no-symmetry") {
-      Cli.Verify.Symmetry = false;
+      Cli.Verify.Engine.Symmetry = false;
+      continue;
+    }
+    if (Arg == "--no-work-stealing") {
+      Cli.Verify.Engine.WorkStealing = false;
+      continue;
+    }
+    if (Arg == "--engine") {
+      std::string V;
+      if (!NeedValue("--engine needs a KEY=VALUE[,KEY=VALUE...] argument",
+                     V))
+        return Parse;
+      std::string Error;
+      if (!Cli.Verify.Engine.setList(V, Error)) {
+        Parse.Error = "--engine: " + Error;
+        return Parse;
+      }
       continue;
     }
     if (Arg == "--arg-major") {
@@ -137,7 +184,11 @@ CliParse driver::parseCommandLine(const std::vector<std::string> &Args) {
       std::string V;
       if (!NeedValue("--eliminate needs a value", V))
         return Parse;
-      Cli.Verify.Eliminate = splitList(V);
+      std::string Error;
+      if (!splitList(V, Cli.Verify.Eliminate, Error)) {
+        Parse.Error = "--eliminate: " + Error;
+        return Parse;
+      }
       continue;
     }
     if (Arg == "--rewrite") {
@@ -156,7 +207,7 @@ CliParse driver::parseCommandLine(const std::vector<std::string> &Args) {
         Parse.Error = "--threads expects a positive integer, got '" + V + "'";
         return Parse;
       }
-      Cli.Verify.NumThreads = N;
+      Cli.Verify.Engine.NumThreads = N;
       continue;
     }
     if (Arg == "--frontend") {

@@ -7,9 +7,9 @@
 /// has always printed, the JSON form is the machine-readable report
 /// behind `isq-verify --format json`.
 ///
-/// JSON schema (version 3):
+/// JSON schema (version 4):
 ///   {
-///     "schema_version": 3,
+///     "schema_version": 4,
 ///     "tool": "isq-verify",
 ///     "exit_code": 0|1|2,
 ///     "compile_ok": bool, "input_ok": bool, "accepted": bool,
@@ -22,7 +22,9 @@
 ///                      "configs_p_prime", "seconds" },
 ///     "engine":  { exploration statistics incl. "symmetry_reduced",
 ///                  "canon_calls", "canon_cache_hits",
-///                  "orbit_states_represented" },
+///                  "orbit_states_represented", "work_stealing",
+///                  "steal_chunk", "steals", "shards",
+///                  "shard_occupancy", "compressed_bytes" },
 ///     "scheduler": { "threads", "jobs", "units", "dedup_discarded",
 ///                    "cpu_seconds", "wall_seconds" },
 ///     "diagnostics": [ { "severity", "message", "file", "line", "col",
@@ -37,6 +39,13 @@
 /// Version 3 restructured "diagnostics": every entry now carries the
 /// severity, the owning file, a location span and an optional note, and
 /// the "column" key was renamed to "col" (the breaking part).
+/// Version 4 added the work-stealing/compact-store observability to
+/// "engine": "work_stealing", "steal_chunk", "steals" (scheduling; the
+/// steal count is nondeterministic), "shards", "shard_occupancy" (state
+/// sharding; both deterministic), and "compressed_bytes" (total encoded
+/// bytes interned under --engine compress=true; 0 when off). Consumers
+/// that treated unknown engine keys as errors must opt in, hence the
+/// version bump.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,7 +60,7 @@ namespace isq {
 namespace driver {
 
 /// The version of the JSON report schema emitted by renderJson.
-constexpr int JsonSchemaVersion = 3;
+constexpr int JsonSchemaVersion = 4;
 
 /// Renders the human-readable summary (the `--format text` output).
 std::string renderText(const VerifyResult &Result);

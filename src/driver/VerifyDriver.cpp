@@ -195,14 +195,12 @@ VerifyResult driver::verifyModule(const VerifyOptions &Options) {
   // its engine statistics can be surfaced in the summary; obligations run
   // on the scheduler unless the serial reference path was requested.
   ExploreOptions Explore;
-  Explore.NumThreads = Options.NumThreads;
-  Explore.Symmetry = Options.Symmetry;
+  Explore.Config = Options.Engine;
   InitialCondition Init{Compiled->InitialStore, {}};
   ISUniverse Universe = ISUniverse::build(App, {Init}, Explore);
   Result.Engine.accumulate(Universe.Stats);
   ISCheckOptions CheckOpts;
-  CheckOpts.NumThreads = Options.NumThreads;
-  CheckOpts.Parallel = Options.ParallelCheck;
+  CheckOpts.Config = Options.Engine;
   ISCheckReport Report = checkIS(App, Universe, CheckOpts);
   Result.Report = Report;
   Result.Accepted = Report.ok();

@@ -72,19 +72,13 @@ struct VerifyOptions {
   /// Also explore P' and cross-check refinement when the proof is
   /// accepted.
   bool CrossCheck = true;
-  /// Worker threads for the state-space explorations (universe build and
-  /// cross-check) and for the obligation scheduler. Results are
-  /// bit-identical for any thread count.
-  unsigned NumThreads = 1;
-  /// When false, discharge the IS conditions with the serial reference
-  /// checker loops instead of the obligation scheduler (the
-  /// --no-parallel-check differential oracle). Verdicts are identical.
-  bool ParallelCheck = true;
-  /// When false, explore the full unreduced state space even when the
-  /// module declares a symmetric sort (the --no-symmetry differential
-  /// oracle). Verdicts, diagnostics and acceptance are identical; only
-  /// state counts and wall time differ.
-  bool Symmetry = true;
+  /// The unified engine configuration: thread budget, checker
+  /// parallelism, symmetry reduction, work-stealing frontier, and store
+  /// shape. Every engine knob flows through here — the explorations, the
+  /// obligation scheduler, and the IS checker read no thread/symmetry/
+  /// steal settings from anywhere else. Results are bit-identical for
+  /// every setting (see engine/EngineConfig.h).
+  engine::EngineConfig Engine;
 };
 
 /// Outcome of the empirical P ≼ P' cross-check.

@@ -1,0 +1,103 @@
+//===- engine/EngineConfig.h - Unified engine configuration ------*- C++ -*-===//
+///
+/// \file
+/// The single configuration surface for every engine knob: thread budget,
+/// checker parallelism, symmetry reduction, the work-stealing frontier
+/// (on/off, steal granularity), and the compact state store (shard count,
+/// compressed encodings). One EngineConfig is threaded from the CLI (or
+/// the serve wire protocol) through driver::VerifyOptions into the
+/// explorer, the frontier engine, the obligation scheduler, and the IS
+/// checker — no component reads thread/symmetry/steal settings from
+/// anywhere else.
+///
+/// The textual form is a comma-separated key=value list (the `--engine`
+/// flag): `threads=4,steal-chunk=64,shards=8,compress=true`. The same
+/// key/value pairs travel the serve wire protocol as an explicit-keys-only
+/// map, so a request's verdict-cache key covers exactly the settings the
+/// client set. Unknown keys and malformed values are parse errors with a
+/// targeted message, never silently ignored.
+///
+/// Every knob preserves the engine's determinism contract: verdicts,
+/// counts, and diagnostics are bit-identical for every value of every
+/// knob (timing fields and the steal/telemetry counters excepted); the
+/// level-synchronous path (`work-stealing=false`) and the serial checker
+/// loops (`parallel-check=false`) stay alive as differential oracles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_ENGINE_ENGINECONFIG_H
+#define ISQ_ENGINE_ENGINECONFIG_H
+
+#include <map>
+#include <string>
+
+namespace isq {
+namespace engine {
+
+/// All engine tuning knobs, with their defaults.
+struct EngineConfig {
+  /// Worker threads for exploration and obligation checking. Results are
+  /// identical for any value.
+  unsigned NumThreads = 1;
+  /// Discharge obligations on the scheduler (true) or with the serial
+  /// reference loops (false; the differential oracle).
+  bool ParallelCheck = true;
+  /// Orbit-canonical symmetry reduction when the module declares a
+  /// symmetric sort. False explores the full state space (differential
+  /// oracle; same verdicts).
+  bool Symmetry = true;
+  /// Explore with the work-stealing frontier (true) or the
+  /// level-synchronous barrier path (false; the differential oracle).
+  bool WorkStealing = true;
+  /// Nodes per work-stealing chunk (the steal granularity).
+  unsigned StealChunk = 64;
+  /// Interning-arena shards. Must be a power of two in [1, 16] (the
+  /// handle layout reserves four shard bits).
+  unsigned Shards = 16;
+  /// Store interned stores and PA-bags as delta/varint-compressed byte
+  /// encodings instead of materialized values (the compact state store).
+  bool Compress = false;
+
+  /// Maximum supported shard count (the handle layout's shard bits).
+  static constexpr unsigned MaxShards = 16;
+
+  bool operator==(const EngineConfig &O) const {
+    return NumThreads == O.NumThreads && ParallelCheck == O.ParallelCheck &&
+           Symmetry == O.Symmetry && WorkStealing == O.WorkStealing &&
+           StealChunk == O.StealChunk && Shards == O.Shards &&
+           Compress == O.Compress;
+  }
+  bool operator!=(const EngineConfig &O) const { return !(*this == O); }
+
+  /// Applies one `key=value` setting. Returns false with \p Error set on
+  /// an unknown key or malformed value. Valid keys: threads,
+  /// parallel-check, symmetry, work-stealing, steal-chunk, shards,
+  /// compress. Booleans accept true/false/on/off/1/0.
+  bool set(const std::string &Key, const std::string &Value,
+           std::string &Error);
+
+  /// Applies a comma-separated `key=value[,key=value...]` list (the
+  /// `--engine` argument). Empty items between commas are errors.
+  bool setList(const std::string &Spec, std::string &Error);
+
+  /// The settings that differ from the defaults, as a sorted key→value
+  /// map (the wire/cache-key form). `threads` is deliberately excluded:
+  /// verdicts are thread-count independent, so the thread budget is a
+  /// local tuning knob, never a request input.
+  std::map<std::string, std::string> toKeyValues() const;
+
+  /// Applies a wire key→value map on top of this config. Rejects unknown
+  /// keys and malformed values like set(); additionally rejects `threads`
+  /// (a server-side knob, see toKeyValues()).
+  bool applyKeyValues(const std::map<std::string, std::string> &KeyValues,
+                      std::string &Error);
+
+  /// Human-readable one-line rendering of the non-default settings
+  /// ("defaults" when none).
+  std::string str() const;
+};
+
+} // namespace engine
+} // namespace isq
+
+#endif // ISQ_ENGINE_ENGINECONFIG_H

@@ -148,8 +148,8 @@ struct ObligationScheduler::JobSlot {
   double Seconds = 0;
 };
 
-ObligationScheduler::ObligationScheduler(unsigned NumThreads)
-    : Threads(NumThreads ? NumThreads : 1) {
+ObligationScheduler::ObligationScheduler(const EngineConfig &Config)
+    : Threads(Config.NumThreads ? Config.NumThreads : 1) {
   Stats.Threads = Threads;
 }
 

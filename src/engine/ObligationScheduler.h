@@ -33,6 +33,8 @@
 #ifndef ISQ_ENGINE_OBLIGATIONSCHEDULER_H
 #define ISQ_ENGINE_OBLIGATIONSCHEDULER_H
 
+#include "engine/EngineConfig.h"
+
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -185,9 +187,10 @@ public:
   /// folding into per-channel CheckResults under one condition each.
   class Group;
 
-  /// \p NumThreads == 0 is treated as 1. Jobs run inline (no threads
-  /// spawned) when the effective thread count is 1.
-  explicit ObligationScheduler(unsigned NumThreads);
+  /// Takes its thread budget from \p Config.NumThreads (0 is treated as
+  /// 1). Jobs run inline (no threads spawned) when the effective thread
+  /// count is 1.
+  explicit ObligationScheduler(const EngineConfig &Config);
   ~ObligationScheduler();
   ObligationScheduler(const ObligationScheduler &) = delete;
   ObligationScheduler &operator=(const ObligationScheduler &) = delete;

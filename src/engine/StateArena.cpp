@@ -2,8 +2,11 @@
 
 #include "engine/StateArena.h"
 
+#include "engine/Encoding.h"
+
 #include <algorithm>
 #include <cassert>
+#include <deque>
 
 using namespace isq;
 using namespace isq::engine;
@@ -47,41 +50,131 @@ size_t StateArena::hashPaCountVec(const PaCountVec &Vec) {
   return Seed;
 }
 
-StateArena::StateArena() { EmptyPaSet = internPaVec({}); }
+size_t StateArena::paValueHash(const PaCountVec &Vec) const {
+  // Summed per-entry mix: insensitive to entry order and to the PaId
+  // assignment (which depends on interning order), so the hash is a pure
+  // function of the multiset value.
+  size_t Sum = 0;
+  for (const auto &[Id, Count] : Vec) {
+    size_t Entry = pa(Id).hash();
+    hashCombine(Entry, static_cast<size_t>(Count));
+    Sum += Entry;
+  }
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-thread decode caches (compact mode)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FIFO-evicting map from (arena serial, id) to a decoded item. FIFO (not
+/// LRU) keeps hits allocation-free; the validity horizon is the same for
+/// the arena's access pattern — an entry lives for at least
+/// DecodeCacheCapacity subsequent distinct decodes.
+template <typename T> struct TlCache {
+  std::unordered_map<uint64_t, std::unique_ptr<T>> Map;
+  std::deque<uint64_t> Fifo;
+
+  const T *find(uint64_t Key) const {
+    auto It = Map.find(Key);
+    return It == Map.end() ? nullptr : It->second.get();
+  }
+  const T &insert(uint64_t Key, T V) {
+    if (Fifo.size() >= StateArena::DecodeCacheCapacity) {
+      Map.erase(Fifo.front());
+      Fifo.pop_front();
+    }
+    Fifo.push_back(Key);
+    return *(Map[Key] = std::make_unique<T>(std::move(V)));
+  }
+};
+
+struct DecodeCaches {
+  TlCache<Store> Stores;
+  TlCache<PaCountVec> Vecs;
+  TlCache<PaMultiset> Sets;
+  TlCache<std::vector<PaId>> Orders;
+};
+
+DecodeCaches &decodeCaches() {
+  thread_local DecodeCaches Caches;
+  return Caches;
+}
+
+uint64_t cacheKey(uint32_t Serial, uint32_t Id) {
+  return (static_cast<uint64_t>(Serial) << 32) | Id;
+}
+
+std::atomic<uint32_t> NextArenaSerial{1};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// StateArena
+//===----------------------------------------------------------------------===//
+
+StateArena::StateArena(unsigned Shards, bool Compress)
+    : NumShardsRt(Shards), Compress(Compress),
+      Serial(NextArenaSerial.fetch_add(1, std::memory_order_relaxed)) {
+  assert(Shards >= 1 && Shards <= MaxShards &&
+         (Shards & (Shards - 1)) == 0 && "shard count must be a power of "
+                                         "two in [1, 16]");
+  EmptyPaSet = internPaVec({});
+}
+
+StateArena::~StateArena() = default;
 
 StoreId StateArena::internStore(const Store &S) {
   size_t Hash = S.hash(); // memoized inside Store
   Lookups.fetch_add(1, std::memory_order_relaxed);
-  auto &Shard = StoreShards[Hash % NumShards];
+  std::string Encoded;
+  if (Compress)
+    Encoded = encodeStore(S); // encode outside the lock
+  auto &Shard = StoreShards[shardFor(Hash)];
   std::lock_guard<std::mutex> Lock(Shard.M);
   std::vector<uint32_t> &Bucket = Shard.Buckets[Hash];
-  for (uint32_t Local : Bucket)
-    if (Shard.Items[Local] == S) {
+  for (uint32_t Local : Bucket) {
+    const StoreItem &Item = Shard.Items[Local];
+    // Canonical encodings make byte equality value equality.
+    if (Compress ? Item.Encoded == Encoded : Item.Value == S) {
       Hits.fetch_add(1, std::memory_order_relaxed);
-      return makeId(Hash % NumShards, Local);
+      return makeId(shardFor(Hash), Local);
     }
-  uint32_t Local = static_cast<uint32_t>(Shard.Items.size());
-  Shard.Items.push_back(S);
-  Shard.Items.back().hash(); // memoize on the stored copy before sharing
-  Bucket.push_back(Local);
-  return makeId(Hash % NumShards, Local);
+  }
+  StoreItem Item;
+  Item.ValueHash = Hash;
+  if (Compress) {
+    CompressedBytes.fetch_add(Encoded.size(), std::memory_order_relaxed);
+    Item.Encoded = std::move(Encoded);
+  } else {
+    Item.Value = S;
+  }
+  size_t Local = Shard.Items.push_back(std::move(Item));
+  if (!Compress)
+    Shard.Items[Local].Value.hash(); // memoize before sharing
+  Bucket.push_back(static_cast<uint32_t>(Local));
+  return makeId(shardFor(Hash), Local);
 }
 
 PaId StateArena::internPa(const PendingAsync &PA) {
   size_t Hash = PA.hash();
   Lookups.fetch_add(1, std::memory_order_relaxed);
-  auto &Shard = PaShards[Hash % NumShards];
+  auto &Shard = PaShards[shardFor(Hash)];
   std::lock_guard<std::mutex> Lock(Shard.M);
   std::vector<uint32_t> &Bucket = Shard.Buckets[Hash];
   for (uint32_t Local : Bucket)
     if (Shard.Items[Local] == PA) {
       Hits.fetch_add(1, std::memory_order_relaxed);
-      return makeId(Hash % NumShards, Local);
+      return makeId(shardFor(Hash), Local);
     }
-  uint32_t Local = static_cast<uint32_t>(Shard.Items.size());
-  Shard.Items.push_back(PA);
-  Bucket.push_back(Local);
-  return makeId(Hash % NumShards, Local);
+  size_t Local = Shard.Items.push_back(PA);
+  // Memoize the argument-value hashes on the stored copy before any other
+  // thread can reach it, so later concurrent hash() calls are pure reads.
+  Shard.Items[Local].hash();
+  Bucket.push_back(static_cast<uint32_t>(Local));
+  return makeId(shardFor(Hash), Local);
 }
 
 PaSetId StateArena::internPaSet(const PaMultiset &Omega) {
@@ -91,13 +184,19 @@ PaSetId StateArena::internPaSet(const PaMultiset &Omega) {
     Vec.emplace_back(internPa(PA), Count);
   std::sort(Vec.begin(), Vec.end());
   PaSetId Id = internPaVec(std::move(Vec));
-  // We already hold the value form: record it so paSet() never has to
-  // materialize this entry.
-  auto &Shard = PaSetShards[shardOf(Id)];
-  std::lock_guard<std::mutex> Lock(Shard.M);
-  PaSetItem &Item = Shard.Items[localOf(Id)];
-  if (!Item.Value)
-    Item.Value = Omega;
+  if (!Compress) {
+    // We already hold the value form: record it so paSet() never has to
+    // materialize this entry.
+    PaSetItem &Item = PaSetShards[shardOf(Id)].Items[localOf(Id)];
+    if (!Item.Value.load(std::memory_order_acquire)) {
+      const PaMultiset *Fresh = new PaMultiset(Omega);
+      const PaMultiset *Expected = nullptr;
+      if (!Item.Value.compare_exchange_strong(Expected, Fresh,
+                                              std::memory_order_release,
+                                              std::memory_order_acquire))
+        delete Fresh;
+    }
+  }
   return Id;
 }
 
@@ -105,35 +204,52 @@ PaSetId StateArena::internPaVec(PaCountVec Vec) {
   assert(std::is_sorted(Vec.begin(), Vec.end()) && "PaCountVec not canonical");
   size_t Hash = hashPaCountVec(Vec);
   Lookups.fetch_add(1, std::memory_order_relaxed);
-  auto &Shard = PaSetShards[Hash % NumShards];
+  std::string Encoded;
+  if (Compress)
+    Encoded = encodePaVec(Vec);
+  auto &Shard = PaSetShards[shardFor(Hash)];
   std::lock_guard<std::mutex> Lock(Shard.M);
   std::vector<uint32_t> &Bucket = Shard.Buckets[Hash];
-  for (uint32_t Local : Bucket)
-    if (Shard.Items[Local].Vec == Vec) {
+  for (uint32_t Local : Bucket) {
+    const PaSetItem &Item = Shard.Items[Local];
+    if (Compress ? Item.Encoded == Encoded : Item.Vec == Vec) {
       Hits.fetch_add(1, std::memory_order_relaxed);
-      return makeId(Hash % NumShards, Local);
+      return makeId(shardFor(Hash), Local);
     }
-  uint32_t Local = static_cast<uint32_t>(Shard.Items.size());
-  Shard.Items.push_back(PaSetItem{std::move(Vec), std::nullopt});
-  Bucket.push_back(Local);
-  return makeId(Hash % NumShards, Local);
+  }
+  PaSetItem Item;
+  // pa() reads are lock-free, so computing the value hash under this
+  // shard's mutex cannot deadlock.
+  Item.ValueHash = paValueHash(Vec);
+  if (Compress) {
+    CompressedBytes.fetch_add(Encoded.size(), std::memory_order_relaxed);
+    Item.Encoded = std::move(Encoded);
+  } else {
+    Item.Vec = std::move(Vec);
+  }
+  size_t Local = Shard.Items.push_back(std::move(Item));
+  Bucket.push_back(static_cast<uint32_t>(Local));
+  return makeId(shardFor(Hash), Local);
 }
 
 ConfigId StateArena::internConfig(StoreId G, PaSetId Omega) {
+  // Shard by the configuration's value hash — ids depend on interning
+  // order (racy under parallel interning), values do not, so per-shard
+  // populations (and the shard-occupancy stat) stay deterministic.
+  size_t Hash = StoreShards[shardOf(G)].Items[localOf(G)].ValueHash;
+  hashCombine(Hash, PaSetShards[shardOf(Omega)].Items[localOf(Omega)].ValueHash);
   uint64_t Key = (static_cast<uint64_t>(G) << 32) | Omega;
-  size_t Hash = std::hash<uint64_t>{}(Key);
   Lookups.fetch_add(1, std::memory_order_relaxed);
-  auto &Shard = ConfigShards[Hash % NumShards];
+  auto &Shard = ConfigShards[shardFor(Hash)];
   std::lock_guard<std::mutex> Lock(Shard.M);
   auto It = Shard.Index.find(Key);
   if (It != Shard.Index.end()) {
     Hits.fetch_add(1, std::memory_order_relaxed);
-    return makeId(Hash % NumShards, It->second);
+    return makeId(shardFor(Hash), It->second);
   }
-  uint32_t Local = static_cast<uint32_t>(Shard.Items.size());
-  Shard.Items.emplace_back(G, Omega);
-  Shard.Index.emplace(Key, Local);
-  return makeId(Hash % NumShards, Local);
+  size_t Local = Shard.Items.push_back({G, Omega});
+  Shard.Index.emplace(Key, static_cast<uint32_t>(Local));
+  return makeId(shardFor(Hash), Local);
 }
 
 ConfigId StateArena::internConfig(const Configuration &C) {
@@ -142,101 +258,129 @@ ConfigId StateArena::internConfig(const Configuration &C) {
 }
 
 const Store &StateArena::store(StoreId Id) const {
-  auto &Shard = StoreShards[shardOf(Id)];
-  std::lock_guard<std::mutex> Lock(Shard.M);
-  return Shard.Items[localOf(Id)];
+  const StoreItem &Item = StoreShards[shardOf(Id)].Items[localOf(Id)];
+  if (!Compress)
+    return Item.Value;
+  TlCache<Store> &Cache = decodeCaches().Stores;
+  uint64_t Key = cacheKey(Serial, Id);
+  if (const Store *Hit = Cache.find(Key))
+    return *Hit;
+  return Cache.insert(Key, decodeStore(Item.Encoded));
 }
 
 const PendingAsync &StateArena::pa(PaId Id) const {
-  auto &Shard = PaShards[shardOf(Id)];
-  std::lock_guard<std::mutex> Lock(Shard.M);
-  return Shard.Items[localOf(Id)];
+  return PaShards[shardOf(Id)].Items[localOf(Id)];
 }
 
 const PaCountVec &StateArena::paVec(PaSetId Id) const {
-  auto &Shard = PaSetShards[shardOf(Id)];
-  std::lock_guard<std::mutex> Lock(Shard.M);
-  return Shard.Items[localOf(Id)].Vec;
+  const PaSetItem &Item = PaSetShards[shardOf(Id)].Items[localOf(Id)];
+  if (!Compress)
+    return Item.Vec;
+  TlCache<PaCountVec> &Cache = decodeCaches().Vecs;
+  uint64_t Key = cacheKey(Serial, Id);
+  if (const PaCountVec *Hit = Cache.find(Key))
+    return *Hit;
+  return Cache.insert(Key, decodePaVec(Item.Encoded));
 }
 
-PaMultiset StateArena::materialize(const PaCountVec &Vec) {
+PaMultiset StateArena::materialize(const PaCountVec &Vec) const {
   PaMultiset Omega;
   for (const auto &[Id, Count] : Vec)
     Omega.insert(pa(Id), Count);
   return Omega;
 }
 
-const PaMultiset &StateArena::paSet(PaSetId Id) {
-  auto &Shard = PaSetShards[shardOf(Id)];
-  {
-    std::lock_guard<std::mutex> Lock(Shard.M);
-    PaSetItem &Item = Shard.Items[localOf(Id)];
-    if (Item.Value)
-      return *Item.Value;
+const PaMultiset &StateArena::paSet(PaSetId Id) const {
+  const PaSetItem &Item = PaSetShards[shardOf(Id)].Items[localOf(Id)];
+  if (Compress) {
+    TlCache<PaMultiset> &Cache = decodeCaches().Sets;
+    uint64_t Key = cacheKey(Serial, Id);
+    if (const PaMultiset *Hit = Cache.find(Key))
+      return *Hit;
+    return Cache.insert(Key, materialize(paVec(Id)));
   }
-  // Materialize outside the shard lock: pa() takes other shard locks and
-  // the conversion is the slow path anyway. Double-checked on re-entry.
-  PaMultiset Omega = materialize(paVec(Id));
-  std::lock_guard<std::mutex> Lock(Shard.M);
-  PaSetItem &Item = Shard.Items[localOf(Id)];
-  if (!Item.Value)
-    Item.Value = std::move(Omega);
-  return *Item.Value;
+  if (const PaMultiset *Hit = Item.Value.load(std::memory_order_acquire))
+    return *Hit;
+  const PaMultiset *Fresh = new PaMultiset(materialize(Item.Vec));
+  const PaMultiset *Expected = nullptr;
+  // Racing materializations build identical values; the loser's copy dies.
+  if (!const_cast<PaSetItem &>(Item).Value.compare_exchange_strong(
+          Expected, Fresh, std::memory_order_release,
+          std::memory_order_acquire)) {
+    delete Fresh;
+    return *Expected;
+  }
+  return *Fresh;
 }
 
-const std::vector<PaId> &StateArena::paOrder(PaSetId Id) {
-  auto &Shard = PaSetShards[shardOf(Id)];
-  {
-    std::lock_guard<std::mutex> Lock(Shard.M);
-    PaSetItem &Item = Shard.Items[localOf(Id)];
-    if (Item.Order)
-      return *Item.Order;
-  }
-  // Sort outside the shard lock (pa() takes other shard locks).
+std::vector<PaId> StateArena::orderOf(const PaCountVec &Vec) const {
   std::vector<PaId> Order;
-  for (const auto &[PaIdOf, Count] : paVec(Id)) {
+  Order.reserve(Vec.size());
+  for (const auto &[PaIdOf, Count] : Vec) {
     (void)Count;
     Order.push_back(PaIdOf);
   }
   std::sort(Order.begin(), Order.end(),
             [this](PaId A, PaId B) { return pa(A) < pa(B); });
-  std::lock_guard<std::mutex> Lock(Shard.M);
-  PaSetItem &Item = Shard.Items[localOf(Id)];
-  if (!Item.Order)
-    Item.Order = std::move(Order);
-  return *Item.Order;
+  return Order;
+}
+
+const std::vector<PaId> &StateArena::paOrder(PaSetId Id) const {
+  const PaSetItem &Item = PaSetShards[shardOf(Id)].Items[localOf(Id)];
+  if (Compress) {
+    TlCache<std::vector<PaId>> &Cache = decodeCaches().Orders;
+    uint64_t Key = cacheKey(Serial, Id);
+    if (const std::vector<PaId> *Hit = Cache.find(Key))
+      return *Hit;
+    return Cache.insert(Key, orderOf(paVec(Id)));
+  }
+  if (const std::vector<PaId> *Hit =
+          Item.Order.load(std::memory_order_acquire))
+    return *Hit;
+  const std::vector<PaId> *Fresh =
+      new std::vector<PaId>(orderOf(Item.Vec));
+  const std::vector<PaId> *Expected = nullptr;
+  if (!const_cast<PaSetItem &>(Item).Order.compare_exchange_strong(
+          Expected, Fresh, std::memory_order_release,
+          std::memory_order_acquire)) {
+    delete Fresh;
+    return *Expected;
+  }
+  return *Fresh;
 }
 
 std::pair<StoreId, PaSetId> StateArena::config(ConfigId Id) const {
-  auto &Shard = ConfigShards[shardOf(Id)];
-  std::lock_guard<std::mutex> Lock(Shard.M);
-  return Shard.Items[localOf(Id)];
+  return ConfigShards[shardOf(Id)].Items[localOf(Id)];
 }
 
-Configuration StateArena::configuration(ConfigId Id) {
+Configuration StateArena::configuration(ConfigId Id) const {
   auto [G, Omega] = config(Id);
   return Configuration(store(G), paSet(Omega));
 }
 
 ArenaStats StateArena::stats() const {
   ArenaStats S;
-  for (size_t I = 0; I < NumShards; ++I) {
+  S.Shards = NumShardsRt;
+  for (size_t I = 0; I < NumShardsRt; ++I) {
     std::lock_guard<std::mutex> LS(StoreShards[I].M);
     S.Stores += StoreShards[I].Items.size();
   }
-  for (size_t I = 0; I < NumShards; ++I) {
+  for (size_t I = 0; I < NumShardsRt; ++I) {
     std::lock_guard<std::mutex> LP(PaShards[I].M);
     S.Pas += PaShards[I].Items.size();
   }
-  for (size_t I = 0; I < NumShards; ++I) {
+  for (size_t I = 0; I < NumShardsRt; ++I) {
     std::lock_guard<std::mutex> LO(PaSetShards[I].M);
     S.PaSets += PaSetShards[I].Items.size();
   }
-  for (size_t I = 0; I < NumShards; ++I) {
+  for (size_t I = 0; I < NumShardsRt; ++I) {
     std::lock_guard<std::mutex> LC(ConfigShards[I].M);
     S.Configs += ConfigShards[I].Items.size();
+    if (ConfigShards[I].Items.size() > 0)
+      ++S.ShardOccupancy;
   }
   S.Lookups = Lookups.load(std::memory_order_relaxed);
   S.Hits = Hits.load(std::memory_order_relaxed);
+  S.CompressedBytes = CompressedBytes.load(std::memory_order_relaxed);
   return S;
 }

@@ -5,15 +5,33 @@
 /// asyncs, PA multisets and whole configurations are hash-consed into
 /// arenas and addressed by dense 32-bit handles, so seen-set membership,
 /// transition dedup and cache keys become integer compares instead of deep
-/// structural hashing. The arenas are append-only and sharded: every table
-/// is split into 16 shards keyed by canonical hash, each guarded by its own
-/// mutex, which lets the parallel explorer intern from worker threads with
-/// low contention while keeping references to interned values stable
-/// (per-shard std::deque storage is never reallocated or erased).
+/// structural hashing.
 ///
-/// Handle layout: the low 4 bits select the shard, the remaining 28 bits
-/// index into the shard (≈268M entries per shard). Handles are only
-/// meaningful relative to the arena that issued them.
+/// Sharding and lock-free reads. Every table is split into a runtime
+/// number of shards (a power of two, at most 16) keyed by value hash;
+/// interning appends under the shard mutex, but *reads never lock*: each
+/// shard stores its items in exponentially-growing blocks published
+/// through atomic pointers, so an item, once placed, never moves and can
+/// be addressed from any thread. A handle obtained through any
+/// release/acquire channel (a mutex, a chunk's done flag) is safe to
+/// dereference — the placing thread's writes happen-before the handle's
+/// publication.
+///
+/// Compact mode (--engine compress=true). Stores and PA-bags are kept as
+/// canonical delta/varint byte encodings (engine/Encoding.h) instead of
+/// expanded values; byte equality coincides with value equality, so
+/// hash-consing runs over the encoded form directly. Accessors decode
+/// through a per-thread FIFO cache (DecodeCacheCapacity entries per
+/// kind), so the `const &` they return stays valid until that many other
+/// distinct items are decoded on the same thread — callers hold these
+/// references only across one node expansion or one obligation, far
+/// below the horizon.
+///
+/// Handle layout: the low 4 bits hold the shard, the remaining 28 bits
+/// index into the shard (≈268M entries per shard). The layout is fixed
+/// regardless of the runtime shard count, so handles carry no
+/// configuration dependence. Handles are only meaningful relative to the
+/// arena that issued them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,8 +42,8 @@
 #include "support/Hashing.h"
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -69,17 +87,100 @@ struct ArenaStats {
   /// hash-cons hit rate.
   size_t Lookups = 0;
   size_t Hits = 0;
+  /// The arena's configured shard count and the number of configuration
+  /// shards holding at least one entry. Configurations shard by *value*
+  /// hash (not by handle, which depends on interning order), so the
+  /// occupancy is identical for every thread count and engine mode.
+  unsigned Shards = 0;
+  unsigned ShardOccupancy = 0;
+  /// Total bytes of encoded stores and PA-bags (0 unless compact mode).
+  /// Telemetry: PA-bag encodings varint PaIds, whose width depends on
+  /// interning order, so the byte total is not deterministic across
+  /// thread counts.
+  size_t CompressedBytes = 0;
+};
+
+/// Append-only item storage with lock-free indexing: items live in
+/// exponentially-growing blocks (block k holds BaseSize<<k items)
+/// published through atomic pointers, so a placed item never moves and
+/// operator[] takes no lock. push_back must be externally serialized
+/// (the owning shard's mutex).
+template <typename Item> class BlockStore {
+public:
+  /// 18 blocks of 1024<<k items cover the 2^28 ids a shard can issue.
+  static constexpr size_t BaseLog = 10;
+  static constexpr size_t MaxBlocks = 18;
+
+  BlockStore() = default;
+  BlockStore(const BlockStore &) = delete;
+  BlockStore &operator=(const BlockStore &) = delete;
+  ~BlockStore() {
+    for (size_t K = 0; K < MaxBlocks; ++K)
+      delete[] Blocks[K].load(std::memory_order_relaxed);
+  }
+
+  size_t size() const { return Count; }
+
+  /// Appends \p V and returns its index. Caller holds the shard mutex.
+  size_t push_back(Item V) {
+    size_t Index = Count;
+    auto [K, Offset] = locate(Index);
+    Item *Block = Blocks[K].load(std::memory_order_relaxed);
+    if (!Block) {
+      Block = new Item[BlockStore::blockSize(K)];
+      // Release: a reader that acquires this pointer sees constructed
+      // slots (the item itself is published by the id's own channel).
+      Blocks[K].store(Block, std::memory_order_release);
+    }
+    Block[Offset] = std::move(V);
+    ++Count;
+    return Index;
+  }
+
+  const Item &operator[](size_t Index) const {
+    auto [K, Offset] = locate(Index);
+    return Blocks[K].load(std::memory_order_acquire)[Offset];
+  }
+  Item &operator[](size_t Index) {
+    auto [K, Offset] = locate(Index);
+    return Blocks[K].load(std::memory_order_acquire)[Offset];
+  }
+
+private:
+  static size_t blockSize(size_t K) { return size_t(1) << (BaseLog + K); }
+  static std::pair<size_t, size_t> locate(size_t Index) {
+    // Blocks hold 2^10, 2^11, ... items; Index+2^10 falls in
+    // [2^(10+k), 2^(11+k)) exactly for block k.
+    size_t Pos = Index + (size_t(1) << BaseLog);
+    size_t K = 63 - static_cast<size_t>(__builtin_clzll(Pos)) - BaseLog;
+    assert(K < MaxBlocks && "index beyond shard capacity");
+    return {K, Pos - (size_t(1) << (BaseLog + K))};
+  }
+
+  std::atomic<Item *> Blocks[MaxBlocks] = {};
+  size_t Count = 0;
 };
 
 /// Thread-safe hash-consing arenas for stores, PAs, PA multisets and
 /// configurations. Append-only: interned values are never moved or freed
 /// before the arena dies, so references returned by the accessors remain
-/// valid for the arena's lifetime.
+/// valid for the arena's lifetime (compact mode bounds them by the decode
+/// cache horizon instead — see the file comment).
 class StateArena {
 public:
-  StateArena();
+  static constexpr unsigned MaxShards = 16;
+  /// Per-thread, per-kind decode cache capacity in compact mode.
+  static constexpr size_t DecodeCacheCapacity = 8192;
+
+  /// \p Shards must be a power of two in [1, MaxShards]. \p Compress
+  /// selects the compact (encoded) representation.
+  explicit StateArena(unsigned Shards = MaxShards, bool Compress = false);
   StateArena(const StateArena &) = delete;
   StateArena &operator=(const StateArena &) = delete;
+  ~StateArena();
+
+  unsigned shards() const { return NumShardsRt; }
+  bool compressed() const { return Compress; }
 
   // Interning --------------------------------------------------------------
 
@@ -99,17 +200,17 @@ public:
   const PendingAsync &pa(PaId Id) const;
   const PaCountVec &paVec(PaSetId Id) const;
   /// The multiset as a value-level PaMultiset; materialized on first use
-  /// and cached for the arena's lifetime.
-  const PaMultiset &paSet(PaSetId Id);
+  /// and cached (for the arena's lifetime, or per thread in compact mode).
+  const PaMultiset &paSet(PaSetId Id) const;
   /// The multiset's distinct PaIds in canonical value order (the order a
   /// value-level PaMultiset iterates its entries). This order is intrinsic
   /// to the PAs, unlike PaId order, which depends on interning order —
   /// iterating it keeps exploration deterministic regardless of which
   /// worker thread interned a PA first. Materialized on first use.
-  const std::vector<PaId> &paOrder(PaSetId Id);
+  const std::vector<PaId> &paOrder(PaSetId Id) const;
   std::pair<StoreId, PaSetId> config(ConfigId Id) const;
   /// Materializes the full (g, Ω) configuration (copies).
-  Configuration configuration(ConfigId Id);
+  Configuration configuration(ConfigId Id) const;
 
   /// The interned empty multiset (terminating configurations have this Ω).
   PaSetId emptyPaSet() const { return EmptyPaSet; }
@@ -117,51 +218,98 @@ public:
   ArenaStats stats() const;
 
 private:
-  static constexpr size_t NumShards = 16;
-  static constexpr uint32_t ShardMask = NumShards - 1;
+  static constexpr uint32_t HandleShardBits = 4;
+  static constexpr uint32_t HandleShardMask = MaxShards - 1;
 
   static uint32_t makeId(size_t Shard, size_t Local) {
-    return static_cast<uint32_t>((Local << 4) | Shard);
+    return static_cast<uint32_t>((Local << HandleShardBits) | Shard);
   }
-  static size_t shardOf(uint32_t Id) { return Id & ShardMask; }
-  static size_t localOf(uint32_t Id) { return Id >> 4; }
+  static size_t shardOf(uint32_t Id) { return Id & HandleShardMask; }
+  static size_t localOf(uint32_t Id) { return Id >> HandleShardBits; }
+  size_t shardFor(size_t Hash) const { return Hash & (NumShardsRt - 1); }
 
-  /// One shard of a hash-consing table: hash → candidate local indices,
-  /// plus stable storage for the interned items.
-  template <typename Item> struct Shard {
-    mutable std::mutex M;
-    std::unordered_map<size_t, std::vector<uint32_t>> Buckets;
-    std::deque<Item> Items;
+  struct StoreItem {
+    Store Value;         ///< expanded form (plain mode)
+    std::string Encoded; ///< canonical bytes (compact mode)
+    size_t ValueHash = 0;
   };
 
   struct PaSetItem {
-    PaCountVec Vec;
-    /// Lazily materialized value form (guarded by the shard mutex until
-    /// filled; immutable afterwards).
-    std::optional<PaMultiset> Value;
-    /// Lazily materialized value-ordered PaId view (same guarding).
-    std::optional<std::vector<PaId>> Order;
+    PaCountVec Vec;      ///< plain mode
+    std::string Encoded; ///< compact mode
+    /// Order-insensitive hash of the multiset's *values* (independent of
+    /// PaId assignment); feeds configuration sharding.
+    size_t ValueHash = 0;
+    /// Lazily materialized value form and value-ordered view, published
+    /// by compare-and-swap (plain mode only; compact mode serves both
+    /// from the per-thread decode cache).
+    std::atomic<const PaMultiset *> Value{nullptr};
+    std::atomic<const std::vector<PaId> *> Order{nullptr};
+
+    PaSetItem() = default;
+    PaSetItem(PaSetItem &&O) noexcept
+        : Vec(std::move(O.Vec)), Encoded(std::move(O.Encoded)),
+          ValueHash(O.ValueHash),
+          Value(O.Value.load(std::memory_order_relaxed)),
+          Order(O.Order.load(std::memory_order_relaxed)) {
+      O.Value.store(nullptr, std::memory_order_relaxed);
+      O.Order.store(nullptr, std::memory_order_relaxed);
+    }
+    PaSetItem &operator=(PaSetItem &&O) noexcept {
+      Vec = std::move(O.Vec);
+      Encoded = std::move(O.Encoded);
+      ValueHash = O.ValueHash;
+      Value.store(O.Value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      Order.store(O.Order.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      O.Value.store(nullptr, std::memory_order_relaxed);
+      O.Order.store(nullptr, std::memory_order_relaxed);
+      return *this;
+    }
+    ~PaSetItem() {
+      delete Value.load(std::memory_order_relaxed);
+      delete Order.load(std::memory_order_relaxed);
+    }
   };
 
-  Shard<Store> StoreShards[NumShards];
-  Shard<PendingAsync> PaShards[NumShards];
-  Shard<PaSetItem> PaSetShards[NumShards];
+  /// One shard of a hash-consing table: hash → candidate local indices
+  /// (guarded by the shard mutex), plus lock-free-readable item storage.
+  template <typename Item> struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<size_t, std::vector<uint32_t>> Buckets;
+    BlockStore<Item> Items;
+  };
+
+  Shard<StoreItem> StoreShards[MaxShards];
+  Shard<PendingAsync> PaShards[MaxShards];
+  Shard<PaSetItem> PaSetShards[MaxShards];
   /// Config identity is the exact (StoreId, PaSetId) pair, so the bucket
-  /// map is keyed directly by the packed pair (no collision chains).
+  /// map is keyed directly by the packed pair (no collision chains). The
+  /// shard, however, is chosen by the configuration's *value* hash so
+  /// per-shard populations do not depend on interning order.
   struct ConfigShard {
     mutable std::mutex M;
     std::unordered_map<uint64_t, uint32_t> Index;
-    std::deque<std::pair<StoreId, PaSetId>> Items;
+    BlockStore<std::pair<StoreId, PaSetId>> Items;
   };
-  ConfigShard ConfigShards[NumShards];
+  ConfigShard ConfigShards[MaxShards];
+
+  unsigned NumShardsRt;
+  bool Compress;
+  /// Distinguishes arenas in the per-thread decode caches.
+  uint32_t Serial;
 
   PaSetId EmptyPaSet = InvalidId;
 
   mutable std::atomic<size_t> Lookups{0};
   mutable std::atomic<size_t> Hits{0};
+  std::atomic<size_t> CompressedBytes{0};
 
   static size_t hashPaCountVec(const PaCountVec &Vec);
-  PaMultiset materialize(const PaCountVec &Vec);
+  size_t paValueHash(const PaCountVec &Vec) const;
+  PaMultiset materialize(const PaCountVec &Vec) const;
+  std::vector<PaId> orderOf(const PaCountVec &Vec) const;
 };
 
 /// A set of explored configurations over a shared arena: the interned

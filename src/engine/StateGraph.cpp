@@ -1,4 +1,31 @@
 //===- engine/StateGraph.cpp - Parallel frontier exploration -----------------===//
+//
+// Two scheduling modes produce the same graph bit for bit:
+//
+//  * Level-synchronous BFS (work-stealing=false, and the differential
+//    oracle for the mode below): each level is expanded by a worker pool,
+//    then a serial merge folds the level in frontier order.
+//
+//  * Work-stealing (default): the frontier is cut into chunks of
+//    steal-chunk node indices; each chunk copies its ConfigIds out of the
+//    merger-private node list at dispatch, is expanded by whichever
+//    worker pops or steals it (per-worker deques: owner pops newest,
+//    thieves take oldest), and publishes its results through a Done flag.
+//    A single merger folds chunks strictly in node-index order — the
+//    classical FIFO BFS order — so discovery order, counts, verdicts and
+//    diagnostics are independent of which worker expanded what when. The
+//    merger dispatches new full chunks as merging appends nodes, flushes
+//    a partial chunk only when it has nothing left to merge (so no chunk
+//    ever waits on nodes that cannot arrive), and helps expand while the
+//    next chunk in merge order is still in flight.
+//
+// Workers never touch the node list; duplicate-pruning during expansion
+// reads a lazily-allocated atomic seen-bitmap that the merger writes
+// *after* interning, so the interned set — and every count derived from
+// it — stays deterministic even though the pruning itself is racy (a
+// missed prune only costs the merger a no-op fold).
+//
+//===----------------------------------------------------------------------===//
 
 #include "engine/StateGraph.h"
 
@@ -11,7 +38,9 @@
 #include <array>
 #include <atomic>
 #include <cassert>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -72,6 +101,12 @@ void EngineStats::accumulate(const EngineStats &Other) {
   OrbitStatesRepresented += Other.OrbitStatesRepresented;
   FrontierPeak = std::max(FrontierPeak, Other.FrontierPeak);
   Threads = std::max(Threads, Other.Threads);
+  WorkStealing = WorkStealing || Other.WorkStealing;
+  StealChunk = std::max(StealChunk, Other.StealChunk);
+  Steals += Other.Steals;
+  Shards = std::max(Shards, Other.Shards);
+  ShardOccupancy = std::max(ShardOccupancy, Other.ShardOccupancy);
+  CompressedBytes = std::max(CompressedBytes, Other.CompressedBytes);
   ExpandSeconds += Other.ExpandSeconds;
   MergeSeconds += Other.MergeSeconds;
   TotalSeconds += Other.TotalSeconds;
@@ -93,6 +128,16 @@ std::string EngineStats::str() const {
   }
   Out += " frontier-peak=" + std::to_string(FrontierPeak);
   Out += " threads=" + std::to_string(Threads);
+  if (WorkStealing) {
+    Out += " steal-chunk=" + std::to_string(StealChunk);
+    Out += " steals=" + std::to_string(Steals);
+  }
+  if (Shards) {
+    Out += " shards=" + std::to_string(ShardOccupancy) + "/" +
+           std::to_string(Shards);
+  }
+  if (CompressedBytes)
+    Out += " compressed-bytes=" + std::to_string(CompressedBytes);
   Out += " expand=" + formatSeconds(ExpandSeconds) + "s";
   Out += " merge=" + formatSeconds(MergeSeconds) + "s";
   Out += " total=" + formatSeconds(TotalSeconds) + "s";
@@ -117,6 +162,64 @@ struct NodeOut {
   std::vector<Item> Items;
   uint64_t Transitions = 0;
   bool AnyMove = false;
+};
+
+/// A contiguous run of node indices dispatched as one unit of work. The
+/// ConfigIds are copied out of the merger-private node list at dispatch
+/// time, so expansion never reads shared graph state; results travel back
+/// inside the chunk, published by the Done flag (release) and consumed by
+/// the merger (acquire).
+struct Chunk {
+  size_t Begin = 0;
+  std::vector<ConfigId> Cids;
+  std::vector<NodeOut> Outs;
+  std::atomic<bool> Done{false};
+};
+
+/// Lazily-allocated atomic bitmap over ConfigIds: the work-stealing
+/// engine's racy duplicate filter. Only the merger sets bits (after the
+/// node is interned and appended); workers read without synchronization —
+/// a stale read is a missed prune, never a wrong result.
+class SeenBits {
+  static constexpr size_t BlockLog = 16; // bits per block
+  static constexpr size_t NumBlocks = size_t(1) << (32 - BlockLog);
+  static constexpr size_t WordsPerBlock = (size_t(1) << BlockLog) / 64;
+
+public:
+  SeenBits() : Blocks(new std::atomic<std::atomic<uint64_t> *>[NumBlocks]) {
+    for (size_t I = 0; I < NumBlocks; ++I)
+      Blocks[I].store(nullptr, std::memory_order_relaxed);
+  }
+  ~SeenBits() {
+    for (size_t I = 0; I < NumBlocks; ++I)
+      delete[] Blocks[I].load(std::memory_order_relaxed);
+  }
+
+  bool test(uint32_t Id) const {
+    const std::atomic<uint64_t> *Block =
+        Blocks[Id >> BlockLog].load(std::memory_order_acquire);
+    if (!Block)
+      return false;
+    uint64_t Word =
+        Block[(Id & ((1u << BlockLog) - 1)) >> 6].load(
+            std::memory_order_relaxed);
+    return (Word >> (Id & 63)) & 1;
+  }
+
+  /// Merger-only.
+  void set(uint32_t Id) {
+    std::atomic<uint64_t> *Block =
+        Blocks[Id >> BlockLog].load(std::memory_order_relaxed);
+    if (!Block) {
+      Block = new std::atomic<uint64_t>[WordsPerBlock]();
+      Blocks[Id >> BlockLog].store(Block, std::memory_order_release);
+    }
+    Block[(Id & ((1u << BlockLog) - 1)) >> 6].fetch_or(
+        uint64_t(1) << (Id & 63), std::memory_order_relaxed);
+  }
+
+private:
+  std::unique_ptr<std::atomic<std::atomic<uint64_t> *>[]> Blocks;
 };
 
 /// The per-run exploration state behind exploreGraph().
@@ -173,12 +276,35 @@ struct Engine {
   std::array<StoreCanonShard, NumCanonShards> StoreCanonShards;
 
   /// ConfigId → node index (InvalidId when unexplored). Written only by
-  /// the serial merge; frozen (read-only) during parallel expansion.
+  /// the serial merge; level-sync workers read it frozen between levels.
   std::vector<uint32_t> NodeOf;
   std::unordered_set<StoreId> TerminalSeen;
   std::vector<uint32_t> Frontier;
   std::vector<uint32_t> NextFrontier;
   bool Stop = false;
+
+  // Work-stealing state (allocated only when the mode is active).
+  bool Ws = false;
+  std::unique_ptr<SeenBits> Seen;
+  /// BFS depth per node index; derives the level widths (and hence
+  /// FrontierPeak) the level-synchronous mode observes directly.
+  std::vector<uint32_t> Depths;
+  std::vector<size_t> LevelWidths;
+  struct WorkerDeque {
+    std::mutex M;
+    std::deque<Chunk *> D;
+  };
+  std::vector<std::unique_ptr<WorkerDeque>> Deques;
+  std::deque<std::unique_ptr<Chunk>> ChunkList;
+  std::mutex IdleM;
+  std::condition_variable IdleCv;
+  std::atomic<size_t> PendingChunks{0};
+  std::atomic<bool> WsStop{false};
+  std::atomic<bool> WsError{false};
+  std::exception_ptr WorkerError;
+  std::mutex ErrorM;
+  std::atomic<uint64_t> StealCount{0};
+  std::atomic<uint64_t> ExpandNanos{0};
 
   Engine(const Program &P, const EngineOptions &Opts, StateArena &Arena,
          StateGraph &G)
@@ -190,7 +316,8 @@ struct Engine {
         Stats(GraphAccess::stats(G)), TransCache(Arena), Gates(Arena) {
     for (Symbol Name : P.actionNames())
       Resolve.emplace(Name, &P.action(Name));
-    if (Opts.Symmetry && P.symmetry() && P.symmetry()->numPermutations() > 1)
+    if (Opts.Config.Symmetry && P.symmetry() &&
+        P.symmetry()->numPermutations() > 1)
       Sym = P.symmetry().get();
   }
 
@@ -259,7 +386,7 @@ struct Engine {
   }
 
   /// Registers \p Cid if new; mirrors the classical BFS add() semantics
-  /// (truncation flag set when the cap blocks an insertion).
+  /// (truncation flag set when the cap blocks an insertion). Merger-only.
   void add(ConfigId Cid, uint32_t Parent, PaId Via, uint32_t Orbit = 1) {
     if (known(Cid))
       return;
@@ -282,12 +409,23 @@ struct Engine {
     if (PaSetIdOf == Arena.emptyPaSet() &&
         TerminalSeen.insert(StoreIdOf).second)
       Terminals.push_back(StoreIdOf);
-    NextFrontier.push_back(Index);
+    if (Ws) {
+      // Publish to the racy duplicate filter only after interning and
+      // registration, so the node set stays schedule-independent.
+      Seen->set(Cid);
+      uint32_t Depth = Parent == UINT32_MAX ? 0 : Depths[Parent] + 1;
+      Depths.push_back(Depth);
+      if (Depth >= LevelWidths.size())
+        LevelWidths.resize(Depth + 1, 0);
+      Stats.FrontierPeak = std::max(Stats.FrontierPeak, ++LevelWidths[Depth]);
+    } else {
+      NextFrontier.push_back(Index);
+    }
   }
 
   /// Expands one node into its ordered successor candidates. Runs in
-  /// worker threads; touches only the sharded arena/caches and the frozen
-  /// seen-index.
+  /// worker threads; touches only the sharded arena/caches and the racy
+  /// (work-stealing) or frozen (level-sync) seen state.
   void expand(ConfigId Cid, NodeOut &Out) {
     auto [StoreIdOf, PaSetIdOf] = Arena.config(Cid);
     const PaCountVec &Entries = Arena.paVec(PaSetIdOf);
@@ -331,18 +469,24 @@ struct Engine {
         } else {
           Child = Arena.internConfig(T.Global, SuccOmega);
         }
-        if (known(Child))
-          continue; // discovered in an earlier level: prune early
+        // Duplicate pruning happens after interning, so the interned set
+        // is identical whether or not the prune hits.
+        if (Ws ? Seen->test(Child) : known(Child))
+          continue;
         Out.Items.push_back({PaIdOf, Child, Orbit});
       }
     }
   }
 
-  /// Expands the whole frontier into \p Outs using Opts.NumThreads.
+  //===--------------------------------------------------------------------===//
+  // Level-synchronous mode
+  //===--------------------------------------------------------------------===//
+
+  /// Expands the whole frontier into \p Outs using the thread budget.
   void expandLevel(std::vector<NodeOut> &Outs) {
     size_t Width = Frontier.size();
-    unsigned Workers = static_cast<unsigned>(
-        std::min<size_t>(Opts.NumThreads ? Opts.NumThreads : 1, Width));
+    unsigned Workers = static_cast<unsigned>(std::min<size_t>(
+        Opts.Config.NumThreads ? Opts.Config.NumThreads : 1, Width));
     if (Workers <= 1) {
       for (size_t I = 0; I < Width; ++I)
         expand(Nodes[Frontier[I]], Outs[I]);
@@ -373,33 +517,40 @@ struct Engine {
       std::rethrow_exception(Error);
   }
 
+  /// Folds one node's candidates into the graph. Shared by both modes;
+  /// the fold order over nodes — frontier order per level here, global
+  /// node-index order under work stealing — is the same total order.
+  void foldNode(uint32_t NodeIdx, const NodeOut &Out) {
+    Stats.NumTransitions += Out.Transitions;
+    for (const Item &It : Out.Items) {
+      if (It.Child == InvalidId) { // failing step
+        if (!FailureAt)
+          FailureAt.emplace(NodeIdx, It.Via);
+        if (Opts.StopAtFirstFailure) {
+          Stop = true;
+          return;
+        }
+        continue;
+      }
+      add(It.Child, NodeIdx, It.Via, It.Orbit);
+    }
+    if (!Out.AnyMove &&
+        Arena.config(Nodes[NodeIdx]).second != Arena.emptyPaSet())
+      Deadlocks.push_back(NodeIdx);
+  }
+
   /// Serially folds a level's candidates into the graph in deterministic
   /// (frontier position, candidate) order.
   void merge(const std::vector<NodeOut> &Outs) {
     NextFrontier.clear();
     for (size_t I = 0; I < Outs.size(); ++I) {
-      const NodeOut &Out = Outs[I];
-      uint32_t NodeIdx = Frontier[I];
-      Stats.NumTransitions += Out.Transitions;
-      for (const Item &It : Out.Items) {
-        if (It.Child == InvalidId) { // failing step
-          if (!FailureAt)
-            FailureAt.emplace(NodeIdx, It.Via);
-          if (Opts.StopAtFirstFailure) {
-            Stop = true;
-            return;
-          }
-          continue;
-        }
-        add(It.Child, NodeIdx, It.Via, It.Orbit);
-      }
-      if (!Out.AnyMove &&
-          Arena.config(Nodes[NodeIdx]).second != Arena.emptyPaSet())
-        Deadlocks.push_back(NodeIdx);
+      foldNode(Frontier[I], Outs[I]);
+      if (Stop)
+        return;
     }
   }
 
-  void run(const std::vector<Configuration> &Inits) {
+  void seed(const std::vector<Configuration> &Inits) {
     for (const Configuration &Init : Inits) {
       assert(!Init.isFailure() && "initial configuration cannot be failure");
       if (Sym) {
@@ -412,6 +563,10 @@ struct Engine {
         add(Arena.internConfig(Init), UINT32_MAX, InvalidId);
       }
     }
+  }
+
+  void runLevelSync(const std::vector<Configuration> &Inits) {
+    seed(Inits);
     Frontier.swap(NextFrontier);
     std::vector<NodeOut> Outs;
     while (!Frontier.empty() && !Stop) {
@@ -427,6 +582,210 @@ struct Engine {
       Frontier.swap(NextFrontier);
     }
   }
+
+  //===--------------------------------------------------------------------===//
+  // Work-stealing mode
+  //===--------------------------------------------------------------------===//
+
+  /// Enqueues \p C on the next deque round-robin and wakes a sleeper.
+  void pushChunk(Chunk *C, size_t &RoundRobin) {
+    WorkerDeque &Q = *Deques[RoundRobin];
+    RoundRobin = (RoundRobin + 1) % Deques.size();
+    {
+      std::lock_guard<std::mutex> Lock(Q.M);
+      Q.D.push_back(C);
+    }
+    PendingChunks.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(IdleM);
+    }
+    IdleCv.notify_all();
+  }
+
+  /// Takes a chunk: the owner pops its own deque's newest entry; anyone
+  /// else (including the merger, Self == SIZE_MAX) steals the oldest
+  /// entry of another deque. Returns null when every deque is empty.
+  Chunk *takeChunk(size_t Self) {
+    if (Self != SIZE_MAX) {
+      WorkerDeque &Own = *Deques[Self];
+      std::lock_guard<std::mutex> Lock(Own.M);
+      if (!Own.D.empty()) {
+        Chunk *C = Own.D.back();
+        Own.D.pop_back();
+        PendingChunks.fetch_sub(1, std::memory_order_relaxed);
+        return C;
+      }
+    }
+    size_t N = Deques.size();
+    size_t Start = Self == SIZE_MAX ? 0 : (Self + 1) % N;
+    for (size_t I = 0; I < N; ++I) {
+      size_t Victim = (Start + I) % N;
+      if (Victim == Self)
+        continue;
+      WorkerDeque &Q = *Deques[Victim];
+      std::lock_guard<std::mutex> Lock(Q.M);
+      if (Q.D.empty())
+        continue;
+      Chunk *C = Q.D.front();
+      Q.D.pop_front();
+      PendingChunks.fetch_sub(1, std::memory_order_relaxed);
+      StealCount.fetch_add(1, std::memory_order_relaxed);
+      return C;
+    }
+    return nullptr;
+  }
+
+  void expandChunk(Chunk &C) {
+    Timer T;
+    for (size_t I = 0; I < C.Cids.size(); ++I)
+      expand(C.Cids[I], C.Outs[I]);
+    ExpandNanos.fetch_add(static_cast<uint64_t>(T.elapsed() * 1e9),
+                          std::memory_order_relaxed);
+    C.Done.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> Lock(IdleM);
+    }
+    IdleCv.notify_all();
+  }
+
+  void workerLoop(size_t Self) {
+    try {
+      while (true) {
+        if (Chunk *C = takeChunk(Self)) {
+          expandChunk(*C);
+          continue;
+        }
+        std::unique_lock<std::mutex> Lock(IdleM);
+        IdleCv.wait(Lock, [&] {
+          return WsStop.load(std::memory_order_relaxed) ||
+                 PendingChunks.load(std::memory_order_relaxed) > 0;
+        });
+        if (WsStop.load(std::memory_order_relaxed))
+          return;
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> Lock(ErrorM);
+        if (!WorkerError)
+          WorkerError = std::current_exception();
+      }
+      WsError.store(true, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> Lock(IdleM);
+      }
+      IdleCv.notify_all();
+    }
+  }
+
+  /// Cuts [\p From, \p To) of the node list into one chunk.
+  Chunk *makeChunk(size_t From, size_t To) {
+    auto C = std::make_unique<Chunk>();
+    C->Begin = From;
+    C->Cids.assign(Nodes.begin() + From, Nodes.begin() + To);
+    C->Outs.resize(To - From);
+    ChunkList.push_back(std::move(C));
+    return ChunkList.back().get();
+  }
+
+  void runWorkStealing(const std::vector<Configuration> &Inits) {
+    Ws = true;
+    Seen = std::make_unique<SeenBits>();
+    unsigned T = Opts.Config.NumThreads ? Opts.Config.NumThreads : 1;
+    size_t ChunkSize = Opts.Config.StealChunk ? Opts.Config.StealChunk : 1;
+    Deques.resize(std::max(1u, T - 1));
+    for (auto &Q : Deques)
+      Q = std::make_unique<WorkerDeque>();
+
+    seed(Inits);
+
+    std::vector<std::thread> Pool;
+    Pool.reserve(T - 1);
+    for (unsigned I = 0; I + 1 < T; ++I)
+      Pool.emplace_back([this, I] { workerLoop(I); });
+
+    size_t NextMerge = 0;  // index into ChunkList
+    size_t Dispatched = 0; // nodes cut into chunks so far
+    size_t RoundRobin = 0;
+    std::exception_ptr MergerError;
+    try {
+      while (!WsError.load(std::memory_order_relaxed)) {
+        // Cut full chunks eagerly so workers run ahead of the merger.
+        while (Nodes.size() - Dispatched >= ChunkSize) {
+          pushChunk(makeChunk(Dispatched, Dispatched + ChunkSize),
+                    RoundRobin);
+          Dispatched += ChunkSize;
+        }
+        if (NextMerge == ChunkList.size()) {
+          if (Dispatched == Nodes.size())
+            break; // every node dispatched, expanded and merged
+          // Nothing left to merge, so no more nodes can arrive: flush the
+          // partial tail chunk (this is what makes the loop deadlock-free).
+          pushChunk(makeChunk(Dispatched, Nodes.size()), RoundRobin);
+          Dispatched = Nodes.size();
+          continue;
+        }
+        Chunk &C = *ChunkList[NextMerge];
+        if (!C.Done.load(std::memory_order_acquire)) {
+          // Help while the next chunk in merge order is in flight.
+          if (Chunk *H = takeChunk(SIZE_MAX)) {
+            expandChunk(*H);
+            continue;
+          }
+          std::unique_lock<std::mutex> Lock(IdleM);
+          IdleCv.wait(Lock, [&] {
+            return C.Done.load(std::memory_order_acquire) ||
+                   WsError.load(std::memory_order_relaxed) ||
+                   PendingChunks.load(std::memory_order_relaxed) > 0;
+          });
+          continue;
+        }
+        Timer MergeT;
+        for (size_t I = 0; I < C.Cids.size(); ++I)
+          foldNode(static_cast<uint32_t>(C.Begin + I), C.Outs[I]);
+        Stats.MergeSeconds += MergeT.elapsed();
+        // The chunk is folded; release its payload before the run ends.
+        C.Cids = {};
+        C.Outs = {};
+        ++NextMerge;
+      }
+    } catch (...) {
+      MergerError = std::current_exception();
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(IdleM);
+      WsStop.store(true, std::memory_order_relaxed);
+    }
+    IdleCv.notify_all();
+    for (std::thread &W : Pool)
+      W.join();
+    if (MergerError)
+      std::rethrow_exception(MergerError);
+    {
+      std::lock_guard<std::mutex> Lock(ErrorM);
+      if (WorkerError)
+        std::rethrow_exception(WorkerError);
+    }
+    Stats.ExpandSeconds +=
+        static_cast<double>(ExpandNanos.load(std::memory_order_relaxed)) /
+        1e9;
+    Stats.Steals = StealCount.load(std::memory_order_relaxed);
+  }
+
+  void run(const std::vector<Configuration> &Inits) {
+    // StopAtFirstFailure wants the earliest failure in BFS order and
+    // nothing past it; the level-synchronous loop stops at level
+    // granularity, so it is the mode for that (and the oracle for the
+    // work-stealing default).
+    bool UseWs = Opts.Config.WorkStealing && !Opts.StopAtFirstFailure;
+    Stats.WorkStealing = UseWs;
+    if (UseWs) {
+      Stats.StealChunk = Opts.Config.StealChunk;
+      runWorkStealing(Inits);
+    } else {
+      runLevelSync(Inits);
+    }
+  }
 };
 
 } // namespace
@@ -436,7 +795,8 @@ StateGraph engine::exploreGraph(const Program &P,
                                 std::shared_ptr<StateArena> Arena,
                                 const EngineOptions &Opts) {
   if (!Arena)
-    Arena = std::make_shared<StateArena>();
+    Arena = std::make_shared<StateArena>(Opts.Config.Shards,
+                                         Opts.Config.Compress);
   StateGraph G;
   GraphAccess::arena(G) = Arena;
   ArenaStats Before = Arena->stats();
@@ -446,7 +806,7 @@ StateGraph engine::exploreGraph(const Program &P,
   EngineStats &Stats = GraphAccess::stats(G);
   Stats.TotalSeconds = Total.elapsed();
   Stats.NumConfigurations = GraphAccess::nodes(G).size();
-  Stats.Threads = Opts.NumThreads ? Opts.NumThreads : 1;
+  Stats.Threads = Opts.Config.NumThreads ? Opts.Config.NumThreads : 1;
   ArenaStats After = Arena->stats();
   Stats.InternedStores = After.Stores;
   Stats.InternedPas = After.Pas;
@@ -459,6 +819,9 @@ StateGraph engine::exploreGraph(const Program &P,
   Stats.SymmetryReduced = E.Sym != nullptr;
   Stats.CanonCalls = E.CanonCalls.load();
   Stats.CanonCacheHits = E.CanonHits.load();
+  Stats.Shards = After.Shards;
+  Stats.ShardOccupancy = After.ShardOccupancy;
+  Stats.CompressedBytes = After.CompressedBytes;
   if (!E.Sym)
     Stats.OrbitStatesRepresented = Stats.NumConfigurations;
   return G;

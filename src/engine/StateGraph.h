@@ -23,6 +23,7 @@
 #ifndef ISQ_ENGINE_STATEGRAPH_H
 #define ISQ_ENGINE_STATEGRAPH_H
 
+#include "engine/EngineConfig.h"
 #include "engine/StateArena.h"
 #include "semantics/Program.h"
 
@@ -34,18 +35,15 @@
 namespace isq {
 namespace engine {
 
-/// Knobs for exploreGraph(). Mirrors ExploreOptions plus the thread count.
+/// Knobs for exploreGraph(). Mirrors ExploreOptions plus the engine
+/// configuration.
 struct EngineOptions {
   size_t MaxConfigurations = 2'000'000;
   bool StopAtFirstFailure = false;
   bool RecordParents = true;
-  /// Worker threads expanding each frontier. 1 = serial (no threads
-  /// spawned). Results are identical for every value.
-  unsigned NumThreads = 1;
-  /// Quotient the state space by the program's declared symmetry (a no-op
-  /// for programs without one). When false the engine explores the full,
-  /// unreduced graph — the `--no-symmetry` differential oracle.
-  bool Symmetry = true;
+  /// Threads, symmetry, work stealing, steal granularity, store shape.
+  /// Results are identical for every setting (see engine/EngineConfig.h).
+  EngineConfig Config;
 };
 
 /// Observability counters for one engine run (plus arena totals at the end
@@ -78,6 +76,22 @@ struct EngineStats {
 
   size_t FrontierPeak = 0;
   unsigned Threads = 1;
+
+  // Work-stealing frontier. Steals counts chunks taken from another
+  // worker's deque; it is scheduling telemetry (nondeterministic across
+  // runs at > 1 thread), unlike every count above.
+  bool WorkStealing = false;
+  unsigned StealChunk = 0;
+  size_t Steals = 0;
+
+  // Compact state store. Shards is the configured arena shard count;
+  // ShardOccupancy the number of non-empty configuration shards at end of
+  // run; CompressedBytes the total encoded size of compressed stores and
+  // PA-bags (0 when compression is off; telemetry — varint lengths of
+  // PA handles depend on interning order).
+  unsigned Shards = 0;
+  unsigned ShardOccupancy = 0;
+  size_t CompressedBytes = 0;
 
   // Per-phase wall time (support/Timer).
   double ExpandSeconds = 0;

@@ -170,8 +170,7 @@ ExploreResult isq::exploreAll(const Program &P,
   EO.MaxConfigurations = Opts.MaxConfigurations;
   EO.StopAtFirstFailure = Opts.StopAtFirstFailure;
   EO.RecordParents = Opts.RecordParents;
-  EO.NumThreads = Opts.NumThreads;
-  EO.Symmetry = Opts.Symmetry;
+  EO.Config = Opts.Config;
   return fromGraph(engine::exploreGraph(P, Inits, nullptr, EO), Opts);
 }
 
@@ -199,7 +198,7 @@ isq::summarize(const Program &P, const Store &Init,
   // full orbit. Orbits of distinct representatives are disjoint, so the
   // concatenation is exactly the unreduced terminal-store set.
   const std::shared_ptr<const SymmetrySpec> &Sym = P.symmetry();
-  if (Opts.Symmetry && Sym && Sym->numPermutations() > 1) {
+  if (Opts.Config.Symmetry && Sym && Sym->numPermutations() > 1) {
     std::vector<Store> Expanded;
     for (const Store &S : R.TerminalStores) {
       std::vector<Store> Orbit = Sym->storeOrbit(S);

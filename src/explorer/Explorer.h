@@ -13,6 +13,7 @@
 #ifndef ISQ_EXPLORER_EXPLORER_H
 #define ISQ_EXPLORER_EXPLORER_H
 
+#include "engine/EngineConfig.h"
 #include "engine/StateGraph.h"
 #include "explorer/Trace.h"
 #include "semantics/Program.h"
@@ -31,12 +32,10 @@ struct ExploreOptions {
   bool StopAtFirstFailure = false;
   /// Keep parent pointers for counterexample extraction.
   bool RecordParents = true;
-  /// Worker threads for frontier expansion (1 = serial). Results are
-  /// bit-identical for every value; see engine/StateGraph.h.
-  unsigned NumThreads = 1;
-  /// Explore the quotient under the program's declared symmetry (no-op for
-  /// asymmetric programs). False = the unreduced differential oracle.
-  bool Symmetry = true;
+  /// All engine knobs (threads, symmetry, work stealing, store shape).
+  /// Results are bit-identical for every setting; see
+  /// engine/EngineConfig.h.
+  engine::EngineConfig Config;
 };
 
 /// Exploration statistics.

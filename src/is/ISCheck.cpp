@@ -19,13 +19,13 @@ ISUniverse ISUniverse::build(const ISApplication &App,
                              const std::vector<InitialCondition> &Inits,
                              const ExploreOptions &Opts) {
   ISUniverse U;
-  U.Space.Arena = std::make_shared<StateArena>();
+  U.Space.Arena = std::make_shared<StateArena>(Opts.Config.Shards,
+                                               Opts.Config.Compress);
   EngineOptions EO;
   EO.MaxConfigurations = Opts.MaxConfigurations;
   EO.StopAtFirstFailure = Opts.StopAtFirstFailure;
   EO.RecordParents = false; // parents are never consulted for universes
-  EO.NumThreads = Opts.NumThreads;
-  EO.Symmetry = Opts.Symmetry;
+  EO.Config = Opts.Config;
   // Both explorations intern into the one arena, so the union dedups by
   // ConfigId and the configurations are shared with every later check.
   // Note the asymmetry between the two explorations: P may run
@@ -166,6 +166,80 @@ private:
   std::mutex MapMutex;
   std::mutex ComputeMutex;
   std::unordered_map<uint64_t, InvPoint> Points;
+};
+
+/// Thread-safe memo of measure tuples per interned (store, Ω) pair for the
+/// scheduled (CO). The measure is a pure function of the configuration,
+/// and cooperation consults the same configuration once per (eliminated
+/// action, PA occurrence, transition); sharing one evaluation per distinct
+/// configuration keeps the value-level Configuration construction off the
+/// obligation hot path. A racing double-compute is benign (first insert
+/// wins).
+class MeasureMemo {
+public:
+  MeasureMemo(const Measure &M, StateArena &Arena) : M(M), Arena(Arena) {}
+
+  const std::vector<uint64_t> &get(StoreId G, PaSetId Omega) {
+    uint64_t K = packIds(G, Omega);
+    if (const auto *Found = Memo.find(K, K))
+      return **Found;
+    std::vector<uint64_t> V =
+        M.eval(Configuration(Arena.store(G), Arena.paSet(Omega)));
+    return *Memo.insertWith(K, K, [&]() {
+      Storage.push_back(std::move(V));
+      return &Storage.back();
+    });
+  }
+
+  /// Measure::decreases on memoized tuples (lexicographic, zero-padded).
+  static bool decreases(const std::vector<uint64_t> &MA,
+                        const std::vector<uint64_t> &MB) {
+    size_t N = std::max(MA.size(), MB.size());
+    for (size_t I = 0; I < N; ++I) {
+      uint64_t VA = I < MA.size() ? MA[I] : 0;
+      uint64_t VB = I < MB.size() ? MB[I] : 0;
+      if (VA != VB)
+        return VA > VB;
+    }
+    return false;
+  }
+
+private:
+  const Measure &M;
+  StateArena &Arena;
+  engine::FlatMemo<uint64_t, const std::vector<uint64_t> *> Memo;
+  /// Backing storage for the tuples; mutated only under the memo lock.
+  std::deque<std::vector<uint64_t>> Storage;
+};
+
+/// Thread-safe memo of the distinct PAs in an interned Ω whose action is a
+/// given symbol, in paOrder() order. The scheduled (CO) scans every
+/// (configuration, PA) pair once per eliminated action; configurations
+/// share few distinct Ω's, so the scan-and-filter amortizes to one pass
+/// per (Ω, action). A racing double-compute is benign (first insert wins).
+class ActionPaCache {
+public:
+  explicit ActionPaCache(StateArena &Arena) : Arena(Arena) {}
+
+  const std::vector<PaId> &get(PaSetId Omega, Symbol A) {
+    uint64_t K = (static_cast<uint64_t>(Omega) << 32) | A.index();
+    if (const auto *Found = Memo.find(K, K))
+      return **Found;
+    std::vector<PaId> V;
+    for (PaId Pa : Arena.paOrder(Omega))
+      if (Arena.pa(Pa).Action == A)
+        V.push_back(Pa);
+    return *Memo.insertWith(K, K, [&]() {
+      Storage.push_back(std::move(V));
+      return &Storage.back();
+    });
+  }
+
+private:
+  StateArena &Arena;
+  engine::FlatMemo<uint64_t, const std::vector<PaId> *> Memo;
+  /// Backing storage for the lists; mutated only under the memo lock.
+  std::deque<std::vector<PaId>> Storage;
 };
 
 } // namespace
@@ -377,13 +451,14 @@ namespace {
 /// changes who computes an entry, never any obligation outcome.
 ISCheckReport checkISScheduled(const ISApplication &App,
                                const ISUniverse &Universe,
-                               unsigned NumThreads) {
+                               const EngineConfig &Config) {
   ISCheckReport Report;
   const Program &P = App.P;
 
   StateSpace Space = Universe.Space;
   if (!Space.Arena) {
-    Space.Arena = std::make_shared<StateArena>();
+    Space.Arena =
+        std::make_shared<StateArena>(Config.Shards, Config.Compress);
     Space.Configs.reserve(Universe.Configs.size());
     for (const Configuration &C : Universe.Configs)
       if (!C.isFailure())
@@ -403,10 +478,13 @@ ISCheckReport checkISScheduled(const ISApplication &App,
                             Arena.internPa(PendingAsync(App.M, Ctx.Args)),
                             Arena.internPaSet(Ctx.Omega)});
 
-  ObligationScheduler Sched(NumThreads);
+  ObligationScheduler Sched(Config);
   InternedTransitionCache Cache(Arena);
   GateCache Gates(Arena);
   OmegaGateCache OmegaGates(Arena);
+  SuccessorOmegaCache SuccOmega(Arena);
+  MeasureMemo Measures(App.WfMeasure, Arena);
+  ActionPaCache ActionPas(Arena);
 
   // --- P(A) ≼ α(A) for A ∈ E ---------------------------------------------
   // Context universes live in a deque: jobs hold pointers into them.
@@ -451,7 +529,9 @@ ISCheckReport checkISScheduled(const ISApplication &App,
     GateCache *GatesP = &Gates;
     OmegaGateCache *OmegaGatesP = &OmegaGates;
     StateArena *ArenaP = &Arena;
-    constexpr size_t ChunkSize = 64;
+    // Thread-count independent slice; sized so dispatch overhead stays
+    // negligible against the per-context transition work.
+    constexpr size_t ChunkSize = 4096;
     size_t N = MCalls.Items.size();
     for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
       size_t End = std::min(N, Begin + ChunkSize);
@@ -534,19 +614,22 @@ ISCheckReport checkISScheduled(const ISApplication &App,
     LMGroups.emplace_back(
         A, scheduleLeftMover(Sched, ObCondition::LeftMovers, A,
                              App.abstraction(A), P, Space, Cache, Gates,
-                             OmegaGates));
+                             OmegaGates, SuccOmega));
 
   // --- (CO) cooperation ----------------------------------------------------------
   ObligationScheduler::Group *CoGroup =
       Sched.group(ObCondition::Cooperation);
   {
-    const ISApplication *AppP = &App;
     const StateSpace *SpaceP = &Space;
     InternedTransitionCache *CacheP = &Cache;
     GateCache *GatesP = &Gates;
     OmegaGateCache *OmegaGatesP = &OmegaGates;
+    SuccessorOmegaCache *SuccOmegaP = &SuccOmega;
     StateArena *ArenaP = &Arena;
-    constexpr size_t ChunkSize = 16;
+    MeasureMemo *MeasuresP = &Measures;
+    ActionPaCache *ActionPasP = &ActionPas;
+    // Thread-count independent slice over the reachable configurations.
+    constexpr size_t ChunkSize = 2048;
     size_t N = Space.Configs.size();
     for (Symbol A : App.E) {
       const Action *AbsP = &App.abstraction(A);
@@ -558,11 +641,7 @@ ISCheckReport checkISScheduled(const ISApplication &App,
           for (size_t CI = Begin; CI < End; ++CI) {
             ConfigId Cid = SpaceP->Configs[CI];
             auto [G, OmegaId] = Arena.config(Cid);
-            const PaCountVec &Entries = Arena.paVec(OmegaId);
-            for (PaId Pa : Arena.paOrder(OmegaId)) {
-              const PendingAsync &PA = Arena.pa(Pa);
-              if (PA.Action != A)
-                continue;
+            for (PaId Pa : ActionPasP->get(OmegaId, A)) {
               bool GateOk =
                   Abs.gateReadsOmega()
                       ? OmegaGatesP->get(Abs, G, Pa, OmegaId)
@@ -571,23 +650,20 @@ ISCheckReport checkISScheduled(const ISApplication &App,
                 continue;
               Sink.begin();
               Sink.countObligation();
-              Configuration C(Arena.store(G), Arena.paSet(OmegaId));
+              const std::vector<uint64_t> &MC = MeasuresP->get(G, OmegaId);
               bool Decreases = false;
-              PaCountVec Rest(Entries);
-              paCountVecErase(Rest, Pa);
               for (const InternedTransition &TA : CacheP->get(Abs, G, Pa)) {
-                PaSetId NextOmega =
-                    Arena.internPaVec(paCountVecUnion(Rest, TA.Created));
-                Configuration Next(Arena.store(TA.Global),
-                                   Arena.paSet(NextOmega));
-                if (AppP->WfMeasure.decreases(C, Next)) {
+                PaSetId NextOmega = SuccOmegaP->get(OmegaId, Pa, TA);
+                if (MeasureMemo::decreases(
+                        MC, MeasuresP->get(TA.Global, NextOmega))) {
                   Decreases = true;
                   break;
                 }
               }
               if (!Decreases)
                 Sink.fail("no measure-decreasing transition of α(" +
-                          A.str() + ") for " + PA.str() + " in " + C.str());
+                          A.str() + ") for " + Arena.pa(Pa).str() + " in " +
+                          Arena.configuration(Cid).str());
             }
           }
         });
@@ -645,9 +721,9 @@ ISCheckReport checkISScheduled(const ISApplication &App,
 ISCheckReport isq::checkIS(const ISApplication &App,
                            const ISUniverse &Universe,
                            const ISCheckOptions &Opts) {
-  if (!Opts.Parallel)
+  if (!Opts.Config.ParallelCheck)
     return checkIS(App, Universe);
-  return checkISScheduled(App, Universe, Opts.NumThreads);
+  return checkISScheduled(App, Universe, Opts.Config);
 }
 
 ISCheckReport isq::checkIS(const ISApplication &App,

@@ -19,6 +19,7 @@
 #ifndef ISQ_IS_ISCHECK_H
 #define ISQ_IS_ISCHECK_H
 
+#include "engine/EngineConfig.h"
 #include "is/ISApplication.h"
 #include "refine/Refinement.h"
 
@@ -53,12 +54,12 @@ struct ISUniverse {
 
 /// Options for checkIS.
 struct ISCheckOptions {
-  /// Worker threads for the obligation scheduler. 0 is treated as 1.
-  unsigned NumThreads = 1;
-  /// When false, runs the serial reference checker loops instead of the
-  /// obligation scheduler (the --no-parallel-check differential oracle).
-  /// Results are bit-identical either way; only ObligationStats differ.
-  bool Parallel = true;
+  /// The unified engine configuration. Config.NumThreads drives the
+  /// obligation scheduler (0 treated as 1); Config.ParallelCheck selects
+  /// the scheduler (true) or the serial reference checker loops (false;
+  /// the --engine parallel-check=false differential oracle). Results are
+  /// bit-identical either way; only ObligationStats differ.
+  engine::EngineConfig Config;
 };
 
 /// Per-condition results of one IS application.
@@ -97,8 +98,9 @@ struct ISCheckReport {
 ISCheckReport checkIS(const ISApplication &App, const ISUniverse &Universe);
 
 /// Checks every condition of the IS rule for \p App over \p Universe.
-/// With Opts.Parallel, obligations run on the obligation scheduler across
-/// Opts.NumThreads workers; verdicts, counts and diagnostics are
+/// With Opts.Config.ParallelCheck, obligations run on the obligation
+/// scheduler across Opts.Config.NumThreads workers; verdicts, counts and
+/// diagnostics are
 /// bit-identical to the serial loops for any thread count. Requires the
 /// application's choice function and measure to be pure (they are invoked
 /// concurrently), which every protocol in this repo satisfies.

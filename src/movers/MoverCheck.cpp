@@ -57,13 +57,18 @@ uint64_t countOf(const PaCountVec &Entries, PaId Id) {
 /// \p Subject. Pairs are enumerated in canonical value order — the order
 /// is intrinsic to the PAs, so diagnostics are deterministic even when
 /// the universe was interned by concurrent workers.
-template <typename Fn>
+template <typename Pred, typename Fn>
 void forEachPair(StateArena &Arena, PaSetId OmegaId, Symbol Subject,
-                 Fn Body) {
+                 Pred SubjectEnabled, Fn Body) {
   const PaCountVec &Entries = Arena.paVec(OmegaId);
   const std::vector<PaId> &Order = Arena.paOrder(OmegaId);
   for (PaId SubjectPa : Order) {
     if (Arena.pa(SubjectPa).Action != Subject)
+      continue;
+    // Every pair condition requires the subject's gate, so a disabled
+    // subject occurrence contributes no obligations; skipping it here
+    // skips the whole partner enumeration.
+    if (!SubjectEnabled(SubjectPa))
       continue;
     uint64_t SubjectCount = countOf(Entries, SubjectPa);
     for (PaId OtherPa : Order) {
@@ -72,6 +77,12 @@ void forEachPair(StateArena &Arena, PaSetId OmegaId, Symbol Subject,
       Body(SubjectPa, OtherPa);
     }
   }
+}
+
+template <typename Fn>
+void forEachPair(StateArena &Arena, PaSetId OmegaId, Symbol Subject,
+                 Fn Body) {
+  forEachPair(Arena, OmegaId, Subject, [](PaId) { return true; }, Body);
 }
 
 /// Dedup key for obligations that do not depend on Ω: the interned store
@@ -268,11 +279,14 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
               const Action &SubjectAction, const Program &P,
               const StateSpace &Universe, bool LeftDirection,
               bool RequireNonBlocking, InternedTransitionCache &Cache,
-              GateCache &Gates, OmegaGateCache &OmegaGates) {
+              GateCache &Gates, OmegaGateCache &OmegaGates,
+              SuccessorOmegaCache &SuccOmega) {
   ObligationScheduler::Group *Group = Sched.group(Cond);
   // Slice size is thread-count independent so unit/dedup statistics are
-  // identical for any --threads value, not just the verdicts.
-  constexpr size_t ChunkSize = 8;
+  // identical for any --threads value, not just the verdicts. Mover
+  // obligations are cheap individually; a large slice keeps scheduler
+  // dispatch off the profile on big universes (Paxos/3+).
+  constexpr size_t ChunkSize = 2048;
   // Jobs run after this function returns: capture the referents as
   // pointers by value, never the reference parameters themselves.
   const Action *SubjectActionP = &SubjectAction;
@@ -281,6 +295,7 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
   InternedTransitionCache *CacheP = &Cache;
   GateCache *GatesP = &Gates;
   OmegaGateCache *OmegaGatesP = &OmegaGates;
+  SuccessorOmegaCache *SuccOmegaP = &SuccOmega;
   size_t N = Universe.Configs.size();
   for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
     size_t End = std::min(N, Begin + ChunkSize);
@@ -291,6 +306,7 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
       InternedTransitionCache &Cache = *CacheP;
       GateCache &Gates = *GatesP;
       OmegaGateCache &OmegaGates = *OmegaGatesP;
+      SuccessorOmegaCache &SuccOmega = *SuccOmegaP;
       StateArena &Arena = *Universe.Arena;
       std::unordered_set<Key3, Key3Hash> CommuteDone;
       std::unordered_set<Key3, Key3Hash> NonBlockDone;
@@ -305,61 +321,116 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
                    ? OmegaGates.get(A, G, Pa, Omega)
                    : Gates.get(A, G, Pa, Arena.paSet(Omega));
       };
-      // Interns Ω − Executed ⊎ Created (for gates that observe Ω after a
-      // step); the id keys the gate cache without materializing the value.
-      auto omegaAfter = [&](const PaCountVec &Entries, PaId Executed,
-                            const InternedTransition &T) -> PaSetId {
-        PaCountVec Rest(Entries);
-        paCountVecErase(Rest, Executed);
-        return Arena.internPaVec(paCountVecUnion(Rest, T.Created));
+      // Per-configuration memo. Pre-state gate verdicts, transition
+      // lists, and successor-Ω ids (Ω − Pa ⊎ Created) are functions of
+      // the PA alone once (g, Ω) are fixed, but the pair enumeration
+      // below would otherwise consult the sharded shared caches once per
+      // *pair* — the dominant cost on large universes. Post-transition
+      // lookups key on successor stores and still go to the shared
+      // caches. Configurations hold few distinct PAs, so linear scan.
+      // Keyed by (action, PA): a subject-action PA is consulted under the
+      // *checked* subject action when it plays the subject role but under
+      // the program's action when it plays the other role, and the two
+      // need not agree (the subject may be an abstraction).
+      struct PaLocal {
+        const Action *A;
+        PaId Pa;
+        bool Gate;
+        const std::vector<InternedTransition> *Trans;
+        bool AfterReady;
+        std::vector<PaSetId> After; // aligned with *Trans
       };
+      std::vector<PaLocal> Locals;
 
       for (size_t CI = Begin; CI < End; ++CI) {
         ConfigId Cid = Universe.Configs[CI];
         auto [G, OmegaId] = Arena.config(Cid);
-        const PaCountVec &Entries = Arena.paVec(OmegaId);
+        Locals.clear();
+        // Each PA contributes at most two entries (its own action as the
+        // other role, the checked action as the subject role); reserving
+        // keeps references into Locals stable across inserts.
+        Locals.reserve(2 * Arena.paOrder(OmegaId).size());
+        auto localAt = [&](const Action &A, PaId Pa) -> PaLocal & {
+          for (PaLocal &L : Locals)
+            if (L.Pa == Pa && L.A == &A)
+              return L;
+          Locals.push_back(
+              {&A, Pa, gateAt(A, G, Pa, OmegaId), nullptr, false, {}});
+          return Locals.back();
+        };
+        // The accessors below take the memo entry itself: the pair body
+        // resolves each side's entry once and reuses the reference, so
+        // the linear scan runs twice per pair instead of per access.
+        auto transOf = [&](PaLocal &L) -> const std::vector<InternedTransition> & {
+          if (!L.Trans)
+            L.Trans = &Cache.get(*L.A, G, L.Pa);
+          return *L.Trans;
+        };
+        // Interned Ω − Pa ⊎ T.Created per transition (for gates that
+        // observe Ω after a step), aligned with transOf(L).
+        auto afterOf = [&](PaLocal &L) -> const std::vector<PaSetId> & {
+          const std::vector<InternedTransition> &Ts = transOf(L);
+          if (!L.AfterReady) {
+            L.AfterReady = true;
+            L.After.reserve(Ts.size());
+            for (const InternedTransition &T : Ts)
+              L.After.push_back(SuccOmega.get(OmegaId, L.Pa, T));
+          }
+          return L.After;
+        };
 
         // (4) Non-blocking, checked once per subject occurrence.
         if (RequireNonBlocking) {
           for (PaId SubjectPa : Arena.paOrder(OmegaId)) {
             if (Arena.pa(SubjectPa).Action != Subject)
               continue;
-            if (!gateAt(SubjectAction, G, SubjectPa, OmegaId))
+            PaLocal &SubjL = localAt(SubjectAction, SubjectPa);
+            if (!SubjL.Gate)
               continue;
             if (!NonBlockDone.insert({G, SubjectPa, SubjectPa}).second)
               continue;
             Sink.begin(ObKey{TagNonBlock, G, SubjectPa, SubjectPa});
             Sink.countObligation();
-            if (Cache.get(SubjectAction, G, SubjectPa).empty())
+            if (transOf(SubjL).empty())
               Sink.fail("non-blocking violated: " + Arena.pa(SubjectPa).str() +
                         " enabled but has no transition in " +
                         Arena.configuration(Cid).str());
           }
         }
 
-        forEachPair(Arena, OmegaId, Subject, [&](PaId SubjectPa,
-                                                 PaId OtherPa) {
+        forEachPair(
+            Arena, OmegaId, Subject,
+            [&](PaId SubjectPa) {
+              return localAt(SubjectAction, SubjectPa).Gate;
+            },
+            [&](PaId SubjectPa, PaId OtherPa) {
           const Action &Other = P.action(Arena.pa(OtherPa).Action);
-          bool SubjectGate = gateAt(SubjectAction, G, SubjectPa, OmegaId);
-          bool OtherGate = gateAt(Other, G, OtherPa, OmegaId);
+          PaLocal &OtherL = localAt(Other, OtherPa);
+          PaLocal &SubjL = localAt(SubjectAction, SubjectPa);
+          bool OtherGate = OtherL.Gate;
 
           // (1) Gate of the subject is forward-preserved by the other
           // action; Ω-observing subject gates skip dedup (keyless unit).
-          if (SubjectGate && OtherGate &&
+          // The subject's own gate holds by construction (see the filter
+          // above).
+          if (OtherGate &&
               (SubjectAction.gateReadsOmega() ||
                ForwardDone.insert({G, SubjectPa, OtherPa}).second)) {
             if (SubjectAction.gateReadsOmega())
               Sink.begin();
             else
               Sink.begin(ObKey{TagForward, G, SubjectPa, OtherPa});
-            for (const InternedTransition &TO :
-                 Cache.get(Other, G, OtherPa)) {
+            const std::vector<InternedTransition> &TOs = transOf(OtherL);
+            const std::vector<PaSetId> *AfterO =
+                SubjectAction.gateReadsOmega() ? &afterOf(OtherL) : nullptr;
+            for (size_t TI = 0; TI < TOs.size(); ++TI) {
+              const InternedTransition &TO = TOs[TI];
               Sink.countObligation();
               bool Preserved =
-                  SubjectAction.gateReadsOmega()
-                      ? gateAt(SubjectAction, TO.Global, SubjectPa,
-                               omegaAfter(Entries, OtherPa, TO))
-                      : gateAt(SubjectAction, TO.Global, SubjectPa, OmegaId);
+                  AfterO ? gateAt(SubjectAction, TO.Global, SubjectPa,
+                                  (*AfterO)[TI])
+                         : gateAt(SubjectAction, TO.Global, SubjectPa,
+                                  OmegaId);
               if (!Preserved)
                 Sink.fail("gate not forward-preserved: " +
                           describePair(Arena, Cid, SubjectPa, OtherPa));
@@ -368,21 +439,21 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
 
           // (2) Gate of the other action is backward-preserved by the
           // subject.
-          if (SubjectGate &&
-              (Other.gateReadsOmega() ||
-               BackwardDone.insert({G, SubjectPa, OtherPa}).second)) {
+          if (Other.gateReadsOmega() ||
+              BackwardDone.insert({G, SubjectPa, OtherPa}).second) {
             if (Other.gateReadsOmega())
               Sink.begin();
             else
               Sink.begin(ObKey{TagBackward, G, SubjectPa, OtherPa});
-            for (const InternedTransition &TS :
-                 Cache.get(SubjectAction, G, SubjectPa)) {
+            const std::vector<InternedTransition> &TSs = transOf(SubjL);
+            const std::vector<PaSetId> *AfterS =
+                Other.gateReadsOmega() ? &afterOf(SubjL) : nullptr;
+            for (size_t TI = 0; TI < TSs.size(); ++TI) {
+              const InternedTransition &TS = TSs[TI];
               Sink.countObligation();
               bool GateAfter =
-                  Other.gateReadsOmega()
-                      ? gateAt(Other, TS.Global, OtherPa,
-                               omegaAfter(Entries, SubjectPa, TS))
-                      : gateAt(Other, TS.Global, OtherPa, OmegaId);
+                  AfterS ? gateAt(Other, TS.Global, OtherPa, (*AfterS)[TI])
+                         : gateAt(Other, TS.Global, OtherPa, OmegaId);
               if (GateAfter && !OtherGate)
                 Sink.fail("gate not backward-preserved: " +
                           describePair(Arena, Cid, SubjectPa, OtherPa));
@@ -390,19 +461,16 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
           }
 
           // (3) Commutation (Ω-independent: deduplicated across Ω's).
-          if (SubjectGate && OtherGate &&
-              CommuteDone.insert({G, SubjectPa, OtherPa}).second) {
+          if (OtherGate && CommuteDone.insert({G, SubjectPa, OtherPa}).second) {
             Sink.begin(ObKey{TagCommute, G, SubjectPa, OtherPa});
             if (LeftDirection) {
               // other;subject must be reorderable to subject;other.
-              for (const InternedTransition &TO :
-                   Cache.get(Other, G, OtherPa)) {
+              for (const InternedTransition &TO : transOf(OtherL)) {
                 for (const InternedTransition &TS :
                      Cache.get(SubjectAction, TO.Global, SubjectPa)) {
                   Sink.countObligation();
                   bool Found = false;
-                  for (const InternedTransition &TS2 :
-                       Cache.get(SubjectAction, G, SubjectPa)) {
+                  for (const InternedTransition &TS2 : transOf(SubjL)) {
                     if (TS2.CreatedSet != TS.CreatedSet)
                       continue;
                     if (hasTransition(Cache.get(Other, TS2.Global, OtherPa),
@@ -418,14 +486,12 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
               }
             } else {
               // subject;other must be reorderable to other;subject.
-              for (const InternedTransition &TS :
-                   Cache.get(SubjectAction, G, SubjectPa)) {
+              for (const InternedTransition &TS : transOf(SubjL)) {
                 for (const InternedTransition &TO :
                      Cache.get(Other, TS.Global, OtherPa)) {
                   Sink.countObligation();
                   bool Found = false;
-                  for (const InternedTransition &TO2 :
-                       Cache.get(Other, G, OtherPa)) {
+                  for (const InternedTransition &TO2 : transOf(OtherL)) {
                     if (TO2.CreatedSet != TO.CreatedSet)
                       continue;
                     if (hasTransition(
@@ -494,10 +560,11 @@ isq::scheduleLeftMover(ObligationScheduler &Sched, ObCondition Cond,
                        Symbol Subject, const Action &LAction, const Program &P,
                        const StateSpace &Universe,
                        InternedTransitionCache &Cache, GateCache &Gates,
-                       OmegaGateCache &OmegaGates) {
+                       OmegaGateCache &OmegaGates,
+                       SuccessorOmegaCache &SuccOmega) {
   return scheduleMover(Sched, Cond, Subject, LAction, P, Universe,
                        /*LeftDirection=*/true, /*RequireNonBlocking=*/true,
-                       Cache, Gates, OmegaGates);
+                       Cache, Gates, OmegaGates, SuccOmega);
 }
 
 ObligationScheduler::Group *
@@ -505,10 +572,11 @@ isq::scheduleRightMover(ObligationScheduler &Sched, ObCondition Cond,
                         Symbol Subject, const Action &RAction, const Program &P,
                         const StateSpace &Universe,
                         InternedTransitionCache &Cache, GateCache &Gates,
-                        OmegaGateCache &OmegaGates) {
+                        OmegaGateCache &OmegaGates,
+                        SuccessorOmegaCache &SuccOmega) {
   return scheduleMover(Sched, Cond, Subject, RAction, P, Universe,
                        /*LeftDirection=*/false, /*RequireNonBlocking=*/false,
-                       Cache, Gates, OmegaGates);
+                       Cache, Gates, OmegaGates, SuccOmega);
 }
 
 MoverType isq::classifyMover(Symbol Subject, const Program &P,

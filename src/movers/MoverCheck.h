@@ -75,7 +75,8 @@ scheduleLeftMover(engine::ObligationScheduler &Sched, engine::ObCondition Cond,
                   Symbol Subject, const Action &LAction, const Program &P,
                   const engine::StateSpace &Universe,
                   engine::InternedTransitionCache &Cache,
-                  engine::GateCache &Gates, engine::OmegaGateCache &OmegaGates);
+                  engine::GateCache &Gates, engine::OmegaGateCache &OmegaGates,
+                  engine::SuccessorOmegaCache &SuccOmega);
 
 /// Obligation-scheduler form of checkRightMover (see scheduleLeftMover).
 engine::ObligationScheduler::Group *
@@ -84,7 +85,8 @@ scheduleRightMover(engine::ObligationScheduler &Sched, engine::ObCondition Cond,
                    const engine::StateSpace &Universe,
                    engine::InternedTransitionCache &Cache,
                    engine::GateCache &Gates,
-                   engine::OmegaGateCache &OmegaGates);
+                   engine::OmegaGateCache &OmegaGates,
+                   engine::SuccessorOmegaCache &SuccOmega);
 
 /// Classifies \p Subject (executed with its own program action) over
 /// \p Universe as Both/Left/Right/None by running both directed checks.

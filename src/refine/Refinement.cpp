@@ -148,8 +148,10 @@ isq::scheduleActionRefinement(ObligationScheduler &Sched, ObCondition Cond,
   assert(A1.arity() == A2.arity() && "refinement requires equal arity");
   ObligationScheduler::Group *Group = Sched.group(Cond);
   // Slice size is thread-count independent so unit/dedup statistics are
-  // identical for any --threads value, not just the verdicts.
-  constexpr size_t ChunkSize = 64;
+  // identical for any --threads value, not just the verdicts. 4096 keeps
+  // job dispatch well under 1% of refinement work on the large
+  // context universes (Paxos/3 has hundreds of thousands of contexts).
+  constexpr size_t ChunkSize = 4096;
   // Dedup namespace of the condition-(2) simulation units.
   constexpr uint32_t TagSim = 1;
   // Jobs run after this function returns: capture the referents as
@@ -253,8 +255,8 @@ isq::checkProgramRefinement(const Program &P1, const Program &P2,
   // When both sides run reduced (or both unreduced), representatives
   // compare directly.
   const SymmetrySpec *Sym =
-      Opts.Symmetry ? P1.symmetry().get() : nullptr;
-  bool Expand = Sym && !(Opts.Symmetry && P2.symmetry());
+      Opts.Config.Symmetry ? P1.symmetry().get() : nullptr;
+  bool Expand = Sym && !(Opts.Config.Symmetry && P2.symmetry());
   for (const InitialCondition &Init : Inits) {
     auto [Good2, Trans2] = summarize(P2, Init.Global, Init.MainArgs, Opts);
     Result.countObligation();

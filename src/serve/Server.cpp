@@ -239,6 +239,20 @@ void Server::handleConnection(std::shared_ptr<Connection> Conn) {
 
 void Server::handleSubmit(const std::shared_ptr<Connection> &Conn,
                           SubmitRequest Request) {
+  // Validate the engine map up front: a bad key/value is a client error
+  // answered with a diagnostic, and it must never reach the cache or the
+  // pipeline (an unvalidated map would poison the verdict cache key).
+  std::string EngineError;
+  if (!validateEngine(Request, EngineError)) {
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Counters.FramesRejected;
+    }
+    Conn->send(MsgType::ErrorResponse,
+               ErrorResponse{Request.RequestId,
+                             "bad engine config: " + EngineError});
+    return;
+  }
   std::string Key = verdictCacheKey(Request);
   if (std::optional<VerdictCache::Entry> Hit = Cache.lookup(Key)) {
     VerdictResponse Response;

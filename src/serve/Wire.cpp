@@ -153,15 +153,14 @@ namespace serve {
 
 Marshall &operator<<(Marshall &M, const SubmitRequest &R) {
   M << R.RequestId << R.Source << R.Consts << R.RewriteAction << R.Eliminate
-    << R.ArgMajor << R.Abstractions << R.Weights << R.CrossCheck
-    << R.ParallelCheck << R.Symmetry;
+    << R.ArgMajor << R.Abstractions << R.Weights << R.CrossCheck << R.Engine;
   return M;
 }
 
 Unmarshall &operator>>(Unmarshall &U, SubmitRequest &R) {
   U >> R.RequestId >> R.Source >> R.Consts >> R.RewriteAction >>
       R.Eliminate >> R.ArgMajor >> R.Abstractions >> R.Weights >>
-      R.CrossCheck >> R.ParallelCheck >> R.Symmetry;
+      R.CrossCheck >> R.Engine;
   return U;
 }
 
@@ -246,10 +245,17 @@ driver::VerifyOptions serve::toVerifyOptions(const SubmitRequest &R,
   O.Abstractions = R.Abstractions;
   O.Weights = R.Weights;
   O.CrossCheck = R.CrossCheck;
-  O.ParallelCheck = R.ParallelCheck;
-  O.Symmetry = R.Symmetry;
-  O.NumThreads = NumThreads;
+  std::string Ignored;
+  O.Engine.applyKeyValues(R.Engine, Ignored);
+  // The per-job thread budget is the server's, regardless of what the
+  // client sent (applyKeyValues rejects "threads" anyway).
+  O.Engine.NumThreads = NumThreads;
   return O;
+}
+
+bool serve::validateEngine(const SubmitRequest &R, std::string &Error) {
+  engine::EngineConfig Probe;
+  return Probe.applyKeyValues(R.Engine, Error);
 }
 
 SubmitRequest serve::fromVerifyOptions(const driver::VerifyOptions &O) {
@@ -262,8 +268,9 @@ SubmitRequest serve::fromVerifyOptions(const driver::VerifyOptions &O) {
   R.Abstractions = O.Abstractions;
   R.Weights = O.Weights;
   R.CrossCheck = O.CrossCheck;
-  R.ParallelCheck = O.ParallelCheck;
-  R.Symmetry = O.Symmetry;
+  // Only non-default keys travel; "threads" never does (toKeyValues
+  // omits it — the server assigns the job's thread budget).
+  R.Engine = O.Engine.toKeyValues();
   return R;
 }
 

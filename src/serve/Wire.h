@@ -44,7 +44,13 @@ namespace serve {
 
 /// The protocol version this build speaks. Bumped on any incompatible
 /// change to the framing or the message bodies.
-constexpr uint8_t WireVersion = 1;
+///
+/// History:
+///   1  initial protocol
+///   2  SubmitRequest carries an engine-configuration map (KEY=VALUE
+///      pairs with the --engine key set) instead of the fixed
+///      ParallelCheck/Symmetry booleans
+constexpr uint8_t WireVersion = 2;
 
 /// Upper bound on one frame's payload. Large enough for any realistic
 /// ASL module plus report; small enough that a garbage length prefix is
@@ -188,8 +194,15 @@ struct SubmitRequest {
   std::map<std::string, std::string> Abstractions;
   std::map<std::string, uint64_t> Weights;
   bool CrossCheck = true;
-  bool ParallelCheck = true;
-  bool Symmetry = true;
+  /// Engine configuration as KEY=VALUE pairs over --engine's key set
+  /// (engine/EngineConfig.h), carrying only the keys the client set
+  /// explicitly. The server validates with EngineConfig::applyKeyValues
+  /// and answers an unknown key with an ErrorResponse diagnostic, never
+  /// a crash. "threads" is rejected: the per-job thread budget is a
+  /// server tuning knob (--job-threads), not a client choice — every
+  /// knob here changes only performance/observability, never verdicts,
+  /// so caching across clients stays sound.
+  std::map<std::string, std::string> Engine;
 };
 
 /// The verdict for one submission. ReportJson is the schema-versioned
@@ -265,8 +278,15 @@ Unmarshall &operator>>(Unmarshall &U, StatsResponse &R);
 /// Converts a submission into driver options. \p NumThreads is the
 /// server-side worker-thread budget per job (results are bit-identical
 /// for any value, so it is a server tuning knob, not a client choice).
+/// Assumes R.Engine was already validated (see validateEngine);
+/// unparseable entries are ignored here.
 driver::VerifyOptions toVerifyOptions(const SubmitRequest &R,
                                       unsigned NumThreads);
+
+/// Validates \p R.Engine against the engine key set ("threads" is
+/// additionally rejected as server-controlled). Returns false and sets
+/// \p Error on the first bad entry.
+bool validateEngine(const SubmitRequest &R, std::string &Error);
 
 /// Builds a submission from driver options (client side).
 SubmitRequest fromVerifyOptions(const driver::VerifyOptions &O);

@@ -135,18 +135,97 @@ TEST(CliTest, ParsesFullCommandLine) {
   EXPECT_EQ(O.Verify.Abstractions.at("Join"), "JoinAbs");
   EXPECT_EQ(O.Verify.Weights.at("StartRound"), 9u);
   EXPECT_EQ(O.Verify.RewriteAction, "Main");
-  EXPECT_EQ(O.Verify.NumThreads, 4u);
+  EXPECT_EQ(O.Verify.Engine.NumThreads, 4u);
   EXPECT_FALSE(O.Verify.CrossCheck);
-  EXPECT_FALSE(O.Verify.ParallelCheck);
+  EXPECT_FALSE(O.Verify.Engine.ParallelCheck);
 }
 
 TEST(CliTest, DefaultsAreTextSerialExplorationParallelCheck) {
   CliParse P = parse({"x.asl", "--eliminate", "A"});
   ASSERT_TRUE(P.Ok);
   EXPECT_EQ(P.Options.Format, OutputFormat::Text);
-  EXPECT_EQ(P.Options.Verify.NumThreads, 1u);
-  EXPECT_TRUE(P.Options.Verify.ParallelCheck);
+  EXPECT_EQ(P.Options.Verify.Engine.NumThreads, 1u);
+  EXPECT_TRUE(P.Options.Verify.Engine.ParallelCheck);
+  EXPECT_TRUE(P.Options.Verify.Engine.WorkStealing);
+  EXPECT_EQ(P.Options.Verify.Engine.StealChunk, 64u);
+  EXPECT_EQ(P.Options.Verify.Engine.Shards, 16u);
+  EXPECT_FALSE(P.Options.Verify.Engine.Compress);
   EXPECT_TRUE(P.Options.Verify.CrossCheck);
+}
+
+// --- The unified --engine flag -------------------------------------------
+
+TEST(CliTest, EngineFlagParsesEveryKey) {
+  CliParse P = parse({"x.asl", "--eliminate", "A", "--engine",
+                      "threads=8,work-stealing=off,steal-chunk=128",
+                      "--engine", "shards=4,compress=on,symmetry=false",
+                      "--engine", "parallel-check=0"});
+  ASSERT_TRUE(P.Ok) << P.Error;
+  const engine::EngineConfig &E = P.Options.Verify.Engine;
+  EXPECT_EQ(E.NumThreads, 8u);
+  EXPECT_FALSE(E.WorkStealing);
+  EXPECT_EQ(E.StealChunk, 128u);
+  EXPECT_EQ(E.Shards, 4u);
+  EXPECT_TRUE(E.Compress);
+  EXPECT_FALSE(E.Symmetry);
+  EXPECT_FALSE(E.ParallelCheck);
+}
+
+TEST(CliTest, EngineFlagRejectsMalformedSpecs) {
+  expectError({"x.asl", "--engine"}, "--engine needs a KEY=VALUE");
+  expectError({"x.asl", "--engine", "frobnicate=1"},
+              "unknown engine option 'frobnicate'");
+  expectError({"x.asl", "--engine", "threads"}, "KEY=VALUE");
+  expectError({"x.asl", "--engine", "threads=0"}, "positive integer");
+  expectError({"x.asl", "--engine", "steal-chunk=-3"}, "positive integer");
+  expectError({"x.asl", "--engine", "shards=3"}, "power of two");
+  expectError({"x.asl", "--engine", "shards=32"}, "power of two");
+  expectError({"x.asl", "--engine", "compress=maybe"}, "expects a boolean");
+  expectError({"x.asl", "--engine", "threads=2,,shards=4"},
+              "empty item in engine option list");
+}
+
+TEST(CliTest, DeprecatedAliasesStillSetTheEngineConfig) {
+  CliParse P = parse({"x.asl", "--eliminate", "A", "--threads", "6",
+                      "--no-parallel-check", "--no-symmetry",
+                      "--no-work-stealing"});
+  ASSERT_TRUE(P.Ok) << P.Error;
+  const engine::EngineConfig &E = P.Options.Verify.Engine;
+  EXPECT_EQ(E.NumThreads, 6u);
+  EXPECT_FALSE(E.ParallelCheck);
+  EXPECT_FALSE(E.Symmetry);
+  EXPECT_FALSE(E.WorkStealing);
+  // The aliases are documented as deprecated spellings of --engine.
+  std::string Usage = usageText();
+  EXPECT_NE(Usage.find("--engine K=V"), std::string::npos);
+  EXPECT_NE(Usage.find("--threads N           deprecated alias"),
+            std::string::npos);
+  EXPECT_NE(Usage.find("--no-parallel-check   deprecated alias"),
+            std::string::npos);
+  EXPECT_NE(Usage.find("--no-symmetry         deprecated alias"),
+            std::string::npos);
+  EXPECT_NE(Usage.find("--no-work-stealing    deprecated alias"),
+            std::string::npos);
+}
+
+TEST(CliTest, EngineFlagComposesWithAliases) {
+  // Later flags win over earlier ones regardless of spelling.
+  CliParse P = parse({"x.asl", "--eliminate", "A", "--threads", "2",
+                      "--engine", "threads=4"});
+  ASSERT_TRUE(P.Ok) << P.Error;
+  EXPECT_EQ(P.Options.Verify.Engine.NumThreads, 4u);
+
+  CliParse Q = parse({"x.asl", "--eliminate", "A", "--engine",
+                      "work-stealing=false", "--engine",
+                      "work-stealing=true"});
+  ASSERT_TRUE(Q.Ok) << Q.Error;
+  EXPECT_TRUE(Q.Options.Verify.Engine.WorkStealing);
+}
+
+TEST(CliTest, ListFlagsRejectEmptyItems) {
+  expectError({"x.asl", "--eliminate", "A,,B"}, "empty item in list");
+  expectError({"x.asl", "--eliminate", ",A"}, "empty item in list");
+  expectError({"x.asl", "--eliminate", "A,"}, "empty item in list");
 }
 
 TEST(CliTest, HelpShortCircuits) {
@@ -275,7 +354,7 @@ TEST(CliTest, TextReportIsPureFunctionOfResult) {
   EXPECT_EQ(Result.Summary, renderText(Result));
   EXPECT_NE(Result.Summary.find("checker:"), std::string::npos);
   // The serial oracle renders without the scheduler line.
-  Options.ParallelCheck = false;
+  Options.Engine.ParallelCheck = false;
   VerifyResult Serial = verifyModule(Options);
   EXPECT_TRUE(Serial.Accepted);
   EXPECT_EQ(Serial.Summary.find("checker:"), std::string::npos);

@@ -238,13 +238,13 @@ void expectIdentical(const ExploreResult &A, const ExploreResult &B,
 TEST(ParallelExploreTest, ThreadCountDoesNotChangeResults) {
   for (const Instance &I : tier1Instances()) {
     ExploreOptions Serial;
-    Serial.NumThreads = 1;
+    Serial.Config.NumThreads = 1;
     ExploreResult Base = explore(I.P, initialConfiguration(I.Init), Serial);
     EXPECT_GT(Base.Stats.NumConfigurations, 1u) << I.Name;
 
     for (unsigned Threads : {2u, 8u}) {
       ExploreOptions Par;
-      Par.NumThreads = Threads;
+      Par.Config.NumThreads = Threads;
       ExploreResult R = explore(I.P, initialConfiguration(I.Init), Par);
       EXPECT_EQ(R.Engine.Threads, Threads) << I.Name;
       expectIdentical(Base, R,
@@ -266,7 +266,7 @@ TEST(ParallelExploreTest, FailureTracesIdenticalAcrossThreadCounts) {
 
   for (unsigned Threads : {2u, 8u}) {
     ExploreOptions Par;
-    Par.NumThreads = Threads;
+    Par.Config.NumThreads = Threads;
     ExploreResult R = explore(Buggy, Init, Par);
     expectIdentical(Base, R,
                     "buggy pingpong with " + std::to_string(Threads) +
@@ -285,7 +285,7 @@ TEST(EngineDifferentialTest, MatchesLegacyExplorer) {
     // The legacy explorer is always unreduced; compare like with like
     // (symmetry-vs-unreduced differentials live in symmetry_test.cpp).
     ExploreOptions Unreduced;
-    Unreduced.Symmetry = false;
+    Unreduced.Config.Symmetry = false;
     ExploreResult Engine = exploreAll(I.P, Inits, Unreduced);
     EXPECT_EQ(Engine.Reachable, Legacy.Reachable) << I.Name;
     EXPECT_EQ(Engine.FailureReachable, Legacy.FailureReachable) << I.Name;
@@ -297,6 +297,169 @@ TEST(EngineDifferentialTest, MatchesLegacyExplorer) {
     EXPECT_EQ(Engine.Stats.NumTransitions, Legacy.Stats.NumTransitions)
         << I.Name;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Work-stealing mode
+//===----------------------------------------------------------------------===//
+
+TEST(WorkStealingTest, BitIdenticalAcrossThreadCounts) {
+  for (const Instance &I : tier1Instances()) {
+    ExploreOptions One;
+    One.Config.WorkStealing = true;
+    One.Config.NumThreads = 1;
+    ExploreResult Base = explore(I.P, initialConfiguration(I.Init), One);
+    EXPECT_TRUE(Base.Engine.WorkStealing) << I.Name;
+
+    for (unsigned Threads : {2u, 8u}) {
+      ExploreOptions Par;
+      Par.Config.WorkStealing = true;
+      Par.Config.NumThreads = Threads;
+      ExploreResult R = explore(I.P, initialConfiguration(I.Init), Par);
+      expectIdentical(Base, R,
+                      I.Name + " work-stealing with " +
+                          std::to_string(Threads) + " threads");
+      // Interning and canonicalization counters are part of the
+      // determinism contract too (only timings and steals may vary).
+      EXPECT_EQ(Base.Engine.InternedStores, R.Engine.InternedStores)
+          << I.Name;
+      EXPECT_EQ(Base.Engine.InternedConfigs, R.Engine.InternedConfigs)
+          << I.Name;
+      EXPECT_EQ(Base.Engine.FrontierPeak, R.Engine.FrontierPeak) << I.Name;
+    }
+  }
+}
+
+TEST(WorkStealingTest, MatchesLevelSyncOracle) {
+  for (const Instance &I : tier1Instances()) {
+    for (unsigned Threads : {1u, 4u}) {
+      ExploreOptions Ls;
+      Ls.Config.WorkStealing = false;
+      Ls.Config.NumThreads = Threads;
+      ExploreResult Oracle = explore(I.P, initialConfiguration(I.Init), Ls);
+      EXPECT_FALSE(Oracle.Engine.WorkStealing) << I.Name;
+
+      ExploreOptions Ws;
+      Ws.Config.WorkStealing = true;
+      Ws.Config.NumThreads = Threads;
+      ExploreResult R = explore(I.P, initialConfiguration(I.Init), Ws);
+      expectIdentical(Oracle, R,
+                      I.Name + " ws-vs-level-sync at " +
+                          std::to_string(Threads) + " threads");
+      EXPECT_EQ(Oracle.Engine.InternedConfigs, R.Engine.InternedConfigs)
+          << I.Name;
+      EXPECT_EQ(Oracle.Engine.FrontierPeak, R.Engine.FrontierPeak) << I.Name;
+    }
+  }
+}
+
+TEST(WorkStealingTest, SmallChunksStealAndStayDeterministic) {
+  BroadcastParams BC{3, {}};
+  Program P = makeBroadcastProgram(BC);
+  Configuration Init = initialConfiguration(makeBroadcastInitialStore(BC));
+
+  ExploreOptions Base;
+  Base.Config.NumThreads = 1;
+  ExploreResult Expect = explore(P, Init, Base);
+
+  // chunk=1 maximizes scheduling freedom — the strongest determinism
+  // stress — and makes steals essentially certain with 4 threads.
+  ExploreOptions Tiny;
+  Tiny.Config.NumThreads = 4;
+  Tiny.Config.StealChunk = 1;
+  ExploreResult R = explore(P, Init, Tiny);
+  expectIdentical(Expect, R, "broadcast steal-chunk=1");
+  EXPECT_EQ(R.Engine.StealChunk, 1u);
+}
+
+TEST(WorkStealingTest, FailuresHandledWithoutStop) {
+  PingPongParams PP{3};
+  Program Buggy = makeBuggyPingPongProgram(PP);
+  Configuration Init = initialConfiguration(makePingPongInitialStore(PP));
+
+  ExploreOptions Serial;
+  Serial.Config.WorkStealing = false;
+  ExploreResult Oracle = explore(Buggy, Init, Serial);
+  ASSERT_TRUE(Oracle.FailureReachable);
+
+  ExploreOptions Ws;
+  Ws.Config.WorkStealing = true;
+  Ws.Config.NumThreads = 4;
+  ExploreResult R = explore(Buggy, Init, Ws);
+  expectIdentical(Oracle, R, "buggy pingpong under work stealing");
+}
+
+//===----------------------------------------------------------------------===//
+// Compact state store
+//===----------------------------------------------------------------------===//
+
+TEST(CompactStoreTest, CompressedArenaRoundTrips) {
+  StateArena Arena(/*Shards=*/4, /*Compress=*/true);
+  EXPECT_EQ(Arena.shards(), 4u);
+  EXPECT_TRUE(Arena.compressed());
+
+  Store A = makeStore({{"x", 1}, {"y", 2}});
+  Store B = makeStore({{"y", 2}, {"x", 1}});
+  StoreId IdA = Arena.internStore(A);
+  EXPECT_EQ(IdA, Arena.internStore(B));
+  EXPECT_EQ(Arena.store(IdA), A);
+
+  PaMultiset Omega;
+  Omega.insert(PendingAsync(Symbol::get("A"), {Value::integer(1)}));
+  Omega.insert(PendingAsync(Symbol::get("A"), {Value::integer(1)}));
+  Omega.insert(PendingAsync(Symbol::get("B"), {}));
+  PaSetId Id = Arena.internPaSet(Omega);
+  EXPECT_EQ(Id, Arena.internPaSet(Omega));
+  EXPECT_EQ(Arena.paSet(Id), Omega);
+  EXPECT_EQ(Arena.paVec(Id).size(), 2u);
+
+  ArenaStats Stats = Arena.stats();
+  EXPECT_GT(Stats.CompressedBytes, 0u);
+  EXPECT_EQ(Stats.Shards, 4u);
+  EXPECT_GE(Stats.ShardOccupancy, 0u);
+}
+
+TEST(CompactStoreTest, CompressionDoesNotChangeResults) {
+  for (const Instance &I : tier1Instances()) {
+    ExploreOptions Plain;
+    Plain.Config.NumThreads = 4;
+    ExploreResult Base = explore(I.P, initialConfiguration(I.Init), Plain);
+    EXPECT_EQ(Base.Engine.CompressedBytes, 0u) << I.Name;
+
+    ExploreOptions Compressed;
+    Compressed.Config.NumThreads = 4;
+    Compressed.Config.Compress = true;
+    ExploreResult R = explore(I.P, initialConfiguration(I.Init), Compressed);
+    expectIdentical(Base, R, I.Name + " compressed");
+    EXPECT_EQ(Base.Engine.InternedStores, R.Engine.InternedStores) << I.Name;
+    EXPECT_GT(R.Engine.CompressedBytes, 0u) << I.Name;
+  }
+}
+
+TEST(CompactStoreTest, ShardCountIsObservableAndDeterministic) {
+  BroadcastParams BC{3, {}};
+  Program P = makeBroadcastProgram(BC);
+  Configuration Init = initialConfiguration(makeBroadcastInitialStore(BC));
+
+  ExploreOptions Opts;
+  Opts.Config.Shards = 8;
+  ExploreResult First = explore(P, Init, Opts);
+  EXPECT_EQ(First.Engine.Shards, 8u);
+  EXPECT_GT(First.Engine.ShardOccupancy, 0u);
+  EXPECT_LE(First.Engine.ShardOccupancy, 8u);
+
+  // Occupancy is a pure function of the reached value set, so it must not
+  // wobble across thread counts.
+  Opts.Config.NumThreads = 4;
+  ExploreResult Second = explore(P, Init, Opts);
+  EXPECT_EQ(First.Engine.ShardOccupancy, Second.Engine.ShardOccupancy);
+
+  // Fewer shards must not change anything but the occupancy bound.
+  ExploreOptions One;
+  One.Config.Shards = 1;
+  ExploreResult Single = explore(P, Init, One);
+  expectIdentical(First, Single, "broadcast shards=1");
+  EXPECT_EQ(Single.Engine.ShardOccupancy, 1u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -316,7 +479,7 @@ TEST(EngineTruncationTest, MaxConfigurationsSetsTruncatedFlag) {
   for (unsigned Threads : {1u, 4u}) {
     ExploreOptions Opts;
     Opts.MaxConfigurations = 4;
-    Opts.NumThreads = Threads;
+    Opts.Config.NumThreads = Threads;
     ExploreResult R = explore(P, Init, Opts);
     EXPECT_TRUE(R.Stats.Truncated)
         << Threads << " threads: cap must report truncation";

@@ -56,13 +56,15 @@ std::string scrubTimings(const std::string &Json) {
 }
 
 /// With more than one worker thread the cache telemetry (hash-cons and
-/// canonicalization hit counts) depends on thread interleaving; the
-/// verdict, obligations and state counts do not. Multithreaded
-/// comparisons zero the telemetry, single-threaded ones stay strict.
+/// canonicalization hit counts) and the work-stealing steal count depend
+/// on thread interleaving; the verdict, obligations and state counts do
+/// not. Multithreaded comparisons zero the telemetry, single-threaded
+/// ones stay strict.
 std::string scrubSchedulingCounters(const std::string &Json) {
   static const std::regex Counter(
       "(\"(?:hash_cons_lookups|hash_cons_hits|transition_cache_lookups|"
-      "transition_cache_hits|canon_calls|canon_cache_hits)\":)[0-9]+");
+      "transition_cache_hits|canon_calls|canon_cache_hits|steals)\":)"
+      "[0-9]+");
   return std::regex_replace(Json, Counter, "$010");
 }
 
@@ -293,7 +295,7 @@ TEST(FrontendV2Test, PaxosParamInstancesMatchV1ConstPrograms) {
     VerifyOptions O1 = optionsFor(Paxos, frontend::FrontendVersion::V1);
     VerifyOptions O2 = optionsFor(Paxos, frontend::FrontendVersion::V2);
     O1.Consts = O2.Consts = {{"R", 2}, {"N", 2}};
-    O1.NumThreads = O2.NumThreads = Threads;
+    O1.Engine.NumThreads = O2.Engine.NumThreads = Threads;
     VerifyResult V1 = verifyModule(O1);
     VerifyResult V2 = verifyModule(O2);
     EXPECT_TRUE(V2.Accepted) << V2.Summary;
@@ -314,7 +316,7 @@ TEST(FrontendV2Test, PaxosParamInstancesMatchV1ConstPrograms) {
   O1.Weights = O2.Weights = {{"StartRound", 11}, {"Propose", 6},
                              {"Conclude", 2}};
   O1.CrossCheck = O2.CrossCheck = false;
-  O1.NumThreads = O2.NumThreads = 2;
+  O1.Engine.NumThreads = O2.Engine.NumThreads = 2;
   VerifyResult V1 = verifyModule(O1);
   VerifyResult V2 = verifyModule(O2);
   EXPECT_TRUE(V2.Accepted) << V2.Summary;

@@ -104,8 +104,8 @@ TEST(ReentrancyTest, ConcurrentMultiThreadedJobsMatch) {
   // itself runs the engine and scheduler with two threads.
   driver::VerifyOptions JobA = pingPongJob();
   driver::VerifyOptions JobB = broadcastJob();
-  JobA.NumThreads = 2;
-  JobB.NumThreads = 2;
+  JobA.Engine.NumThreads = 2;
+  JobB.Engine.NumThreads = 2;
 
   std::string SerialA = scrubbedVerdict(JobA);
   std::string SerialB = scrubbedVerdict(JobB);

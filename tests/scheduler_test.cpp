@@ -26,6 +26,13 @@ using namespace isq::testing;
 
 namespace {
 
+/// The scheduler draws its worker budget from the unified EngineConfig.
+EngineConfig threadConfig(unsigned Threads) {
+  EngineConfig Config;
+  Config.NumThreads = Threads;
+  return Config;
+}
+
 void expectSameResult(const CheckResult &A, const CheckResult &B,
                       const std::string &What) {
   EXPECT_EQ(A.ok(), B.ok()) << What;
@@ -70,7 +77,7 @@ void expectParallelMatchesSerial(const ISApplication &App,
   const unsigned Threads[3] = {1, 2, 8};
   for (size_t I = 0; I < 3; ++I) {
     ISCheckOptions Opts;
-    Opts.NumThreads = Threads[I];
+    Opts.Config.NumThreads = Threads[I];
     Reports[I] = checkIS(App, Universe, Opts);
     expectSameReport(Serial, Reports[I]);
   }
@@ -79,7 +86,7 @@ void expectParallelMatchesSerial(const ISApplication &App,
   // The serial oracle behind --no-parallel-check is reachable through the
   // same options surface.
   ISCheckOptions SerialOpts;
-  SerialOpts.Parallel = false;
+  SerialOpts.Config.ParallelCheck = false;
   expectSameReport(Serial, checkIS(App, Universe, SerialOpts));
 }
 
@@ -88,7 +95,7 @@ void expectParallelMatchesSerial(const ISApplication &App,
 // --- Scheduler core -----------------------------------------------------
 
 TEST(ObligationSchedulerTest, MergesUnitsInSubmissionOrder) {
-  ObligationScheduler Sched(1);
+  ObligationScheduler Sched(threadConfig(1));
   auto *G = Sched.group(ObCondition::LeftMovers);
   Sched.add(G, [](ObSink &S) {
     S.begin();
@@ -116,7 +123,7 @@ TEST(ObligationSchedulerTest, DedupKeepsFirstSubmittedUnit) {
   // which worker runs first, reconciliation must keep the unit of the
   // earlier-submitted job.
   for (unsigned Threads : {1u, 2u, 8u}) {
-    ObligationScheduler Sched(Threads);
+    ObligationScheduler Sched(threadConfig(Threads));
     auto *G = Sched.group(ObCondition::Cooperation);
     Sched.add(G, [](ObSink &S) {
       S.begin(ObKey{7, 1, 2, 3});
@@ -143,7 +150,7 @@ TEST(ObligationSchedulerTest, DedupKeepsFirstSubmittedUnit) {
 }
 
 TEST(ObligationSchedulerTest, KeylessUnitsNeverDedup) {
-  ObligationScheduler Sched(2);
+  ObligationScheduler Sched(threadConfig(2));
   auto *G = Sched.group(ObCondition::BaseCase);
   for (int I = 0; I < 4; ++I)
     Sched.add(G, [](ObSink &S) {
@@ -158,7 +165,7 @@ TEST(ObligationSchedulerTest, KeylessUnitsNeverDedup) {
 }
 
 TEST(ObligationSchedulerTest, ChannelsFoldIntoSeparateResults) {
-  ObligationScheduler Sched(1);
+  ObligationScheduler Sched(threadConfig(1));
   auto *G = Sched.group(
       {ObCondition::InductiveStep, ObCondition::SideConditions});
   Sched.add(G, [](ObSink &S) {
@@ -177,7 +184,7 @@ TEST(ObligationSchedulerTest, ChannelsFoldIntoSeparateResults) {
 }
 
 TEST(ObligationSchedulerTest, FailureCountsSurviveIssueCap) {
-  ObligationScheduler Sched(1);
+  ObligationScheduler Sched(threadConfig(1));
   auto *G = Sched.group(ObCondition::Conclusion);
   Sched.add(G, [](ObSink &S) {
     S.begin();
@@ -198,7 +205,7 @@ TEST(ObligationSchedulerTest, IdenticalAcrossThreadCountsUnderContention) {
   // Many jobs racing on overlapping keys: results and counter statistics
   // must not depend on the worker count.
   auto Run = [](unsigned Threads) {
-    ObligationScheduler Sched(Threads);
+    ObligationScheduler Sched(threadConfig(Threads));
     auto *G = Sched.group(ObCondition::LeftMovers);
     for (uint32_t J = 0; J < 64; ++J)
       Sched.add(G, [J](ObSink &S) {
@@ -256,7 +263,7 @@ TEST(ScheduledRefinementTest, MatchesSerialIncludingFailures) {
   CheckResult Serial = checkActionRefinement(A1, A2, Universe);
   ASSERT_FALSE(Serial.ok());
   for (unsigned Threads : {1u, 2u, 8u}) {
-    ObligationScheduler Sched(Threads);
+    ObligationScheduler Sched(threadConfig(Threads));
     InternedTransitionCache Cache(*Universe.Arena);
     GateCache Gates(*Universe.Arena);
     OmegaGateCache OmegaGates(*Universe.Arena);
@@ -281,16 +288,19 @@ TEST(ScheduledMoverTest, MatchesSerialOnBroadcastUniverse) {
     CheckResult SerialL = checkLeftMover(A, Abs, App.P, Universe.Space);
     CheckResult SerialR = checkRightMover(A, Abs, App.P, Universe.Space);
     for (unsigned Threads : {1u, 2u, 8u}) {
-      ObligationScheduler Sched(Threads);
+      ObligationScheduler Sched(threadConfig(Threads));
       InternedTransitionCache Cache(*Universe.Space.Arena);
       GateCache Gates(*Universe.Space.Arena);
       OmegaGateCache OmegaGates(*Universe.Space.Arena);
+      SuccessorOmegaCache SuccOmega(*Universe.Space.Arena);
       auto *GL =
           scheduleLeftMover(Sched, ObCondition::LeftMovers, A, Abs, App.P,
-                            Universe.Space, Cache, Gates, OmegaGates);
+                            Universe.Space, Cache, Gates, OmegaGates,
+                            SuccOmega);
       auto *GR =
           scheduleRightMover(Sched, ObCondition::CrossCheck, A, Abs, App.P,
-                             Universe.Space, Cache, Gates, OmegaGates);
+                             Universe.Space, Cache, Gates, OmegaGates,
+                             SuccOmega);
       Sched.run();
       expectSameResult(SerialL, Sched.result(GL),
                        A.str() + " left, threads " + std::to_string(Threads));

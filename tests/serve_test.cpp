@@ -112,8 +112,7 @@ TEST(ServeWireTest, SubmitRequestRoundTrip) {
   R.Abstractions = {{"B", "BAbs"}};
   R.Weights = {{"A", 8}};
   R.CrossCheck = false;
-  R.ParallelCheck = true;
-  R.Symmetry = false;
+  R.Engine = {{"symmetry", "false"}, {"steal-chunk", "32"}};
 
   Marshall M;
   M << R;
@@ -130,8 +129,46 @@ TEST(ServeWireTest, SubmitRequestRoundTrip) {
   EXPECT_EQ(R2.Abstractions, R.Abstractions);
   EXPECT_EQ(R2.Weights, R.Weights);
   EXPECT_FALSE(R2.CrossCheck);
-  EXPECT_TRUE(R2.ParallelCheck);
-  EXPECT_FALSE(R2.Symmetry);
+  EXPECT_EQ(R2.Engine, R.Engine);
+}
+
+TEST(ServeWireTest, EngineMapValidation) {
+  SubmitRequest R;
+  std::string Error;
+  EXPECT_TRUE(validateEngine(R, Error)) << Error; // empty map: defaults
+
+  R.Engine = {{"symmetry", "false"}, {"compress", "true"}};
+  EXPECT_TRUE(validateEngine(R, Error)) << Error;
+
+  R.Engine = {{"frobnicate", "1"}};
+  EXPECT_FALSE(validateEngine(R, Error));
+  EXPECT_NE(Error.find("unknown engine option"), std::string::npos);
+
+  R.Engine = {{"shards", "3"}};
+  EXPECT_FALSE(validateEngine(R, Error));
+  EXPECT_NE(Error.find("power of two"), std::string::npos);
+
+  // The thread budget is the server's, never the client's.
+  R.Engine = {{"threads", "64"}};
+  EXPECT_FALSE(validateEngine(R, Error));
+  EXPECT_NE(Error.find("--job-threads"), std::string::npos);
+}
+
+TEST(ServeWireTest, EngineConfigSurvivesOptionRoundTrip) {
+  driver::VerifyOptions O;
+  O.Source = "x";
+  O.Engine.Symmetry = false;
+  O.Engine.StealChunk = 32;
+  O.Engine.NumThreads = 8; // must NOT travel: server knob
+  SubmitRequest R = fromVerifyOptions(O);
+  EXPECT_EQ(R.Engine.count("threads"), 0u);
+  EXPECT_EQ(R.Engine.at("symmetry"), "false");
+  EXPECT_EQ(R.Engine.at("steal-chunk"), "32");
+
+  driver::VerifyOptions Back = toVerifyOptions(R, /*NumThreads=*/3);
+  EXPECT_FALSE(Back.Engine.Symmetry);
+  EXPECT_EQ(Back.Engine.StealChunk, 32u);
+  EXPECT_EQ(Back.Engine.NumThreads, 3u) << "server thread budget wins";
 }
 
 TEST(ServeWireTest, ResponseRoundTrips) {
@@ -382,8 +419,14 @@ TEST(VerdictCacheTest, KeySensitiveWhereSemanticsAre) {
   EXPECT_NE(verdictCacheKey(Source), BaseKey) << "program text is semantic";
 
   SubmitRequest Flag = Base;
-  Flag.Symmetry = !Flag.Symmetry;
-  EXPECT_NE(verdictCacheKey(Flag), BaseKey) << "flags are semantic";
+  Flag.Engine["symmetry"] = "false";
+  EXPECT_NE(verdictCacheKey(Flag), BaseKey)
+      << "engine configuration is part of the job identity";
+
+  SubmitRequest Chunk = Base;
+  Chunk.Engine["steal-chunk"] = "8";
+  EXPECT_NE(verdictCacheKey(Chunk), BaseKey)
+      << "differing engine configs must not share a cache slot";
 
   SubmitRequest Const = Base;
   Const.Consts["T"] = 3;
@@ -562,6 +605,75 @@ TEST(ServeEndToEndTest, SubmitTwiceSecondIsCacheHit) {
   EXPECT_EQ(Stats.Stats.Stats.CacheHits, 1u);
   EXPECT_EQ(Stats.Stats.Stats.CacheMisses, 1u);
   EXPECT_EQ(Stats.Stats.Stats.ActiveConnections, 1u);
+}
+
+TEST(ServeEndToEndTest, BadEngineConfigRejectedStreamSurvives) {
+  LiveServer Live;
+  SubmitRequest Request = fromVerifyOptions(pingPongOptions());
+  Request.RequestId = 7;
+  Request.Engine["frobnicate"] = "1";
+  ASSERT_TRUE(Live.Client.send(Request));
+  ServeReply Error = Live.Client.receive();
+  EXPECT_EQ(Error.K, ServeReply::Kind::ServerError);
+  EXPECT_NE(Error.Error.find("bad engine config"), std::string::npos)
+      << Error.Error;
+  EXPECT_NE(Error.Error.find("frobnicate"), std::string::npos);
+
+  // A client-chosen thread budget is rejected the same way.
+  Request.Engine.clear();
+  Request.Engine["threads"] = "16";
+  ASSERT_TRUE(Live.Client.send(Request));
+  Error = Live.Client.receive();
+  EXPECT_EQ(Error.K, ServeReply::Kind::ServerError);
+  EXPECT_NE(Error.Error.find("--job-threads"), std::string::npos);
+
+  // The stream survives and a corrected submission goes through.
+  Request.Engine.clear();
+  Request.Engine["work-stealing"] = "false";
+  ASSERT_TRUE(Live.Client.send(Request));
+  ServeReply Good = Live.Client.receive();
+  ASSERT_EQ(Good.K, ServeReply::Kind::Verdict) << Good.Error;
+  EXPECT_EQ(Good.Verdict.ExitCode, 0);
+
+  ServeReply Stats = Live.Client.stats(8);
+  ASSERT_EQ(Stats.K, ServeReply::Kind::Stats);
+  EXPECT_GE(Stats.Stats.Stats.FramesRejected, 2u);
+}
+
+TEST(ServeEndToEndTest, DifferingEngineConfigsDoNotCoalesceOrCacheShare) {
+  LiveServer Live;
+  SubmitRequest Default = fromVerifyOptions(pingPongOptions());
+  Default.RequestId = 1;
+  ServeReply First = Live.Client.submit(Default);
+  ASSERT_EQ(First.K, ServeReply::Kind::Verdict) << First.Error;
+  EXPECT_FALSE(First.Verdict.CacheHit);
+
+  // Same job, different engine config: a distinct cache identity, so it
+  // must run cold, not attach to the cached verdict...
+  SubmitRequest Tuned = fromVerifyOptions(pingPongOptions());
+  Tuned.RequestId = 2;
+  Tuned.Engine["work-stealing"] = "false";
+  ServeReply Second = Live.Client.submit(Tuned);
+  ASSERT_EQ(Second.K, ServeReply::Kind::Verdict) << Second.Error;
+  EXPECT_FALSE(Second.Verdict.CacheHit)
+      << "differing engine configs must not coalesce";
+  // ...while the verdict itself is engine-invariant.
+  EXPECT_EQ(Second.Verdict.ExitCode, First.Verdict.ExitCode);
+
+  // Resubmitting each exact config is a hit for that config.
+  Default.RequestId = 3;
+  ServeReply Third = Live.Client.submit(Default);
+  ASSERT_EQ(Third.K, ServeReply::Kind::Verdict) << Third.Error;
+  EXPECT_TRUE(Third.Verdict.CacheHit);
+  Tuned.RequestId = 4;
+  ServeReply Fourth = Live.Client.submit(Tuned);
+  ASSERT_EQ(Fourth.K, ServeReply::Kind::Verdict) << Fourth.Error;
+  EXPECT_TRUE(Fourth.Verdict.CacheHit);
+
+  ServeReply Stats = Live.Client.stats(9);
+  ASSERT_EQ(Stats.K, ServeReply::Kind::Stats);
+  EXPECT_EQ(Stats.Stats.Stats.JobsCoalesced, 0u);
+  EXPECT_EQ(Stats.Stats.Stats.CacheMisses, 2u);
 }
 
 TEST(ServeEndToEndTest, CompileErrorYieldsExitCode2Verdict) {

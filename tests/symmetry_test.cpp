@@ -74,7 +74,7 @@ std::vector<int64_t> inverseImage(const std::vector<int64_t> &Domain,
 std::vector<Configuration> sampleConfigs(const Program &P, const Store &Init,
                                          size_t Max) {
   ExploreOptions Opts;
-  Opts.Symmetry = false;
+  Opts.Config.Symmetry = false;
   ExploreResult R = explore(P, initialConfiguration(Init), Opts);
   if (R.Reachable.size() > Max) {
     // Deterministic spread over the whole exploration order.
@@ -89,8 +89,8 @@ std::vector<Configuration> sampleConfigs(const Program &P, const Store &Init,
 ExploreResult exploreWith(const Program &P, const Store &Init, bool Symmetry,
                           unsigned Threads = 1) {
   ExploreOptions Opts;
-  Opts.Symmetry = Symmetry;
-  Opts.NumThreads = Threads;
+  Opts.Config.Symmetry = Symmetry;
+  Opts.Config.NumThreads = Threads;
   return explore(P, initialConfiguration(Init), Opts);
 }
 
@@ -245,7 +245,7 @@ void expectQuotientLaws(const std::string &Name, const Program &P,
   // summarize performs that expansion itself (Definition 3.2's Trans is a
   // semantic object): both modes agree verbatim.
   ExploreOptions On, Off;
-  Off.Symmetry = false;
+  Off.Config.Symmetry = false;
   EXPECT_EQ(summarize(P, Init, {}, On), summarize(P, Init, {}, Off)) << Name;
 }
 
@@ -300,7 +300,7 @@ void expectSameCondition(const std::string &Name, const CheckResult &A,
 void expectCheckerDifferential(const std::string &Name,
                                const ISApplication &App, const Store &Init) {
   ExploreOptions On, Off;
-  Off.Symmetry = false;
+  Off.Config.Symmetry = false;
   ISCheckReport Reduced = checkIS(App, {{Init, {}}}, On);
   ISCheckReport Unreduced = checkIS(App, {{Init, {}}}, Off);
   EXPECT_TRUE(Reduced.ok()) << Name << ":\n" << Reduced.str();
@@ -384,14 +384,14 @@ std::vector<std::string> diagMessages(const driver::VerifyResult &R) {
 /// and exit code.
 void expectDriverDifferential(const std::string &Name,
                               driver::VerifyOptions Options) {
-  Options.Symmetry = true;
-  Options.NumThreads = 1;
+  Options.Engine.Symmetry = true;
+  Options.Engine.NumThreads = 1;
   driver::VerifyResult Baseline = verifyModule(Options);
   EXPECT_TRUE(Baseline.Accepted) << Name << ":\n" << Baseline.Summary;
   for (bool Symmetry : {true, false}) {
     for (unsigned Threads : {1u, 2u, 8u}) {
-      Options.Symmetry = Symmetry;
-      Options.NumThreads = Threads;
+      Options.Engine.Symmetry = Symmetry;
+      Options.Engine.NumThreads = Threads;
       driver::VerifyResult R = verifyModule(Options);
       std::string Mode = Name + (Symmetry ? "/sym" : "/nosym") + "/t" +
                          std::to_string(Threads);
@@ -481,9 +481,9 @@ TEST(SymmetryDriverTest, SymmetricModuleActuallyReduces) {
   Options.Eliminate = {"RequestVotes", "Vote", "Decide", "Finalize"};
   Options.Abstractions = {{"Decide", "DecideAbs"}};
   Options.Weights = {{"RequestVotes", 8}, {"Decide", 4}};
-  Options.Symmetry = true;
+  Options.Engine.Symmetry = true;
   driver::VerifyResult On = verifyModule(Options);
-  Options.Symmetry = false;
+  Options.Engine.Symmetry = false;
   driver::VerifyResult Off = verifyModule(Options);
   ASSERT_TRUE(On.Accepted) << On.Summary;
   EXPECT_TRUE(On.Engine.SymmetryReduced);

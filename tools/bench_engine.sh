@@ -8,7 +8,12 @@
 #  - the state-count and wall-clock reduction of the orbit-canonical
 #    symmetry quotient over the unreduced engine, and
 #  - the speedup of the obligation scheduler (1 and 4 workers) over the
-#    serial reference checker loops for each isq-verify instance.
+#    serial reference checker loops for each isq-verify instance,
+#  - the 1..8-worker scaling sweep of the checker on the paper-scale
+#    Paxos (R=2, N=3) instance, and
+#  - the compact-store scale row: Paxos over FOUR acceptors explored
+#    end-to-end (symmetry + work stealing on), raw arenas vs the
+#    delta/varint-compressed store (BM_CompactPaxos).
 #
 # Numbers are recorded from a dedicated Release build directory
 # (build-bench, configured here on first use): recording from a
@@ -43,7 +48,8 @@ cmake --build "$BUILD" -j --target bench_statespace bench_verify
 
 TMP_ENGINE="$(mktemp)"
 TMP_CHECKER="$(mktemp)"
-trap 'rm -f "$TMP_ENGINE" "$TMP_CHECKER"' EXIT
+TMP_COMPACT="$(mktemp)"
+trap 'rm -f "$TMP_ENGINE" "$TMP_CHECKER" "$TMP_COMPACT"' EXIT
 
 "$BUILD/bench/bench_statespace" \
   --benchmark_filter='BM_Engine|BM_Symmetry' \
@@ -58,23 +64,34 @@ trap 'rm -f "$TMP_ENGINE" "$TMP_CHECKER"' EXIT
   --benchmark_out="$TMP_CHECKER" \
   --benchmark_out_format=json
 
-python3 - "$TMP_ENGINE" "$TMP_CHECKER" "$OUT" "$BUILD_TYPE" "$GIT_SHA" <<'EOF'
+# The Paxos N=4 compact-store rows are the scale target (minutes per
+# mode); one repetition each.
+"$BUILD/bench/bench_statespace" \
+  --benchmark_filter='BM_Compact' \
+  --benchmark_out="$TMP_COMPACT" \
+  --benchmark_out_format=json
+
+python3 - "$TMP_ENGINE" "$TMP_CHECKER" "$TMP_COMPACT" "$OUT" "$BUILD_TYPE" \
+  "$GIT_SHA" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
     engine = json.load(f)
 with open(sys.argv[2]) as f:
     checker = json.load(f)
+with open(sys.argv[3]) as f:
+    compact = json.load(f)
 
-# One merged document: shared context, both benchmark families. The
+# One merged document: shared context, all benchmark families. The
 # context carries how *our* library was compiled (library_build_type is
 # the google-benchmark library, which may differ) and the revision.
 context = dict(engine["context"])
-context["isq_build_type"] = sys.argv[4]
-context["isq_git_sha"] = sys.argv[5]
+context["isq_build_type"] = sys.argv[5]
+context["isq_git_sha"] = sys.argv[6]
 merged = {"context": context,
-          "benchmarks": engine["benchmarks"] + checker["benchmarks"]}
-with open(sys.argv[3], "w") as f:
+          "benchmarks": (engine["benchmarks"] + checker["benchmarks"] +
+                         compact["benchmarks"])}
+with open(sys.argv[4], "w") as f:
     json.dump(merged, f, indent=1)
 
 # Median real time (aggregated families) or single-run real time per
@@ -144,6 +161,38 @@ symmetry_table("symmetry end-to-end: isq-verify --no-symmetry vs reduced",
 table("checking: serial loops vs obligation scheduler "
       "(end-to-end isq-verify, cross-check off)",
       sorted(i for i in times.items() if i[0][0].startswith("BM_Checker")))
+
+# Worker-count scaling sweep: every mode >= 1 recorded for a checker
+# instance, as speedup over the serial reference loops (mode 0).
+for (family, inst), by_mode in sorted(times.items()):
+    if not family.startswith("BM_Checker"):
+        continue
+    sweep = sorted(m for m in by_mode if m >= 1)
+    if len(sweep) <= 2:
+        continue
+    serial = by_mode.get(0)
+    print()
+    print(f"checker worker sweep: {family}/{inst} "
+          f"(serial reference {serial:.2f} ms)")
+    print(f"{'workers':>8} {'ms':>11} {'speedup':>8}")
+    for m in sweep:
+        print(f"{m:>8} {by_mode[m]:>11.2f} {serial / by_mode[m]:>7.2f}x")
+
+# Compact-store scale rows: mode 0 = raw arenas, 1 = compressed store.
+rows = sorted(i for i in times.items() if i[0][0].startswith("BM_Compact"))
+if rows:
+    print()
+    print("compact store: Paxos scale target (symmetry + work stealing on)")
+    print(f"{'instance':<28} {'raw_ms':>11} {'compact_ms':>11} "
+          f"{'configs':>10} {'compressed_bytes':>17}")
+    for (family, inst), by_mode in rows:
+        raw, comp = by_mode.get(0), by_mode.get(1)
+        if raw is None or comp is None:
+            continue
+        c = counters[(family, inst)][1]
+        print(f"{family}/{inst:<10}".ljust(28) +
+              f" {raw:>11.2f} {comp:>11.2f} {c['configs']:>10.0f}"
+              f" {c['compressed_bytes']:>17.0f}")
 print()
 EOF
 

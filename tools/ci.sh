@@ -7,10 +7,13 @@
 # cache hits across both manifest paxos instances, schema sanity,
 # per-entry bit-identity against one-shot isq-verify); exercise the
 # staged frontend under AddressSanitizer (golden diagnostics plus the
-# v1/v2 differential over the whole example corpus); finally run the
-# threaded engine + obligation-scheduler + symmetry + serve +
-# driver-re-entrancy tests under ThreadSanitizer, including the
-# --no-symmetry differential. All stages must pass.
+# v1/v2 differential over the whole example corpus); run the
+# work-stealing vs level-sync engine differential over the same corpus
+# (verdicts must be bit-identical after timing/steal-count scrubbing);
+# finally run the threaded engine + obligation-scheduler + symmetry +
+# serve + driver-re-entrancy tests under ThreadSanitizer, including the
+# --no-symmetry differential and a tiny-steal-chunk run that forces
+# cross-worker stealing. All stages must pass.
 #
 # Usage: tools/ci.sh [JOBS]
 
@@ -47,7 +50,7 @@ example_flags() {
 # header documents its own invocation ("Verify with:"), so CI follows the
 # same command users see, plus --threads 2 to exercise the parallel
 # scheduler. The JSON report must parse and match the versioned schema
-# (v3: located diagnostics, frontend-era fields).
+# (v4: work-stealing/compact-store engine observability).
 verify_example() {
   local bin="$1" file="$2" flags
   flags=$(example_flags "$file")
@@ -59,7 +62,7 @@ verify_example() {
     python3 -c '
 import json, sys
 doc = json.load(sys.stdin)
-assert doc["schema_version"] == 3, doc["schema_version"]
+assert doc["schema_version"] == 4, doc["schema_version"]
 assert doc["tool"] == "isq-verify"
 assert doc["exit_code"] == 0 and doc["accepted"] is True
 assert doc["diagnostics"] == []
@@ -74,8 +77,13 @@ assert all("orbit_configs" in c and "orbit_states" in c
 assert doc["cross_check"]["ran"] and doc["cross_check"]["ok"]
 assert doc["scheduler"]["threads"] == 2 and doc["scheduler"]["jobs"] > 0
 for key in ("symmetry_reduced", "canon_calls", "canon_cache_hits",
-            "orbit_states_represented"):
+            "orbit_states_represented", "work_stealing", "steal_chunk",
+            "steals", "shards", "shard_occupancy", "compressed_bytes"):
     assert key in doc["engine"], key
+assert doc["engine"]["work_stealing"] is True
+assert doc["engine"]["steal_chunk"] > 0
+assert doc["engine"]["shards"] >= 1
+assert 1 <= doc["engine"]["shard_occupancy"] <= doc["engine"]["shards"]
 for key in ("engine", "diagnostics", "total_seconds"):
     assert key in doc, key
 print("  json ok")
@@ -158,7 +166,9 @@ for entry in (0, 1):
     assert scrub(served) == scrub(oneshot), \
         "entry %d: served verdict != one-shot isq-verify" % entry
     doc = json.loads(served)
-    assert doc["schema_version"] == 3 and doc["tool"] == "isq-verify"
+    assert doc["schema_version"] == 4 and doc["tool"] == "isq-verify"
+    assert doc["engine"]["work_stealing"] is True
+    assert "shard_occupancy" in doc["engine"]
     assert doc["exit_code"] == 0 and doc["accepted"] is True
     assert doc["diagnostics"] == []
     assert all(c["ok"] for c in doc["conditions"])
@@ -194,6 +204,36 @@ for f in examples/asl/*.asl; do
   echo "  $f: v1 == v2"
 done
 
+echo "==== engine differential: work-stealing vs level-sync ===="
+# The level-sync frontier is kept as a differential oracle for the
+# work-stealing engine: over the whole example corpus, with each
+# example's documented flags, the two modes must produce bit-identical
+# verdict JSON once we scrub (a) timing fields, (b) the steal count
+# (schedule-dependent when threaded), and (c) the engine-config echoes
+# that legitimately differ between modes (work_stealing, steal_chunk).
+# Everything else -- verdicts, obligation counts, interned stores/configs,
+# frontier peak, shard occupancy -- must agree exactly.
+scrub_engine() {
+  sed -E -e 's/("[a-z_]*seconds":)[0-9.]+/\10/g' \
+         -e 's/("steals":)[0-9]+/\10/g' \
+         -e 's/("work_stealing":)(true|false)/\1X/g' \
+         -e 's/("steal_chunk":)[0-9]+/\10/g' "$1"
+}
+for f in examples/asl/*.asl; do
+  flags=$(example_flags "$f")
+  for mode in "work-stealing=true,steal-chunk=8" "work-stealing=false"; do
+    # shellcheck disable=SC2086
+    build/tools/isq-verify "$f" $flags --threads 4 --engine "$mode" \
+      --format json > "$SERVE_TMP/engine-${mode%%,*}.json"
+  done
+  if ! diff <(scrub_engine "$SERVE_TMP/engine-work-stealing=true.json") \
+            <(scrub_engine "$SERVE_TMP/engine-work-stealing=false.json") \
+            >/dev/null; then
+    echo "engine differential mismatch: $f"; exit 1
+  fi
+  echo "  $f: work-stealing == level-sync"
+done
+
 echo "==== TSan: threaded engine + scheduler + symmetry + serve ===="
 cmake -B build-tsan -S . -DISQ_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target engine_test scheduler_test \
@@ -203,6 +243,13 @@ cmake --build build-tsan -j "$JOBS" --target engine_test scheduler_test \
 build-tsan/tools/isq-verify examples/asl/broadcast.asl --const n=3 \
   --eliminate Broadcast,Collect --abstract Collect=CollectAbs \
   --threads 4 >/dev/null
+# Force heavy cross-worker stealing under TSan: a tiny steal chunk makes
+# every worker contend on every deque, so the work-stealing engine's
+# synchronization (deque locks, chunk Done flags, seen-bit publication)
+# is exercised far beyond what default chunking produces.
+build-tsan/tools/isq-verify examples/asl/broadcast.asl --const n=3 \
+  --eliminate Broadcast,Collect --abstract Collect=CollectAbs \
+  --threads 4 --engine steal-chunk=4,shards=8 >/dev/null
 # Symmetry differential under TSan: the reduced and unreduced paths must
 # both accept the symmetric module with the racy-memo canonicalizer active.
 for sym_flag in "" "--no-symmetry"; do
