@@ -97,6 +97,14 @@ const char *driver::usageText() {
          "                                               reference loops)\n"
          "                          symmetry=BOOL        orbit-canonical symmetry\n"
          "                                               reduction (default true)\n"
+         "                          incremental=BOOL     content-addressed obligation\n"
+         "                                               verdict cache (default true;\n"
+         "                                               false re-checks everything —\n"
+         "                                               the differential oracle)\n"
+         "                          cache-dir=PATH       persist obligation verdicts\n"
+         "                                               in PATH across runs (warm\n"
+         "                                               re-verification); corrupt or\n"
+         "                                               stale caches degrade to cold\n"
          "  --threads N           deprecated alias of --engine threads=N\n"
          "  --no-parallel-check   deprecated alias of --engine parallel-check=false\n"
          "  --no-symmetry         deprecated alias of --engine symmetry=false\n"
@@ -104,6 +112,8 @@ const char *driver::usageText() {
          "  --no-cross-check      skip exploring P' / empirical refinement\n"
          "  --format text|json    verdict report format (default: text);\n"
          "                        json emits the schema-versioned report\n"
+         "  --version             print build provenance (git sha, build\n"
+         "                        type, fingerprint format) and exit\n"
          "  --help, -h            show this help\n"
          "\n"
          "exit codes:\n"
@@ -115,6 +125,18 @@ const char *driver::usageText() {
 CliParse driver::parseCommandLine(const std::vector<std::string> &Args) {
   CliParse Parse;
   CliOptions &Cli = Parse.Options;
+
+  // One warning per deprecated flag per invocation: scripted callers
+  // often repeat a flag (base command + per-target overrides), and a
+  // warning column per repetition buries real diagnostics.
+  auto Deprecated = [&Parse](const char *Flag, const char *Replacement) {
+    std::string Warning = std::string(Flag) + " is deprecated; use " +
+                          Replacement;
+    for (const std::string &Existing : Parse.Warnings)
+      if (Existing == Warning)
+        return;
+    Parse.Warnings.push_back(std::move(Warning));
+  };
 
   for (size_t I = 0; I < Args.size(); ++I) {
     const std::string &Arg = Args[I];
@@ -132,6 +154,11 @@ CliParse driver::parseCommandLine(const std::vector<std::string> &Args) {
       Parse.Ok = true;
       return Parse;
     }
+    if (Arg == "--version") {
+      Cli.ShowVersion = true;
+      Parse.Ok = true;
+      return Parse;
+    }
     if (Arg == "--no-cross-check") {
       Cli.Verify.CrossCheck = false;
       continue;
@@ -139,14 +166,17 @@ CliParse driver::parseCommandLine(const std::vector<std::string> &Args) {
     // Deprecated aliases of --engine KEY=VALUE (kept for one release; see
     // usageText()).
     if (Arg == "--no-parallel-check") {
+      Deprecated("--no-parallel-check", "--engine parallel-check=false");
       Cli.Verify.Engine.ParallelCheck = false;
       continue;
     }
     if (Arg == "--no-symmetry") {
+      Deprecated("--no-symmetry", "--engine symmetry=false");
       Cli.Verify.Engine.Symmetry = false;
       continue;
     }
     if (Arg == "--no-work-stealing") {
+      Deprecated("--no-work-stealing", "--engine work-stealing=false");
       Cli.Verify.Engine.WorkStealing = false;
       continue;
     }
@@ -199,6 +229,7 @@ CliParse driver::parseCommandLine(const std::vector<std::string> &Args) {
       continue;
     }
     if (Arg == "--threads") {
+      Deprecated("--threads", "--engine threads=N");
       std::string V;
       if (!NeedValue("--threads needs a value", V))
         return Parse;

@@ -29,6 +29,9 @@ struct CliOptions {
   std::string InputPath;
   OutputFormat Format = OutputFormat::Text;
   bool ShowHelp = false;
+  /// --version: print the build-provenance banner (support/Version.h) and
+  /// exit 0. Parsed like --help: wins over everything else on the line.
+  bool ShowVersion = false;
 };
 
 /// Result of parseCommandLine. When !Ok, Error holds a one-line message
@@ -37,6 +40,10 @@ struct CliParse {
   bool Ok = false;
   CliOptions Options;
   std::string Error;
+  /// Non-fatal usage notes (deprecated-alias warnings). Deduplicated:
+  /// each deprecated flag warns once per invocation no matter how often
+  /// it repeats. The tool prints these to stderr; parsing succeeded.
+  std::vector<std::string> Warnings;
 };
 
 /// Parses the argument vector (argv[1..argc-1], no program name).

@@ -143,6 +143,14 @@ std::string driver::renderJson(const VerifyResult &Result) {
   W.key("wall_seconds").value(Sched.WallSeconds);
   W.endObject();
 
+  W.key("obligations").beginObject();
+  W.key("total").value(Rep.totalObligations());
+  W.key("cache_enabled").value(Sched.Cache.Enabled);
+  W.key("cache_hits").value(Sched.Cache.Hits);
+  W.key("cache_misses").value(Sched.Cache.Misses);
+  W.key("disk_hits").value(Sched.Cache.DiskHits);
+  W.endObject();
+
   W.key("diagnostics").beginArray();
   for (const asl::Diagnostic &D : Result.Diags) {
     W.beginObject();

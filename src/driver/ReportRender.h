@@ -7,9 +7,9 @@
 /// has always printed, the JSON form is the machine-readable report
 /// behind `isq-verify --format json`.
 ///
-/// JSON schema (version 4):
+/// JSON schema (version 5):
 ///   {
-///     "schema_version": 4,
+///     "schema_version": 5,
 ///     "tool": "isq-verify",
 ///     "exit_code": 0|1|2,
 ///     "compile_ok": bool, "input_ok": bool, "accepted": bool,
@@ -27,6 +27,8 @@
 ///                  "shard_occupancy", "compressed_bytes" },
 ///     "scheduler": { "threads", "jobs", "units", "dedup_discarded",
 ///                    "cpu_seconds", "wall_seconds" },
+///     "obligations": { "total", "cache_enabled", "cache_hits",
+///                      "cache_misses", "disk_hits" },
 ///     "diagnostics": [ { "severity", "message", "file", "line", "col",
 ///                        "end_line", "end_col", "note" } ],
 ///     "total_seconds": number
@@ -46,6 +48,15 @@
 /// bytes interned under --engine compress=true; 0 when off). Consumers
 /// that treated unknown engine keys as errors must opt in, hence the
 /// version bump.
+/// Version 5 added the top-level "obligations" object — the incremental
+/// re-verification observability: "total" (discharged obligations across
+/// all conditions, always), and the obligation-weighted verdict-cache
+/// counters "cache_hits"/"cache_misses"/"disk_hits" with "cache_enabled"
+/// saying whether a cache was attached (all zero when disabled or on the
+/// serial path). Counters are obligation-weighted, not slice-weighted,
+/// so hits+misses equals the obligations the scheduler would discharge
+/// before dedup. Verdict fields are unchanged; the bump marks that two
+/// reports differing only under "obligations" are the same verdict.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,7 +71,7 @@ namespace isq {
 namespace driver {
 
 /// The version of the JSON report schema emitted by renderJson.
-constexpr int JsonSchemaVersion = 4;
+constexpr int JsonSchemaVersion = 5;
 
 /// Renders the human-readable summary (the `--format text` output).
 std::string renderText(const VerifyResult &Result);

@@ -157,6 +157,34 @@ VerifyResult driver::verifyModule(const VerifyOptions &Options) {
     }
     return std::nullopt;
   };
+  // Behavior fingerprints of the derived proof artifacts, for the
+  // obligation verdict cache. Each is a pure function of its actual
+  // inputs — never of unrelated actions, so editing one concrete body
+  // invalidates only the obligations that execute it:
+  //  - the schedule invariant executes P(M) and the *ranked* (E) actions;
+  //  - the choice function only compares ranks (elimination positions and
+  //    integer arguments), never runs bodies;
+  //  - the measure reads weights, ranks and the symmetry masking pattern,
+  //    never bodies — cooperation verdicts survive body edits.
+  // With an unstamped frontend the absorbed action fingerprints are zero
+  // and checkIS's eligibility gate keeps the cache detached.
+  {
+    FpHasher HI("sched-inv/v1");
+    HI.boolean(ArgMajor);
+    HI.fp(App.P.action(App.M).fp());
+    for (size_t I = 0; I < Order.size(); ++I) {
+      HI.u64(I).str(Order[I].str());
+      HI.fp(App.P.action(Order[I]).fp());
+    }
+    App.Invariant.setFp(HI.finish());
+
+    FpHasher HC("choice-min-rank/v1");
+    HC.boolean(ArgMajor);
+    for (size_t I = 0; I < Order.size(); ++I)
+      HC.u64(I).str(Order[I].str());
+    App.ChoiceFp = HC.finish();
+  }
+
   App.WfMeasure = Measure(
       "(Σ weighted |Ω|, Σ rank-remaining-work)",
       [Weights, Rank = MeasureRank](const Configuration &C) {
@@ -190,6 +218,30 @@ VerifyResult driver::verifyModule(const VerifyOptions &Options) {
         }
         return std::vector<uint64_t>{Counts, Work};
       });
+  {
+    // The measure's behavior inputs: the rank structure, the weights, and
+    // per action the symmetry masking pattern (which argument positions
+    // read as 0). Action bodies are deliberately absent — the measure
+    // never runs them, so cooperation verdicts survive body edits.
+    FpHasher HM("measure-weighted-rank/v1");
+    HM.boolean(ArgMajor);
+    for (size_t I = 0; I < Order.size(); ++I)
+      HM.u64(I).str(Order[I].str());
+    HM.u64(Weights.size());
+    for (const auto &[Name, W] : Weights) // std::map: name-sorted
+      HM.str(Name).u64(W);
+    for (Symbol A : Order) {
+      const std::vector<ValueShape> *Shapes =
+          ModuleSym ? ModuleSym->actionShapes(A) : nullptr;
+      HM.boolean(Shapes != nullptr);
+      if (!Shapes)
+        continue;
+      HM.u64(Shapes->size());
+      for (const ValueShape &S : *Shapes)
+        HM.boolean(S.kind() == ValueShape::Kind::Id);
+    }
+    App.WfMeasure.setFp(HM.finish());
+  }
 
   // 4. Discharge the IS conditions. The universe is built explicitly so
   // its engine statistics can be surfaced in the summary; obligations run
@@ -201,9 +253,31 @@ VerifyResult driver::verifyModule(const VerifyOptions &Options) {
   Result.Engine.accumulate(Universe.Stats);
   ISCheckOptions CheckOpts;
   CheckOpts.Config = Options.Engine;
+  // Obligation verdict cache: a shared one (isq-serve) is attached as-is
+  // and persisted by its owner; otherwise the request gets its own,
+  // disk-backed when --engine cache-dir= was given.
+  std::optional<engine::ObligationCache> LocalCache;
+  if (Options.Engine.Incremental) {
+    if (Options.SharedCache) {
+      CheckOpts.Cache = Options.SharedCache;
+    } else {
+      engine::ObligationCache::Options CacheOpts;
+      CacheOpts.Dir = Options.Engine.CacheDir;
+      LocalCache.emplace(std::move(CacheOpts));
+      CheckOpts.Cache = &*LocalCache;
+    }
+  }
   ISCheckReport Report = checkIS(App, Universe, CheckOpts);
   Result.Report = Report;
   Result.Accepted = Report.ok();
+  if (LocalCache && LocalCache->persistent()) {
+    // A writeback failure degrades the next run to cold; it never affects
+    // this run's verdict, so it surfaces as a warning, not an error.
+    std::string SaveError;
+    if (!LocalCache->save(SaveError))
+      Result.Diags.push_back({"obligation cache not saved: " + SaveError, 0,
+                              0, asl::Severity::Warning});
+  }
 
   // 5. Cross-check the conclusion on the instance.
   if (Report.ok() && Options.CrossCheck) {

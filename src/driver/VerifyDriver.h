@@ -18,6 +18,7 @@
 #ifndef ISQ_DRIVER_VERIFYDRIVER_H
 #define ISQ_DRIVER_VERIFYDRIVER_H
 
+#include "engine/ObligationCache.h"
 #include "is/ISCheck.h"
 #include "lang/Frontend.h"
 
@@ -79,6 +80,13 @@ struct VerifyOptions {
   /// steal settings from anywhere else. Results are bit-identical for
   /// every setting (see engine/EngineConfig.h).
   engine::EngineConfig Engine;
+  /// Externally owned obligation verdict cache shared across requests
+  /// (isq-serve plugs its process-wide instance here). Null makes the
+  /// driver create a request-local cache from Engine.CacheDir (persisted
+  /// after checking) or a memory-only one. The caller owns persistence of
+  /// a shared cache; the driver never save()s it. Ignored when
+  /// Engine.Incremental is false.
+  engine::ObligationCache *SharedCache = nullptr;
 };
 
 /// Outcome of the empirical P ≼ P' cross-check.

@@ -65,6 +65,14 @@ bool EngineConfig::set(const std::string &Key, const std::string &Value,
     Shards = N;
     return true;
   }
+  if (Key == "cache-dir") {
+    if (Value.empty()) {
+      Error = "engine option 'cache-dir' expects a directory path";
+      return false;
+    }
+    CacheDir = Value;
+    return true;
+  }
   bool *Flag = nullptr;
   if (Key == "parallel-check")
     Flag = &ParallelCheck;
@@ -74,6 +82,8 @@ bool EngineConfig::set(const std::string &Key, const std::string &Value,
     Flag = &WorkStealing;
   else if (Key == "compress")
     Flag = &Compress;
+  else if (Key == "incremental")
+    Flag = &Incremental;
   if (Flag) {
     bool B = false;
     if (!parseBool(Value, B)) {
@@ -87,7 +97,7 @@ bool EngineConfig::set(const std::string &Key, const std::string &Value,
   }
   Error = "unknown engine option '" + Key +
           "' (valid: threads, parallel-check, symmetry, work-stealing, "
-          "steal-chunk, shards, compress)";
+          "steal-chunk, shards, compress, incremental, cache-dir)";
   return false;
 }
 
@@ -119,9 +129,9 @@ bool EngineConfig::setList(const std::string &Spec, std::string &Error) {
 std::map<std::string, std::string> EngineConfig::toKeyValues() const {
   const EngineConfig Defaults;
   std::map<std::string, std::string> Out;
-  // `threads` is deliberately absent: verdicts are thread-count
-  // independent, so the budget never travels with a request (see
-  // serve/VerdictCache.h).
+  // `threads`, `incremental` and `cache-dir` are deliberately absent:
+  // verdicts are independent of all three, so they never travel with a
+  // request (see serve/VerdictCache.h).
   if (ParallelCheck != Defaults.ParallelCheck)
     Out["parallel-check"] = ParallelCheck ? "true" : "false";
   if (Symmetry != Defaults.Symmetry)
@@ -145,6 +155,12 @@ bool EngineConfig::applyKeyValues(
               "thread budget is a server tuning knob (--job-threads)";
       return false;
     }
+    if (Key == "incremental" || Key == "cache-dir") {
+      Error = "engine option '" + Key +
+              "' is not accepted over the wire: obligation caching is a "
+              "server tuning knob (verdicts are identical either way)";
+      return false;
+    }
     if (!set(Key, Value, Error))
       return false;
   }
@@ -159,6 +175,12 @@ std::string EngineConfig::str() const {
     Out += Key + "=" + Value;
   }
   const EngineConfig Defaults;
+  if (!CacheDir.empty())
+    Out = Out.empty() ? "cache-dir=" + CacheDir
+                      : "cache-dir=" + CacheDir + "," + Out;
+  if (Incremental != Defaults.Incremental)
+    Out = Out.empty() ? std::string("incremental=false")
+                      : "incremental=false," + Out;
   if (NumThreads != Defaults.NumThreads) {
     std::string T = "threads=" + std::to_string(NumThreads);
     Out = Out.empty() ? T : T + "," + Out;

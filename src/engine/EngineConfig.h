@@ -57,6 +57,14 @@ struct EngineConfig {
   /// Store interned stores and PA-bags as delta/varint-compressed byte
   /// encodings instead of materialized values (the compact state store).
   bool Compress = false;
+  /// Consult the content-addressed obligation verdict cache before
+  /// discharging scheduler slices. False keeps the uncached path alive as
+  /// the differential oracle (same verdicts, recomputed).
+  bool Incremental = true;
+  /// Directory of the persistent obligation-cache tier; empty keeps the
+  /// cache in-memory only (still useful under isq-serve, where one
+  /// process serves many requests).
+  std::string CacheDir;
 
   /// Maximum supported shard count (the handle layout's shard bits).
   static constexpr unsigned MaxShards = 16;
@@ -65,14 +73,16 @@ struct EngineConfig {
     return NumThreads == O.NumThreads && ParallelCheck == O.ParallelCheck &&
            Symmetry == O.Symmetry && WorkStealing == O.WorkStealing &&
            StealChunk == O.StealChunk && Shards == O.Shards &&
-           Compress == O.Compress;
+           Compress == O.Compress && Incremental == O.Incremental &&
+           CacheDir == O.CacheDir;
   }
   bool operator!=(const EngineConfig &O) const { return !(*this == O); }
 
   /// Applies one `key=value` setting. Returns false with \p Error set on
   /// an unknown key or malformed value. Valid keys: threads,
   /// parallel-check, symmetry, work-stealing, steal-chunk, shards,
-  /// compress. Booleans accept true/false/on/off/1/0.
+  /// compress, incremental, cache-dir. Booleans accept
+  /// true/false/on/off/1/0.
   bool set(const std::string &Key, const std::string &Value,
            std::string &Error);
 
@@ -81,14 +91,17 @@ struct EngineConfig {
   bool setList(const std::string &Spec, std::string &Error);
 
   /// The settings that differ from the defaults, as a sorted key→value
-  /// map (the wire/cache-key form). `threads` is deliberately excluded:
-  /// verdicts are thread-count independent, so the thread budget is a
-  /// local tuning knob, never a request input.
+  /// map (the wire/cache-key form). `threads`, `incremental` and
+  /// `cache-dir` are deliberately excluded: verdicts are independent of
+  /// all three (caching is bit-identical to recomputation), so they are
+  /// local tuning knobs, never request inputs — including them would
+  /// fragment the serve-side verdict cache for no semantic difference.
   std::map<std::string, std::string> toKeyValues() const;
 
   /// Applies a wire key→value map on top of this config. Rejects unknown
-  /// keys and malformed values like set(); additionally rejects `threads`
-  /// (a server-side knob, see toKeyValues()).
+  /// keys and malformed values like set(); additionally rejects the
+  /// server-side knobs `threads`, `incremental` and `cache-dir` (see
+  /// toKeyValues()).
   bool applyKeyValues(const std::map<std::string, std::string> &KeyValues,
                       std::string &Error);
 

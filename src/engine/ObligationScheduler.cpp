@@ -2,6 +2,7 @@
 
 #include "engine/ObligationScheduler.h"
 
+#include "engine/ObligationCache.h"
 #include "refine/Refinement.h"
 #include "support/Format.h"
 #include "support/Hashing.h"
@@ -91,6 +92,10 @@ void ObligationStats::accumulate(const ObligationStats &Other) {
     PerCondition[I].OrbitStates += Other.PerCondition[I].OrbitStates;
     PerCondition[I].JobSeconds += Other.PerCondition[I].JobSeconds;
   }
+  Cache.Hits += Other.Cache.Hits;
+  Cache.Misses += Other.Cache.Misses;
+  Cache.DiskHits += Other.Cache.DiskHits;
+  Cache.Enabled = Cache.Enabled || Other.Cache.Enabled;
   WallSeconds += Other.WallSeconds;
   Threads = std::max(Threads, Other.Threads);
 }
@@ -105,6 +110,12 @@ std::string ObligationStats::str() const {
   if (T.OrbitStates > T.OrbitConfigs) {
     Out += " orbit-configs=" + std::to_string(T.OrbitConfigs);
     Out += " orbit-states=" + std::to_string(T.OrbitStates);
+  }
+  if (Cache.Enabled) {
+    Out += " cache-hits=" + std::to_string(Cache.Hits);
+    Out += " cache-misses=" + std::to_string(Cache.Misses);
+    if (Cache.DiskHits)
+      Out += " disk-hits=" + std::to_string(Cache.DiskHits);
   }
   Out += " threads=" + std::to_string(Threads);
   Out += " cpu=" + formatSeconds(T.JobSeconds) + "s";
@@ -143,9 +154,14 @@ public:
 
 struct ObligationScheduler::JobSlot {
   std::function<void(ObSink &)> Fn;
+  /// Content fingerprint of the job's inputs; evaluated on the worker
+  /// when a cache is attached. Null for uncacheable jobs.
+  std::function<Fingerprint()> KeyFn;
   ObCondition Cond; // condition of channel 0, for timing attribution
   ObSink Sink;
   double Seconds = 0;
+  bool CacheHit = false;
+  bool FromDisk = false;
 };
 
 ObligationScheduler::ObligationScheduler(const EngineConfig &Config)
@@ -165,9 +181,15 @@ ObligationScheduler::group(std::vector<ObCondition> Conditions) {
 
 void ObligationScheduler::add(Group *G,
                               std::function<void(ObSink &)> Job) {
+  add(G, nullptr, std::move(Job));
+}
+
+void ObligationScheduler::add(Group *G, std::function<Fingerprint()> KeyFn,
+                              std::function<void(ObSink &)> Job) {
   assert(!Ran && "cannot submit jobs after run()");
   G->JobIndices.push_back(Jobs.size());
-  Jobs.push_back(JobSlot{std::move(Job), G->Conditions[0], ObSink(), 0});
+  Jobs.push_back(JobSlot{std::move(Job), std::move(KeyFn), G->Conditions[0],
+                         ObSink(), 0, false, false});
 }
 
 void ObligationScheduler::run() {
@@ -178,12 +200,33 @@ void ObligationScheduler::run() {
   size_t NumJobs = Jobs.size();
   unsigned Workers =
       static_cast<unsigned>(std::min<size_t>(Threads, NumJobs));
-  if (Workers <= 1) {
-    for (JobSlot &J : Jobs) {
-      Timer T;
+  // One job, cache-aware: probe before running, record after. Both the
+  // fingerprinting (KeyFn) and the blob encode/decode happen here on the
+  // worker, so cache overhead parallelizes with the checking itself.
+  auto RunOne = [this](JobSlot &J) {
+    Timer T;
+    if (Cache && J.KeyFn) {
+      Fingerprint Key = J.KeyFn();
+      bool FromDisk = false;
+      if (Cache->lookup(Key, J.Sink.Units, FromDisk)) {
+        // Replay: the recorded units flow through reconciliation exactly
+        // as freshly emitted ones would — bit-identical fold.
+        J.CacheHit = true;
+        J.FromDisk = FromDisk;
+        J.Seconds = T.elapsed();
+        return;
+      }
       J.Fn(J.Sink);
+      Cache->insert(Key, J.Sink.Units);
       J.Seconds = T.elapsed();
+      return;
     }
+    J.Fn(J.Sink);
+    J.Seconds = T.elapsed();
+  };
+  if (Workers <= 1) {
+    for (JobSlot &J : Jobs)
+      RunOne(J);
   } else {
     std::atomic<size_t> Next{0};
     std::exception_ptr Error;
@@ -191,11 +234,8 @@ void ObligationScheduler::run() {
     auto Work = [&]() {
       try {
         for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-             I < NumJobs; I = Next.fetch_add(1, std::memory_order_relaxed)) {
-          Timer T;
-          Jobs[I].Fn(Jobs[I].Sink);
-          Jobs[I].Seconds = T.elapsed();
-        }
+             I < NumJobs; I = Next.fetch_add(1, std::memory_order_relaxed))
+          RunOne(Jobs[I]);
       } catch (...) {
         std::lock_guard<std::mutex> Lock(ErrorMutex);
         if (!Error)
@@ -213,10 +253,25 @@ void ObligationScheduler::run() {
       std::rethrow_exception(Error);
   }
 
+  Stats.Cache.Enabled = Cache != nullptr;
   for (JobSlot &J : Jobs) {
     size_t CI = static_cast<size_t>(J.Cond);
     ++Stats.PerCondition[CI].Jobs;
     Stats.PerCondition[CI].JobSeconds += J.Seconds;
+    if (Cache && J.KeyFn) {
+      // Obligation-weighted cache accounting, before reconciliation
+      // (the sinks still hold every unit here; reconcile() drains them).
+      uint64_t Obs = 0;
+      for (const ObUnit &U : J.Sink.Units)
+        Obs += U.Obligations;
+      if (J.CacheHit) {
+        Stats.Cache.Hits += Obs;
+        if (J.FromDisk)
+          Stats.Cache.DiskHits += Obs;
+      } else {
+        Stats.Cache.Misses += Obs;
+      }
+    }
   }
   for (Group &G : Groups)
     reconcile(G);

@@ -34,6 +34,7 @@
 #define ISQ_ENGINE_OBLIGATIONSCHEDULER_H
 
 #include "engine/EngineConfig.h"
+#include "semantics/Fingerprint.h"
 
 #include <cstdint>
 #include <deque>
@@ -46,6 +47,8 @@ namespace isq {
 class CheckResult; // refine/Refinement.h
 
 namespace engine {
+
+class ObligationCache;
 
 /// The verification condition an obligation belongs to. Mirrors the
 /// per-condition decomposition of ISCheckReport plus the program-level
@@ -69,14 +72,19 @@ const char *obConditionLabel(ObCondition C);
 
 /// Dedup key of an obligation unit: a small tag naming the dedup namespace
 /// within the group (e.g. forward-preservation vs commutation) plus up to
-/// three interned handles identifying the store point. Keyless units are
-/// always applied by the reconciliation.
+/// three 64-bit *content* fingerprints identifying the store point.
+/// Content — not interned handles — because units recorded by the
+/// obligation cache in one run are replayed through reconciliation in
+/// another: a cached unit and a freshly emitted one must dedup against
+/// each other exactly when they denote the same semantic point, which
+/// interning-order-dependent handles cannot guarantee across processes.
+/// Keyless units are always applied by the reconciliation.
 struct ObKey {
   static constexpr uint32_t NoDedup = UINT32_MAX;
   uint32_t Tag = NoDedup;
-  uint32_t A = 0;
-  uint32_t B = 0;
-  uint32_t C = 0;
+  uint64_t A = 0;
+  uint64_t B = 0;
+  uint64_t C = 0;
 
   bool keyless() const { return Tag == NoDedup; }
   bool operator==(const ObKey &O) const {
@@ -158,6 +166,19 @@ struct ObligationStats {
     double JobSeconds = 0;
   };
   Bucket PerCondition[NumObConditions];
+  /// Verdict-cache accounting, obligation-weighted: every obligation a
+  /// keyed job would have evaluated counts as a hit (replayed from the
+  /// cache) or a miss (evaluated, then recorded). Weighed *before* dedup
+  /// reconciliation — the cache works at job granularity, so speculative
+  /// units replay like everything else. Zero when no cache is attached.
+  struct CacheStats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    /// Subset of Hits served by first-touch decodes from the disk tier.
+    uint64_t DiskHits = 0;
+    bool Enabled = false;
+  };
+  CacheStats Cache;
   /// Wall-clock of the scheduler run()s (all conditions together).
   double WallSeconds = 0;
   unsigned Threads = 1;
@@ -207,6 +228,21 @@ public:
   /// must not be shared).
   void add(Group *G, std::function<void(ObSink &)> Job);
 
+  /// Appends a cacheable job: \p KeyFn computes the job's content
+  /// fingerprint — a pure function of every input the job's obligations
+  /// depend on (see semantics/Fingerprint.h). When a cache is attached,
+  /// the scheduler evaluates KeyFn on the worker (fingerprinting
+  /// parallelizes with everything else), probes the cache, and on a hit
+  /// replays the recorded unit sequence instead of running \p Job; on a
+  /// miss it runs \p Job and records the emitted units. Without a cache,
+  /// KeyFn is never called.
+  void add(Group *G, std::function<Fingerprint()> KeyFn,
+           std::function<void(ObSink &)> Job);
+
+  /// Attaches the verdict cache consulted by run(). Must precede run();
+  /// the cache must outlive the scheduler. Null detaches.
+  void setCache(ObligationCache *C) { Cache = C; }
+
   /// Runs every submitted job on the pool, then reconciles each group.
   void run();
 
@@ -232,6 +268,7 @@ private:
   std::deque<Group> Groups;
   std::vector<JobSlot> Jobs;
   ObligationStats Stats;
+  ObligationCache *Cache = nullptr;
   bool Ran = false;
 };
 

@@ -51,6 +51,11 @@ struct ISApplication {
   /// erasing every transition that creates PAs to E (the construction used
   /// in the paper's condition (I2)).
   std::optional<Action> SeqAction;
+  /// Content fingerprint of what Choice computes, when known (the frontend
+  /// stamps it from the elimination-order/rank table it built the function
+  /// from). Zero means "unknown" and makes (I3) obligations ineligible for
+  /// the verdict cache.
+  Fingerprint ChoiceFp;
 
   /// True if \p Name is in E.
   bool eliminates(Symbol Name) const;

@@ -3,11 +3,15 @@
 #include "is/ISCheck.h"
 
 #include "engine/ActionCaches.h"
+#include "engine/ArenaFingerprints.h"
+#include "engine/ObligationCache.h"
 #include "engine/StateGraph.h"
 #include "is/Sequentialize.h"
 #include "movers/MoverCheck.h"
 
+#include <algorithm>
 #include <deque>
+#include <optional>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -53,10 +57,18 @@ ISUniverse ISUniverse::build(const ISApplication &App,
   Absorb(App.P);
   // The partial sequentializations: P with M replaced by the invariant.
   Absorb(App.P.withAction(App.Invariant.withName(App.M.str())));
-  U.Configs.reserve(U.Space.Configs.size());
-  for (ConfigId Cid : U.Space.Configs)
-    U.Configs.push_back(U.Space.Arena->configuration(Cid));
-  U.MCalls = collectContexts(U.Configs, App.M);
+  // M-call contexts straight off the interned space: materializing a
+  // value mirror of a few hundred thousand configurations just to find
+  // the handful of M contexts costs a measurable slice of every run.
+  // Configs stays empty for built universes — the checkers run over
+  // Space (see the field comments); hand-built universes populate the
+  // value fields instead and have no Arena.
+  InternedContextUniverse Interned = collectContexts(U.Space, App.M);
+  StateArena &Arena = *U.Space.Arena;
+  U.MCalls.reserve(Interned.Items.size());
+  for (const InternedActionContext &Ctx : Interned.Items)
+    U.MCalls.push_back({Arena.store(Ctx.Global), Arena.pa(Ctx.ArgsPa).Args,
+                        Arena.paSet(Ctx.Omega)});
   return U;
 }
 
@@ -443,6 +455,26 @@ ISCheckReport isq::checkIS(const ISApplication &App,
 
 namespace {
 
+/// Whether every behavior the IS obligations depend on carries a content
+/// fingerprint — the all-or-nothing gate for the obligation verdict
+/// cache. A single unknown (zero) fingerprint disables caching for the
+/// whole application: a partially keyed run would mix handle-based and
+/// content-based dedup keys, which must never coexist in one group.
+bool cacheEligible(const ISApplication &App) {
+  for (Symbol Name : App.P.actionNames())
+    if (App.P.action(Name).fp().isZero())
+      return false;
+  if (App.Invariant.fp().isZero() || App.ChoiceFp.isZero() ||
+      App.WfMeasure.fp().isZero())
+    return false;
+  for (const auto &[Name, Abs] : App.Abstractions)
+    if (Abs.fp().isZero())
+      return false;
+  if (App.SeqAction && App.SeqAction->fp().isZero())
+    return false;
+  return true;
+}
+
 /// The scheduled checker: submits every universe-quantified obligation of
 /// the IS rule into one ObligationScheduler and assembles the report from
 /// the reconciled group results. Deliberately separate from the serial
@@ -451,7 +483,8 @@ namespace {
 /// changes who computes an entry, never any obligation outcome.
 ISCheckReport checkISScheduled(const ISApplication &App,
                                const ISUniverse &Universe,
-                               const EngineConfig &Config) {
+                               const EngineConfig &Config,
+                               ObligationCache *VCache) {
   ISCheckReport Report;
   const Program &P = App.P;
 
@@ -486,6 +519,25 @@ ISCheckReport checkISScheduled(const ISApplication &App,
   MeasureMemo Measures(App.WfMeasure, Arena);
   ActionPaCache ActionPas(Arena);
 
+  // The verdict cache attaches only when every dependent behavior is
+  // fingerprinted; a null Fps leaves every schedule call on the legacy
+  // handle-keyed, uncacheable path.
+  std::optional<ArenaFingerprints> FpsStore;
+  ArenaFingerprints *Fps = nullptr;
+  if (VCache && cacheEligible(App)) {
+    FpsStore.emplace(Arena);
+    Fps = &*FpsStore;
+    Sched.setCache(VCache);
+  }
+  // E's names in sorted order: a stable ingredient for the fingerprints
+  // of the invariant-derived actions below.
+  std::vector<std::string> SortedE;
+  if (Fps) {
+    for (Symbol A : App.E)
+      SortedE.push_back(A.str());
+    std::sort(SortedE.begin(), SortedE.end());
+  }
+
   // --- P(A) ≼ α(A) for A ∈ E ---------------------------------------------
   // Context universes live in a deque: jobs hold pointers into them.
   std::deque<InternedContextUniverse> AbsCtxs;
@@ -498,20 +550,39 @@ ISCheckReport checkISScheduled(const ISApplication &App,
         A, scheduleActionRefinement(Sched,
                                     ObCondition::AbstractionRefinement,
                                     P.action(A), App.abstraction(A),
-                                    AbsCtxs.back(), Cache, Gates, OmegaGates));
+                                    AbsCtxs.back(), Cache, Gates, OmegaGates,
+                                    Fps));
   }
 
   // --- (I1) base case: P(M) ≼ I --------------------------------------------
   ObligationScheduler::Group *BaseGroup = scheduleActionRefinement(
       Sched, ObCondition::BaseCase, P.action(App.M), App.Invariant, MCalls,
-      Cache, Gates, OmegaGates);
+      Cache, Gates, OmegaGates, Fps);
 
   // --- (I2) conclusion: (ρI, {t ∈ τI | PAE(t) = ∅}) ≼ M' --------------------
   Action Restricted = restrictInvariant(App);
   Action SeqM = sequentializedAction(App);
+  if (Fps) {
+    // Both are pure derivations of (I, E): restrictInvariant erases the
+    // E-creating transitions; the derived M' (when the user supplied
+    // none) is the same construction under another name. Domain tags
+    // keep the two distinct.
+    FpHasher HR("restricted/v1");
+    HR.fp(App.Invariant.fp());
+    for (const std::string &Name : SortedE)
+      HR.str(Name);
+    Restricted.setFp(HR.finish());
+    if (SeqM.fp().isZero()) {
+      FpHasher HS("seqm/v1");
+      HS.fp(App.Invariant.fp());
+      for (const std::string &Name : SortedE)
+        HS.str(Name);
+      SeqM.setFp(HS.finish());
+    }
+  }
   ObligationScheduler::Group *ConclGroup = scheduleActionRefinement(
       Sched, ObCondition::Conclusion, Restricted, SeqM, MCalls, Cache, Gates,
-      OmegaGates);
+      OmegaGates, Fps);
 
   // --- (I3) inductive step ---------------------------------------------------
   // Channel 0 folds under (I3); channel 1 carries the choice-function
@@ -529,13 +600,43 @@ ISCheckReport checkISScheduled(const ISApplication &App,
     GateCache *GatesP = &Gates;
     OmegaGateCache *OmegaGatesP = &OmegaGates;
     StateArena *ArenaP = &Arena;
+    // The (I3) behavior dependencies are identical for every slice:
+    // invariant and choice function (executed directly), and the
+    // abstraction of every A ∈ E (gate and transitions compose with τI).
+    // E's declaration order is input-derived, hence stable.
+    Fingerprint I3Deps;
+    if (Fps) {
+      FpHasher HT("i3-deps/v1");
+      HT.fp(App.Invariant.fp());
+      HT.fp(App.ChoiceFp);
+      for (Symbol A : App.E) {
+        HT.str(A.str());
+        HT.fp(App.abstraction(A).fp());
+      }
+      I3Deps = HT.finish();
+    }
     // Thread-count independent slice; sized so dispatch overhead stays
     // negligible against the per-context transition work.
     constexpr size_t ChunkSize = 4096;
     size_t N = MCalls.Items.size();
     for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
       size_t End = std::min(N, Begin + ChunkSize);
-      Sched.add(StepGroup, [=](ObSink &Sink) {
+      std::function<Fingerprint()> KeyFn;
+      if (Fps) {
+        ArenaFingerprints *FpsP = Fps;
+        KeyFn = [=]() {
+          FpHasher H("i3-slice/v1");
+          H.fp(I3Deps).u64(End - Begin);
+          for (size_t I = Begin; I < End; ++I) {
+            const InternedActionContext &Call = MCallsP->Items[I];
+            H.fp(FpsP->store(Call.Global));
+            H.fp(FpsP->pa(Call.ArgsPa));
+            H.fp(FpsP->paSet(Call.Omega));
+          }
+          return H.finish();
+        };
+      }
+      Sched.add(StepGroup, std::move(KeyFn), [=](ObSink &Sink) {
         StateArena &Arena = *ArenaP;
         for (size_t I = Begin; I < End; ++I) {
           const InternedActionContext &Call = MCallsP->Items[I];
@@ -614,7 +715,7 @@ ISCheckReport checkISScheduled(const ISApplication &App,
     LMGroups.emplace_back(
         A, scheduleLeftMover(Sched, ObCondition::LeftMovers, A,
                              App.abstraction(A), P, Space, Cache, Gates,
-                             OmegaGates, SuccOmega));
+                             OmegaGates, SuccOmega, Fps));
 
   // --- (CO) cooperation ----------------------------------------------------------
   ObligationScheduler::Group *CoGroup =
@@ -633,9 +734,30 @@ ISCheckReport checkISScheduled(const ISApplication &App,
     size_t N = Space.Configs.size();
     for (Symbol A : App.E) {
       const Action *AbsP = &App.abstraction(A);
+      // A cooperation slice executes only α(A) and the measure over its
+      // configurations — concrete-body edits never touch it.
+      Fingerprint CoDeps;
+      if (Fps) {
+        FpHasher HD("co-deps/v1");
+        HD.str(A.str());
+        HD.fp(App.abstraction(A).fp());
+        HD.fp(App.WfMeasure.fp());
+        CoDeps = HD.finish();
+      }
       for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
         size_t End = std::min(N, Begin + ChunkSize);
-        Sched.add(CoGroup, [=](ObSink &Sink) {
+        std::function<Fingerprint()> KeyFn;
+        if (Fps) {
+          ArenaFingerprints *FpsP = Fps;
+          KeyFn = [=]() {
+            FpHasher H("co-slice/v1");
+            H.fp(CoDeps).u64(End - Begin);
+            for (size_t CI = Begin; CI < End; ++CI)
+              H.fp(FpsP->config(SpaceP->Configs[CI]));
+            return H.finish();
+          };
+        }
+        Sched.add(CoGroup, std::move(KeyFn), [=](ObSink &Sink) {
           StateArena &Arena = *ArenaP;
           const Action &Abs = *AbsP;
           for (size_t CI = Begin; CI < End; ++CI) {
@@ -723,7 +845,7 @@ ISCheckReport isq::checkIS(const ISApplication &App,
                            const ISCheckOptions &Opts) {
   if (!Opts.Config.ParallelCheck)
     return checkIS(App, Universe);
-  return checkISScheduled(App, Universe, Opts.Config);
+  return checkISScheduled(App, Universe, Opts.Config, Opts.Cache);
 }
 
 ISCheckReport isq::checkIS(const ISApplication &App,

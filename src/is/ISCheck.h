@@ -27,16 +27,23 @@
 
 namespace isq {
 
+namespace engine {
+class ObligationCache; // engine/ObligationCache.h
+}
+
 /// The quantifier domain for the IS conditions.
 struct ISUniverse {
-  /// Configurations of P ∪ configurations of P[M ↦ I].
+  /// Configurations of P ∪ configurations of P[M ↦ I]. Populated by
+  /// hand-built universes only: build() leaves it empty and the checkers
+  /// run over Space (a value mirror of a large interned space costs real
+  /// time on every run).
   std::vector<Configuration> Configs;
   /// Contexts in which an M pending async executes (inputs to I).
   ContextUniverse MCalls;
-  /// The interned view of Configs over the shared arena both explorations
-  /// interned into. Checkers run over this; Configs/MCalls mirror it for
-  /// value-level consumers. Arena is null for hand-built universes (checkIS
-  /// interns on the fly in that case).
+  /// The interned view of the universe over the shared arena both
+  /// explorations interned into. Checkers run over this when Arena is
+  /// set; Arena is null for hand-built universes (checkIS interns
+  /// Configs on the fly in that case).
   engine::StateSpace Space;
   /// Orbit size per configuration, index-aligned with Space.Configs when
   /// the explorations ran symmetry-reduced; empty otherwise (every orbit a
@@ -60,6 +67,15 @@ struct ISCheckOptions {
   /// the --engine parallel-check=false differential oracle). Results are
   /// bit-identical either way; only ObligationStats differ.
   engine::EngineConfig Config;
+  /// Content-addressed obligation verdict cache consulted by the
+  /// scheduled checker; null (or the serial path) checks everything.
+  /// Caching requires every behavior the obligations depend on to carry a
+  /// content fingerprint (actions, invariant, choice function, measure,
+  /// abstractions); applications with any unknown fingerprint silently
+  /// run uncached — correctness never depends on the fingerprints'
+  /// availability, only hit rates do. Verdicts, counts and diagnostics
+  /// are bit-identical with and without a cache.
+  engine::ObligationCache *Cache = nullptr;
 };
 
 /// Per-condition results of one IS application.

@@ -14,6 +14,7 @@
 #define ISQ_IS_MEASURE_H
 
 #include "semantics/Configuration.h"
+#include "semantics/Fingerprint.h"
 
 #include <functional>
 #include <string>
@@ -51,9 +52,17 @@ public:
   /// \p ChannelVars and then counts PAs (lexicographic).
   static Measure channelsThenPas(std::vector<Symbol> ChannelVars);
 
+  /// Content fingerprint of what Eval computes, when known (the frontend
+  /// stamps it from the declaration the measure was built from). Zero
+  /// means "unknown" and makes cooperation obligations ineligible for the
+  /// verdict cache.
+  const Fingerprint &fp() const { return Fp; }
+  void setFp(const Fingerprint &F) { Fp = F; }
+
 private:
   std::string Name;
   Fn Eval;
+  Fingerprint Fp;
 };
 
 } // namespace isq

@@ -3,6 +3,7 @@
 #include "lang/Lowering.h"
 
 #include "lang/HirEval.h"
+#include "semantics/Fingerprint.h"
 #include "semantics/Symmetry.h"
 
 #include <memory>
@@ -33,6 +34,65 @@ ValueShape shapeOf(const TypeRef &T, const std::string &Sort) {
   default:
     return ValueShape::plain();
   }
+}
+
+/// Structural fingerprint of an optimized HIR action body — the behavior
+/// fingerprint stamped on the lowered Action for the obligation verdict
+/// cache. Two deliberate exclusions keep it α-invariant: SourceLocs
+/// (moving code or editing comments must not shift it) and binder names
+/// (Param::Name is print-only; every reference resolves through slots,
+/// and slot numbering is structural). Types hash by their rendered form,
+/// never by TypeId — interning order differs across modules. Runs on the
+/// *optimized* HIR, so optimizer-equivalent sources fingerprint
+/// identically.
+void hashHirExpr(FpHasher &H, const hir::Expr &E,
+                 const hir::TypeTable &Types) {
+  H.u32(static_cast<uint32_t>(E.Kind));
+  H.str(Types.get(E.Type).str());
+  H.i64(E.IntValue);
+  H.u32(E.Slot);
+  H.str(E.Name);
+  H.str(E.Callee);
+  H.str(E.Op);
+  H.u64(E.Children.size());
+  for (const hir::ExprPtr &C : E.Children)
+    hashHirExpr(H, *C, Types);
+}
+
+void hashHirStmts(FpHasher &H, const std::vector<hir::StmtPtr> &Body,
+                  const hir::TypeTable &Types);
+
+void hashHirStmt(FpHasher &H, const hir::Stmt &S,
+                 const hir::TypeTable &Types) {
+  H.u32(static_cast<uint32_t>(S.Kind));
+  H.str(S.Name);
+  H.u32(S.Slot);
+  H.u64(S.Exprs.size());
+  for (const hir::ExprPtr &E : S.Exprs)
+    hashHirExpr(H, *E, Types);
+  hashHirStmts(H, S.Body, Types);
+  hashHirStmts(H, S.ElseBody, Types);
+}
+
+void hashHirStmts(FpHasher &H, const std::vector<hir::StmtPtr> &Body,
+                  const hir::TypeTable &Types) {
+  H.u64(Body.size());
+  for (const hir::StmtPtr &S : Body)
+    hashHirStmt(H, *S, Types);
+}
+
+Fingerprint fingerprintHirAction(const hir::Action &A,
+                                 const hir::TypeTable &Types) {
+  FpHasher H("hir-action/v1");
+  H.u64(A.Params.size());
+  for (const hir::Param &P : A.Params) {
+    H.str(Types.get(P.Type).str()); // not P.Name: binder names are print-only
+    H.u32(P.Slot);
+  }
+  H.u32(A.NumSlots);
+  H.boolean(A.UsesPending);
+  hashHirStmts(H, A.Body, Types);
+  return H.finish();
 }
 
 } // namespace
@@ -149,9 +209,11 @@ std::optional<CompiledModule> asl::lowerHir(hir::Module &&M,
         };
     // The evaluator is a pure function of (HIR, store, slots), so the
     // enumerator may run from concurrent checker jobs.
-    Result.P.addAction(Action(A.Name, Arity, std::move(Gate),
-                              std::move(Transitions), A.UsesPending,
-                              /*TransitionsThreadSafe=*/true));
+    Action Lowered(A.Name, Arity, std::move(Gate), std::move(Transitions),
+                   A.UsesPending,
+                   /*TransitionsThreadSafe=*/true);
+    Lowered.setFp(fingerprintHirAction(A, Shared->Types));
+    Result.P.addAction(std::move(Lowered));
   }
   if (Sym)
     Result.P.setSymmetry(std::move(Sym));

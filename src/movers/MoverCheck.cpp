@@ -3,6 +3,7 @@
 #include "movers/MoverCheck.h"
 
 #include "engine/ActionCaches.h"
+#include "engine/ArenaFingerprints.h"
 
 #include <algorithm>
 #include <unordered_set>
@@ -280,7 +281,9 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
               const StateSpace &Universe, bool LeftDirection,
               bool RequireNonBlocking, InternedTransitionCache &Cache,
               GateCache &Gates, OmegaGateCache &OmegaGates,
-              SuccessorOmegaCache &SuccOmega) {
+              SuccessorOmegaCache &SuccOmega, ArenaFingerprints *Fps) {
+  assert((!Fps || !SubjectAction.fp().isZero()) &&
+         "cacheable mover check requires a stamped subject fingerprint");
   ObligationScheduler::Group *Group = Sched.group(Cond);
   // Slice size is thread-count independent so unit/dedup statistics are
   // identical for any --threads value, not just the verdicts. Mover
@@ -299,7 +302,44 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
   size_t N = Universe.Configs.size();
   for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
     size_t End = std::min(N, Begin + ChunkSize);
-    Sched.add(Group, [=](ObSink &Sink) {
+    // With a fingerprint memo the slice is cacheable. The key covers the
+    // check parameters, the subject behavior, and every configuration in
+    // the slice; configurations holding at least one subject PA
+    // additionally absorb the concrete behavior of every co-pending
+    // action (the pair enumeration executes those behaviors), while
+    // subject-free configurations contribute no pairs and so stay
+    // insensitive to partner-action edits — the precision that keeps a
+    // one-action edit from invalidating every mover slice.
+    std::function<Fingerprint()> KeyFn;
+    if (Fps) {
+      Fingerprint SubjectFp = SubjectAction.fp();
+      KeyFn = [=]() {
+        StateArena &Arena = *UniverseP->Arena;
+        FpHasher H("mover-slice/v1");
+        H.boolean(LeftDirection).boolean(RequireNonBlocking);
+        H.str(Subject.str()).fp(SubjectFp).u64(End - Begin);
+        for (size_t CI = Begin; CI < End; ++CI) {
+          ConfigId Cid = UniverseP->Configs[CI];
+          H.fp(Fps->config(Cid));
+          PaSetId OmegaId = Arena.config(Cid).second;
+          const std::vector<PaId> &Order = Arena.paOrder(OmegaId);
+          bool HasSubject = false;
+          for (PaId Pa : Order)
+            if (Arena.pa(Pa).Action == Subject) {
+              HasSubject = true;
+              break;
+            }
+          if (!HasSubject)
+            continue;
+          // Canonical PA order is intrinsic to the PAs' values (see
+          // forEachPair), so sequential absorption is stable.
+          for (PaId Pa : Order)
+            H.fp(ProgP->action(Arena.pa(Pa).Action).fp());
+        }
+        return H.finish();
+      };
+    }
+    Sched.add(Group, std::move(KeyFn), [=](ObSink &Sink) {
       const Action &SubjectAction = *SubjectActionP;
       const Program &P = *ProgP;
       const StateSpace &Universe = *UniverseP;
@@ -312,6 +352,16 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
       std::unordered_set<Key3, Key3Hash> NonBlockDone;
       std::unordered_set<Key3, Key3Hash> ForwardDone;
       std::unordered_set<Key3, Key3Hash> BackwardDone;
+
+      // Reconciliation dedup keys: content fingerprints under the verdict
+      // cache (cross-run stable), interned handles otherwise (see ObKey).
+      // The job-local Done sets above always use handles — they never
+      // leave this job.
+      auto obKey = [=](uint32_t Tag, StoreId G, PaId A, PaId B) {
+        return Fps ? ObKey{Tag, fp64(Fps->store(G)), fp64(Fps->pa(A)),
+                           fp64(Fps->pa(B))}
+                   : ObKey{Tag, G, A, B};
+      };
 
       // Gate results are pure functions of the interned point, so every
       // evaluation goes through the shared caches: Ω-observing gates key
@@ -389,7 +439,7 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
               continue;
             if (!NonBlockDone.insert({G, SubjectPa, SubjectPa}).second)
               continue;
-            Sink.begin(ObKey{TagNonBlock, G, SubjectPa, SubjectPa});
+            Sink.begin(obKey(TagNonBlock, G, SubjectPa, SubjectPa));
             Sink.countObligation();
             if (transOf(SubjL).empty())
               Sink.fail("non-blocking violated: " + Arena.pa(SubjectPa).str() +
@@ -419,7 +469,7 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
             if (SubjectAction.gateReadsOmega())
               Sink.begin();
             else
-              Sink.begin(ObKey{TagForward, G, SubjectPa, OtherPa});
+              Sink.begin(obKey(TagForward, G, SubjectPa, OtherPa));
             const std::vector<InternedTransition> &TOs = transOf(OtherL);
             const std::vector<PaSetId> *AfterO =
                 SubjectAction.gateReadsOmega() ? &afterOf(OtherL) : nullptr;
@@ -444,7 +494,7 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
             if (Other.gateReadsOmega())
               Sink.begin();
             else
-              Sink.begin(ObKey{TagBackward, G, SubjectPa, OtherPa});
+              Sink.begin(obKey(TagBackward, G, SubjectPa, OtherPa));
             const std::vector<InternedTransition> &TSs = transOf(SubjL);
             const std::vector<PaSetId> *AfterS =
                 Other.gateReadsOmega() ? &afterOf(SubjL) : nullptr;
@@ -462,7 +512,7 @@ scheduleMover(ObligationScheduler &Sched, ObCondition Cond, Symbol Subject,
 
           // (3) Commutation (Ω-independent: deduplicated across Ω's).
           if (OtherGate && CommuteDone.insert({G, SubjectPa, OtherPa}).second) {
-            Sink.begin(ObKey{TagCommute, G, SubjectPa, OtherPa});
+            Sink.begin(obKey(TagCommute, G, SubjectPa, OtherPa));
             if (LeftDirection) {
               // other;subject must be reorderable to subject;other.
               for (const InternedTransition &TO : transOf(OtherL)) {
@@ -561,10 +611,10 @@ isq::scheduleLeftMover(ObligationScheduler &Sched, ObCondition Cond,
                        const StateSpace &Universe,
                        InternedTransitionCache &Cache, GateCache &Gates,
                        OmegaGateCache &OmegaGates,
-                       SuccessorOmegaCache &SuccOmega) {
+                       SuccessorOmegaCache &SuccOmega, ArenaFingerprints *Fps) {
   return scheduleMover(Sched, Cond, Subject, LAction, P, Universe,
                        /*LeftDirection=*/true, /*RequireNonBlocking=*/true,
-                       Cache, Gates, OmegaGates, SuccOmega);
+                       Cache, Gates, OmegaGates, SuccOmega, Fps);
 }
 
 ObligationScheduler::Group *
@@ -573,10 +623,10 @@ isq::scheduleRightMover(ObligationScheduler &Sched, ObCondition Cond,
                         const StateSpace &Universe,
                         InternedTransitionCache &Cache, GateCache &Gates,
                         OmegaGateCache &OmegaGates,
-                        SuccessorOmegaCache &SuccOmega) {
+                        SuccessorOmegaCache &SuccOmega, ArenaFingerprints *Fps) {
   return scheduleMover(Sched, Cond, Subject, RAction, P, Universe,
                        /*LeftDirection=*/false, /*RequireNonBlocking=*/false,
-                       Cache, Gates, OmegaGates, SuccOmega);
+                       Cache, Gates, OmegaGates, SuccOmega, Fps);
 }
 
 MoverType isq::classifyMover(Symbol Subject, const Program &P,

@@ -70,13 +70,22 @@ CheckResult checkRightMover(Symbol Subject, const Action &RAction,
 /// caches must outlive the run. The caches may be shared across groups —
 /// gates and transition relations are pure, so sharing only changes who
 /// computes an entry, never any obligation outcome.
+///
+/// When \p Fps is non-null the slices become verdict-cacheable: each job
+/// gets a content-fingerprint KeyFn and the dedup keys switch from
+/// interned handles to content fingerprints (see ObKey). A slice's key
+/// covers the subject behavior, every configuration in the slice, and —
+/// for configurations actually holding a subject PA — the concrete
+/// behavior of every co-pending partner action, so editing one action
+/// only invalidates the slices whose pair enumeration executes it.
 engine::ObligationScheduler::Group *
 scheduleLeftMover(engine::ObligationScheduler &Sched, engine::ObCondition Cond,
                   Symbol Subject, const Action &LAction, const Program &P,
                   const engine::StateSpace &Universe,
                   engine::InternedTransitionCache &Cache,
                   engine::GateCache &Gates, engine::OmegaGateCache &OmegaGates,
-                  engine::SuccessorOmegaCache &SuccOmega);
+                  engine::SuccessorOmegaCache &SuccOmega,
+                  engine::ArenaFingerprints *Fps = nullptr);
 
 /// Obligation-scheduler form of checkRightMover (see scheduleLeftMover).
 engine::ObligationScheduler::Group *
@@ -86,7 +95,8 @@ scheduleRightMover(engine::ObligationScheduler &Sched, engine::ObCondition Cond,
                    engine::InternedTransitionCache &Cache,
                    engine::GateCache &Gates,
                    engine::OmegaGateCache &OmegaGates,
-                   engine::SuccessorOmegaCache &SuccOmega);
+                   engine::SuccessorOmegaCache &SuccOmega,
+                   engine::ArenaFingerprints *Fps = nullptr);
 
 /// Classifies \p Subject (executed with its own program action) over
 /// \p Universe as Both/Left/Right/None by running both directed checks.

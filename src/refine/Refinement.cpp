@@ -3,6 +3,7 @@
 #include "refine/Refinement.h"
 
 #include "engine/ActionCaches.h"
+#include "engine/ArenaFingerprints.h"
 #include "semantics/Symmetry.h"
 #include "support/Hashing.h"
 
@@ -144,8 +145,11 @@ isq::scheduleActionRefinement(ObligationScheduler &Sched, ObCondition Cond,
                               const Action &A1, const Action &A2,
                               const InternedContextUniverse &Universe,
                               InternedTransitionCache &Cache, GateCache &Gates,
-                              OmegaGateCache &OmegaGates) {
+                              OmegaGateCache &OmegaGates,
+                              ArenaFingerprints *Fps) {
   assert(A1.arity() == A2.arity() && "refinement requires equal arity");
+  assert((!Fps || (!A1.fp().isZero() && !A2.fp().isZero())) &&
+         "cacheable refinement requires stamped behavior fingerprints");
   ObligationScheduler::Group *Group = Sched.group(Cond);
   // Slice size is thread-count independent so unit/dedup statistics are
   // identical for any --threads value, not just the verdicts. 4096 keeps
@@ -165,7 +169,24 @@ isq::scheduleActionRefinement(ObligationScheduler &Sched, ObCondition Cond,
   size_t N = Universe.Items.size();
   for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
     size_t End = std::min(N, Begin + ChunkSize);
-    Sched.add(Group, [=](ObSink &Sink) {
+    // With a fingerprint memo the slice is cacheable: its verdict depends
+    // on the two behaviors and on the slice's contexts, nothing else.
+    std::function<Fingerprint()> KeyFn;
+    if (Fps) {
+      Fingerprint F1 = A1.fp(), F2 = A2.fp();
+      KeyFn = [=]() {
+        FpHasher H("refine-slice/v1");
+        H.fp(F1).fp(F2).u64(End - Begin);
+        for (size_t I = Begin; I < End; ++I) {
+          const InternedActionContext &Ctx = UniP->Items[I];
+          H.fp(Fps->store(Ctx.Global));
+          H.fp(Fps->pa(Ctx.ArgsPa));
+          H.fp(Fps->paSet(Ctx.Omega));
+        }
+        return H.finish();
+      };
+    }
+    Sched.add(Group, std::move(KeyFn), [=](ObSink &Sink) {
       StateArena &Arena = *UniP->Arena;
       std::unordered_set<uint64_t> SimulationDone;
       // Gate results are pure functions of the interned point, so every
@@ -197,8 +218,13 @@ isq::scheduleActionRefinement(ObligationScheduler &Sched, ObCondition Cond,
         if (!SimulationDone.insert(Point).second)
           continue;
         // (2) ρ2 ∘ τ1 ⊆ τ2 — one unit per (store, args) point; the
-        // reconciliation keeps the first gate-passing occurrence.
-        Sink.begin(ObKey{TagSim, Ctx.Global, Ctx.ArgsPa, 0});
+        // reconciliation keeps the first gate-passing occurrence. Under
+        // the verdict cache the key is the point's *content* (see ObKey).
+        ObKey SimKey =
+            Fps ? ObKey{TagSim, fp64(Fps->store(Ctx.Global)),
+                        fp64(Fps->pa(Ctx.ArgsPa)), 0}
+                : ObKey{TagSim, Ctx.Global, Ctx.ArgsPa, 0};
+        Sink.begin(SimKey);
         const std::vector<InternedTransition> &Abstract =
             CacheP->get(*A2P, Ctx.Global, Ctx.ArgsPa);
         for (const InternedTransition &T :

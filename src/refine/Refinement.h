@@ -24,6 +24,10 @@
 
 namespace isq {
 
+namespace engine {
+class ArenaFingerprints; // engine/ArenaFingerprints.h
+}
+
 /// Outcome of a universally quantified check. Collects up to MaxIssues
 /// human-readable counterexamples and counts the obligations evaluated
 /// (the analogue of the number of SMT queries).
@@ -109,6 +113,13 @@ CheckResult checkActionRefinement(const Action &A1, const Action &A2,
 /// \p Universe and the caches must outlive the run. The caches may be
 /// shared across groups — gates and transition relations are pure, so
 /// sharing only changes who computes an entry, never any outcome.
+///
+/// When \p Fps is non-null the slices become verdict-cacheable: each job
+/// gets a content-fingerprint KeyFn (over both action behaviors and every
+/// context in the slice) and the dedup keys switch from interned handles
+/// to content fingerprints so cached units from other runs reconcile
+/// correctly. Requires A1.fp() and A2.fp() to be stamped; with a null
+/// \p Fps the legacy handle keys are used and nothing is cacheable.
 engine::ObligationScheduler::Group *
 scheduleActionRefinement(engine::ObligationScheduler &Sched,
                          engine::ObCondition Cond, const Action &A1,
@@ -116,7 +127,8 @@ scheduleActionRefinement(engine::ObligationScheduler &Sched,
                          const InternedContextUniverse &Universe,
                          engine::InternedTransitionCache &Cache,
                          engine::GateCache &Gates,
-                         engine::OmegaGateCache &OmegaGates);
+                         engine::OmegaGateCache &OmegaGates,
+                         engine::ArenaFingerprints *Fps = nullptr);
 
 /// An initial condition for program-level checks: a global store plus
 /// arguments for Main.

@@ -19,6 +19,7 @@
 #ifndef ISQ_SEMANTICS_ACTION_H
 #define ISQ_SEMANTICS_ACTION_H
 
+#include "semantics/Fingerprint.h"
 #include "semantics/PendingAsync.h"
 #include "semantics/Store.h"
 
@@ -122,10 +123,24 @@ public:
 
   /// Returns a copy of this action registered under \p NewName. Used to
   /// substitute an invariant or sequentialized action for M in P[M ↦ a].
+  /// The behavior fingerprint carries over: renaming does not change what
+  /// the gate/transition closures compute.
   Action withName(const std::string &NewName) const {
-    return Action(NewName, Arity, Gate, Transitions, GateReadsOmega,
-                  TransitionsThreadSafe);
+    Action Renamed(NewName, Arity, Gate, Transitions, GateReadsOmega,
+                   TransitionsThreadSafe);
+    Renamed.Fp = Fp;
+    return Renamed;
   }
+
+  /// Content fingerprint of the action's *behavior* (gate + transition
+  /// relation), when known. The frontend stamps it from the optimized HIR
+  /// it lowered the closures from; natively constructed actions leave it
+  /// zero ("unknown"), which makes any obligation depending on them
+  /// ineligible for the verdict cache. Deliberately excludes the name:
+  /// obligations depend on what an action does, and the name is hashed
+  /// separately where identity matters (e.g. PA fingerprints).
+  const Fingerprint &fp() const { return Fp; }
+  void setFp(const Fingerprint &F) { Fp = F; }
 
 private:
   Symbol Name;
@@ -134,6 +149,7 @@ private:
   TransitionsFn Transitions;
   bool GateReadsOmega = false;
   bool TransitionsThreadSafe = false;
+  Fingerprint Fp;
 };
 
 } // namespace isq

@@ -324,6 +324,7 @@ void Server::runJob(const std::shared_ptr<Connection> &Conn,
                     SubmitRequest Request, std::string CacheKey) {
   Timer JobTimer;
   driver::VerifyOptions Options = toVerifyOptions(Request, Opts.JobThreads);
+  Options.SharedCache = &ObligationVerdicts;
   driver::VerifyResult Result = driver::verifyModule(Options);
   std::string Json = driver::renderJson(Result);
   double Seconds = JobTimer.elapsed();

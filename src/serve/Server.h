@@ -42,6 +42,7 @@
 #ifndef ISQ_SERVE_SERVER_H
 #define ISQ_SERVE_SERVER_H
 
+#include "engine/ObligationCache.h"
 #include "serve/JobQueue.h"
 #include "serve/VerdictCache.h"
 #include "serve/Wire.h"
@@ -111,6 +112,13 @@ private:
 
   JobQueue Queue;
   VerdictCache Cache;
+  /// Process-wide obligation verdict cache, one tier below the
+  /// whole-request VerdictCache: a request that misses the request cache
+  /// (any edit, any flag change) still reuses every slice verdict whose
+  /// dependencies are untouched. Shared by all workers (thread-safe);
+  /// memory-only — the daemon outlives requests, so persistence buys
+  /// nothing a restart-to-upgrade wouldn't invalidate anyway.
+  engine::ObligationCache ObligationVerdicts;
 
   std::thread AcceptThread;
   std::vector<std::thread> Workers;

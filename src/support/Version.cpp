@@ -1,0 +1,21 @@
+//===- support/Version.cpp - Build provenance ---------------------------------===//
+
+#include "support/Version.h"
+
+#include "semantics/Fingerprint.h"
+
+#ifndef ISQ_GIT_SHA
+#define ISQ_GIT_SHA "unknown"
+#endif
+#ifndef ISQ_BUILD_TYPE
+#define ISQ_BUILD_TYPE "unknown"
+#endif
+
+const char *isq::gitSha() { return ISQ_GIT_SHA; }
+
+const char *isq::buildType() { return ISQ_BUILD_TYPE; }
+
+std::string isq::versionLine() {
+  return std::string("isq ") + gitSha() + " (" + buildType() +
+         ", fingerprint format " + std::to_string(FpFormatVersion) + ")";
+}

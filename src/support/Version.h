@@ -1,0 +1,31 @@
+//===- support/Version.h - Build provenance ----------------------*- C++ -*-===//
+///
+/// \file
+/// Build provenance baked in at configure time: the git sha and build type
+/// of the binary. Powers `isq-verify --version` and the obligation cache's
+/// on-disk header — a persisted verdict is only trusted by the exact build
+/// that wrote it (semantics can change without a format-version bump).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_SUPPORT_VERSION_H
+#define ISQ_SUPPORT_VERSION_H
+
+#include <string>
+
+namespace isq {
+
+/// Short git sha of the source tree at configure time; "unknown" when the
+/// build was configured outside a git checkout.
+const char *gitSha();
+
+/// CMake build type ("RelWithDebInfo", "Release", ...).
+const char *buildType();
+
+/// The one-line provenance banner shared by `--version` and tool headers,
+/// e.g. "isq abc123def456 (RelWithDebInfo, fingerprint format 1)".
+std::string versionLine();
+
+} // namespace isq
+
+#endif // ISQ_SUPPORT_VERSION_H

@@ -52,7 +52,16 @@ std::string readFile(const std::string &Path) {
 
 std::string scrubTimings(const std::string &Json) {
   static const std::regex Seconds("(\"[a-z_]*seconds\":)[0-9.]+");
-  return std::regex_replace(Json, Seconds, "$010");
+  std::string Out = std::regex_replace(Json, Seconds, "$010");
+  // Obligation-cache telemetry is stats, not verdict: the v1 frontend
+  // carries no HIR fingerprints, so its runs are cache-ineligible
+  // (cache_enabled false, everything a miss) while v2 runs are eligible.
+  // The obligation counts and verdicts still compare strictly.
+  static const std::regex Cache(
+      "(\"(?:cache_hits|cache_misses|disk_hits)\":)[0-9]+");
+  Out = std::regex_replace(Out, Cache, "$010");
+  static const std::regex Enabled("(\"cache_enabled\":)(?:true|false)");
+  return std::regex_replace(Out, Enabled, "$01false");
 }
 
 /// With more than one worker thread the cache telemetry (hash-cons and

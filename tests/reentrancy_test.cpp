@@ -33,10 +33,15 @@ std::string readExampleAsl(const std::string &Name) {
   return Buffer.str();
 }
 
-/// Blanks the wall-clock fields so runs compare bit-identically.
+/// Blanks the wall-clock fields — and the steal count, which is
+/// schedule-dependent when the engine runs threaded (tools/ci.sh scrubs
+/// it in the engine differential for the same reason) — so runs compare
+/// bit-identically.
 std::string scrubTimings(const std::string &Json) {
   static const std::regex Seconds("(\"[a-z_]*seconds\":)[0-9.]+");
-  return std::regex_replace(Json, Seconds, "$010");
+  std::string Out = std::regex_replace(Json, Seconds, "$010");
+  static const std::regex Steals("(\"steals\":)[0-9]+");
+  return std::regex_replace(Out, Steals, "$010");
 }
 
 /// Two *different* jobs — distinct modules, ranks, abstractions — so the

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <mutex>
 #include <regex>
 #include <sstream>
 #include <thread>
@@ -888,4 +889,72 @@ TEST(ServeEndToEndTest, StopWhileClientsConnected) {
   Live->Daemon.stop(); // must not hang with the connection open
   ServeReply After = Live->Client.receive();
   EXPECT_EQ(After.K, ServeReply::Kind::Disconnected);
+}
+
+TEST(ServeEndToEndTest, SharedObligationCacheAcrossDistinctRequests) {
+  // The daemon keeps one process-wide obligation verdict cache *below*
+  // the whole-request VerdictCache: requests whose bytes differ (so the
+  // request cache misses) still reuse every obligation whose semantic
+  // fingerprints are unchanged. Comment-only variants are the sharpest
+  // probe — every variant misses the request cache and fingerprints
+  // identically. Two concurrent waves exercise both racy directions on
+  // the shared cache (this test runs under TSan in tools/ci.sh): the
+  // first wave races inserts while cold, the second races lazy lookups
+  // while warm.
+  LiveServer Live;
+  driver::VerifyOptions Base = pingPongOptions();
+
+  // Obligation-cache telemetry legitimately differs across cache states;
+  // everything else in the verdicts must be bit-identical.
+  auto ScrubCache = [](const std::string &Json) {
+    static const std::regex Cache(
+        "(\"(?:cache_hits|cache_misses|disk_hits)\":)[0-9]+");
+    return std::regex_replace(scrubTimings(Json), Cache, "$010");
+  };
+
+  constexpr int Waves = 2, PerWave = 4;
+  std::vector<std::string> Reports;
+  std::mutex ReportsM;
+  for (int Wave = 0; Wave < Waves; ++Wave) {
+    std::vector<std::thread> Threads;
+    for (int I = 0; I < PerWave; ++I) {
+      Threads.emplace_back([&, Wave, I] {
+        driver::VerifyOptions Variant = Base;
+        Variant.Source = "// variant " + std::to_string(Wave) + "." +
+                         std::to_string(I) + "\n" + Variant.Source;
+        SubmitRequest Request = fromVerifyOptions(Variant);
+        Request.RequestId = static_cast<uint64_t>(Wave * PerWave + I + 1);
+        ServeClient Client;
+        std::string Error;
+        ASSERT_TRUE(Client.connect("127.0.0.1", Live.Daemon.port(), Error))
+            << Error;
+        ServeReply Reply = Client.submit(Request);
+        ASSERT_EQ(Reply.K, ServeReply::Kind::Verdict) << Reply.Error;
+        EXPECT_EQ(Reply.Verdict.ExitCode, 0);
+        // Distinct bytes: never a whole-request cache hit.
+        EXPECT_FALSE(Reply.Verdict.CacheHit);
+        if (Wave > 0) {
+          // The warm wave runs against a fully populated obligation
+          // cache: nothing left to re-discharge.
+          EXPECT_NE(Reply.Verdict.ReportJson.find("\"cache_misses\":0"),
+                    std::string::npos)
+              << Reply.Verdict.ReportJson;
+        }
+        std::lock_guard<std::mutex> Lock(ReportsM);
+        Reports.push_back(Reply.Verdict.ReportJson);
+      });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  ASSERT_EQ(Reports.size(), static_cast<size_t>(Waves * PerWave));
+  for (const std::string &Report : Reports)
+    EXPECT_EQ(ScrubCache(Report), ScrubCache(Reports.front()));
+
+  // And modulo the same scrub, the served verdicts match a one-shot
+  // in-process run with no cache attached.
+  driver::VerifyResult Direct = driver::verifyModule(Base);
+  EXPECT_EQ(ScrubCache(Reports.front()),
+            ScrubCache(driver::renderJson(Direct)));
 }

@@ -1,0 +1,221 @@
+#!/usr/bin/env bash
+# Benchmarks incremental re-verification: for each instance, a cold run
+# populating an on-disk obligation verdict cache, a warm run over the
+# unchanged module, and a warm run after a one-action edit (a loop peel —
+# behaviorally equivalent but not optimizer-foldable, so exactly one
+# action's fingerprint moves). Rows are merged into BENCH_engine.json
+# under an "incremental" key, next to the exploration/checker rows that
+# bench_engine.sh records.
+#
+# Instances: Paxos at R=2 over 2 and 3 acceptors, and two-phase commit —
+# the same protocols the checker-phase benchmarks cover. All runs are
+# single-threaded with --no-cross-check (the empirical cross-check is an
+# uncached exploration; including it would dilute the measurement with
+# work the cache deliberately does not touch). Each cell is the median
+# of three runs; cold repeats start from a fresh directory, edit repeats
+# from a copy of the pristine cold cache.
+#
+# The recording fails — instead of committing misleading numbers — if
+# the headline row (Paxos R=2 N=3) re-discharges ≥30% of its obligations
+# after the edit or speeds up less than 3x over cold.
+#
+# Numbers are recorded from a dedicated Release build directory
+# (build-bench, configured here on first use): recording from a
+# RelWithDebInfo or Debug tree is refused, and the merged JSON embeds the
+# build type and git revision so a committed BENCH_engine.json is
+# self-describing.
+#
+# Usage: tools/bench_incremental.sh [BUILD_DIR] [OUT_JSON]
+
+set -euo pipefail
+
+BUILD="${1:-build-bench}"
+OUT="${2:-BENCH_engine.json}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+if [ "$BUILD_TYPE" != "Release" ]; then
+  echo "error: $BUILD is a '$BUILD_TYPE' tree; benchmarks must be recorded" >&2
+  echo "from a Release build (rerun without arguments, or point BUILD_DIR" >&2
+  echo "at a -DCMAKE_BUILD_TYPE=Release configuration)." >&2
+  exit 1
+fi
+
+GIT_SHA="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+cmake --build "$BUILD" -j --target isq-verify
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+python3 - "$BUILD/tools/isq-verify" "$TMP" "$OUT" "$BUILD_TYPE" \
+  "$GIT_SHA" <<'EOF'
+import json, os, shutil, statistics, subprocess, sys, time
+
+verify, tmp, out, build_type, git_sha = sys.argv[1:]
+REPEATS = 3
+
+PAXOS_EDIT = (
+    """action Main() {
+  for r in 1 .. R {
+    async StartRound(r);
+  }
+}""",
+    """action Main() {
+  async StartRound(1);
+  for r in 2 .. R {
+    async StartRound(r);
+  }
+}""",
+)
+TPC_EDIT = (
+    """action RequestVotes() {
+  for i in 1 .. n {
+    reqCh[i] := insert(reqCh[i], 1);
+    async Vote(i);
+  }""",
+    """action RequestVotes() {
+  reqCh[1] := insert(reqCh[1], 1);
+  async Vote(1);
+  for i in 2 .. n {
+    reqCh[i] := insert(reqCh[i], 1);
+    async Vote(i);
+  }""",
+)
+
+PAXOS_COMMON = [
+    "--arg-major",
+    "--eliminate", "StartRound,Join,Propose,Vote,Conclude",
+    "--abstract", "Join=JoinAbs", "--abstract", "Propose=ProposeAbs",
+    "--abstract", "Vote=VoteAbs", "--abstract", "Conclude=ConcludeAbs",
+]
+INSTANCES = [
+    {"name": "paxos_R2_N2", "file": "examples/asl/paxos.asl",
+     "edited_action": "Main", "edit": PAXOS_EDIT,
+     "flags": ["--param", "R=2", "--param", "N=2", *PAXOS_COMMON,
+               "--weight", "StartRound=9", "--weight", "Propose=5",
+               "--weight", "Conclude=2"]},
+    {"name": "paxos_R2_N3", "file": "examples/asl/paxos.asl",
+     "edited_action": "Main", "edit": PAXOS_EDIT,
+     "flags": ["--param", "R=2", "--param", "N=3", *PAXOS_COMMON,
+               "--weight", "StartRound=11", "--weight", "Propose=6",
+               "--weight", "Conclude=2"]},
+    {"name": "two_phase_commit_n3", "file": "examples/asl/two_phase_commit.asl",
+     "edited_action": "RequestVotes", "edit": TPC_EDIT,
+     "flags": ["--param", "n=3",
+               "--eliminate", "RequestVotes,Vote,Decide,Finalize",
+               "--abstract", "Decide=DecideAbs",
+               "--weight", "RequestVotes=8", "--weight", "Decide=4"]},
+]
+
+
+def run(module, flags, cache_dir):
+    cmd = [verify, module, *flags, "--no-cross-check",
+           "--engine", "cache-dir=" + cache_dir, "--format", "json"]
+    start = time.monotonic()
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    seconds = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.exit(f"error: {' '.join(cmd)} exited {proc.returncode}:\n"
+                 f"{proc.stderr}")
+    doc = json.loads(proc.stdout)
+    assert doc["accepted"] is True, cmd
+    ob = doc["obligations"]
+    assert ob["cache_enabled"] is True, cmd
+    return seconds, ob
+
+
+rows = []
+for inst in INSTANCES:
+    name = inst["name"]
+    work = os.path.join(tmp, name)
+    os.makedirs(work)
+    module = os.path.join(work, os.path.basename(inst["file"]))
+    shutil.copy(inst["file"], module)
+
+    # Cold: a fresh cache directory per repeat; the last one becomes the
+    # pristine image the warm and edit cells run against.
+    cold, pristine = [], None
+    for rep in range(REPEATS):
+        pristine = os.path.join(work, f"cache{rep}")
+        seconds, ob = run(module, inst["flags"], pristine)
+        assert ob["cache_hits"] == 0 and ob["disk_hits"] == 0, ob
+        cold.append(seconds)
+
+    # Warm, unchanged module: all hits, and the dirty-skip writeback
+    # leaves the image untouched, so repeats share the pristine copy.
+    warm = []
+    for _ in range(REPEATS):
+        seconds, warm_ob = run(module, inst["flags"], pristine)
+        assert warm_ob["cache_misses"] == 0, warm_ob
+        warm.append(seconds)
+
+    # Warm after a one-action edit: each repeat restores the pristine
+    # image first, since the run itself appends the re-checked slices.
+    src = open(module).read()
+    old, new = inst["edit"]
+    assert old in src, name
+    open(module, "w").write(src.replace(old, new, 1))
+    edit = []
+    for rep in range(REPEATS):
+        cache = os.path.join(work, f"edit{rep}")
+        shutil.copytree(pristine, cache)
+        seconds, edit_ob = run(module, inst["flags"], cache)
+        assert edit_ob["cache_hits"] > 0 and edit_ob["cache_misses"] > 0, \
+            edit_ob
+        edit.append(seconds)
+
+    med = statistics.median
+    total = edit_ob["cache_hits"] + edit_ob["cache_misses"]
+    rows.append({
+        "instance": name,
+        "edited_action": inst["edited_action"],
+        "threads": 1,
+        "repeats": REPEATS,
+        "obligations": warm_ob["total"],
+        "cold_seconds": round(med(cold), 4),
+        "warm_seconds": round(med(warm), 4),
+        "edit_seconds": round(med(edit), 4),
+        "warm_speedup": round(med(cold) / med(warm), 2),
+        "edit_speedup": round(med(cold) / med(edit), 2),
+        "edit_redischarge_obligations": edit_ob["cache_misses"],
+        "edit_redischarge_rate": round(edit_ob["cache_misses"] / total, 6),
+    })
+
+# Headline acceptance: the paper-scale Paxos instance after a one-action
+# edit must re-discharge <30% of its obligations and beat cold by ≥3x.
+headline = next(r for r in rows if r["instance"] == "paxos_R2_N3")
+if headline["edit_redischarge_rate"] >= 0.30:
+    sys.exit(f"error: headline re-discharge rate "
+             f"{headline['edit_redischarge_rate']} >= 0.30")
+if headline["edit_speedup"] < 3.0:
+    sys.exit(f"error: headline edit speedup {headline['edit_speedup']} < 3x")
+
+doc = {"context": {"isq_build_type": build_type, "isq_git_sha": git_sha}}
+if os.path.exists(out):
+    with open(out) as f:
+        doc = json.load(f)
+doc["incremental"] = {
+    "isq_build_type": build_type, "isq_git_sha": git_sha, "rows": rows,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+
+print()
+print(f"{'instance':<22} {'cold_s':>8} {'warm_s':>8} {'edit_s':>8} "
+      f"{'warm_x':>7} {'edit_x':>7} {'recheck':>8}")
+for r in rows:
+    print(f"{r['instance']:<22} {r['cold_seconds']:>8.2f} "
+          f"{r['warm_seconds']:>8.2f} {r['edit_seconds']:>8.2f} "
+          f"{r['warm_speedup']:>7.2f} {r['edit_speedup']:>7.2f} "
+          f"{r['edit_redischarge_rate']:>8.2%}")
+print()
+EOF
+
+echo "wrote $OUT (build type $BUILD_TYPE, git $GIT_SHA)"

@@ -97,6 +97,13 @@ for row in rows:
     with open(path) as f:
         report = json.load(f)
     doc["rows"].append({"cache": cache, "clients": int(clients), **report})
+# A warm pass that misses its own cache is a caching regression, not a
+# slow run — fail the recording instead of committing misleading numbers.
+for r in doc["rows"]:
+    if r["cache"] == "warm" and r.get("cache_hit_rate", 0) <= 0:
+        sys.exit(f"error: warm pass at {r['clients']} client(s) recorded "
+                 f"hit rate {r.get('cache_hit_rate', 0)}; the verdict "
+                 "cache is not being hit")
 with open(out, "w") as f:
     json.dump(doc, f, indent=1)
     f.write("\n")

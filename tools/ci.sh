@@ -10,10 +10,15 @@
 # v1/v2 differential over the whole example corpus); run the
 # work-stealing vs level-sync engine differential over the same corpus
 # (verdicts must be bit-identical after timing/steal-count scrubbing);
-# finally run the threaded engine + obligation-scheduler + symmetry +
-# serve + driver-re-entrancy tests under ThreadSanitizer, including the
-# --no-symmetry differential and a tiny-steal-chunk run that forces
-# cross-worker stealing. All stages must pass.
+# run the incremental re-verification stage (cold run populating an
+# on-disk obligation verdict cache, a one-action edit whose warm run
+# must be bit-identical to the --engine incremental=false oracle with a
+# nonzero hit rate, and a corrupted cache that must degrade to a cold
+# run, never to different answers); finally run the threaded engine +
+# obligation-scheduler + symmetry + serve + driver-re-entrancy tests
+# under ThreadSanitizer, including the --no-symmetry differential, a
+# tiny-steal-chunk run that forces cross-worker stealing, and a
+# threaded warm run over a shared verdict cache. All stages must pass.
 #
 # Usage: tools/ci.sh [JOBS]
 
@@ -50,7 +55,7 @@ example_flags() {
 # header documents its own invocation ("Verify with:"), so CI follows the
 # same command users see, plus --threads 2 to exercise the parallel
 # scheduler. The JSON report must parse and match the versioned schema
-# (v4: work-stealing/compact-store engine observability).
+# (v5: obligation verdict-cache observability).
 verify_example() {
   local bin="$1" file="$2" flags
   flags=$(example_flags "$file")
@@ -62,7 +67,7 @@ verify_example() {
     python3 -c '
 import json, sys
 doc = json.load(sys.stdin)
-assert doc["schema_version"] == 4, doc["schema_version"]
+assert doc["schema_version"] == 5, doc["schema_version"]
 assert doc["tool"] == "isq-verify"
 assert doc["exit_code"] == 0 and doc["accepted"] is True
 assert doc["diagnostics"] == []
@@ -84,6 +89,13 @@ assert doc["engine"]["work_stealing"] is True
 assert doc["engine"]["steal_chunk"] > 0
 assert doc["engine"]["shards"] >= 1
 assert 1 <= doc["engine"]["shard_occupancy"] <= doc["engine"]["shards"]
+ob = doc["obligations"]
+for key in ("total", "cache_enabled", "cache_hits", "cache_misses",
+            "disk_hits"):
+    assert key in ob, key
+assert ob["total"] > 0
+assert ob["cache_enabled"] is True  # v2 frontend stamps fingerprints
+assert ob["cache_hits"] + ob["cache_misses"] > 0
 for key in ("engine", "diagnostics", "total_seconds"):
     assert key in doc, key
 print("  json ok")
@@ -159,14 +171,20 @@ assert report["failures"] == 0, report
 assert report["submissions"] == 4, report
 assert report["cache_hits"] == 2 and report["cache_hit_rate"] == 0.5, report
 assert report["non_zero_exits"] == 0, report
-scrub = lambda s: re.sub(r'("[a-z_]*seconds":)[0-9.]+', r'\g<1>0', s)
+# Obligation-cache telemetry is stats, not verdict: the daemon shares one
+# process-wide obligation cache across requests, so its hit counters
+# differ from a one-shot run's. Everything else must match exactly.
+def scrub(s):
+    s = re.sub(r'("[a-z_]*seconds":)[0-9.]+', r'\g<1>0', s)
+    return re.sub(r'("(?:cache_hits|cache_misses|disk_hits)":)[0-9]+',
+                  r'\g<1>0', s)
 for entry in (0, 1):
     served = open(tmp + "/entry%d.json" % entry).read()
     oneshot = open(tmp + "/oneshot%d.json" % entry).read()
     assert scrub(served) == scrub(oneshot), \
         "entry %d: served verdict != one-shot isq-verify" % entry
     doc = json.loads(served)
-    assert doc["schema_version"] == 4 and doc["tool"] == "isq-verify"
+    assert doc["schema_version"] == 5 and doc["tool"] == "isq-verify"
     assert doc["engine"]["work_stealing"] is True
     assert "shard_occupancy" in doc["engine"]
     assert doc["exit_code"] == 0 and doc["accepted"] is True
@@ -234,6 +252,111 @@ for f in examples/asl/*.asl; do
   echo "  $f: work-stealing == level-sync"
 done
 
+echo "==== incremental re-verification: cache vs oracle ===="
+# Cold run populating an on-disk obligation verdict cache, then a
+# one-action edit (peeling the first iteration of Main's loop — a
+# behavioral no-op the optimizer does NOT fold, so the action's
+# fingerprint moves): the warm run must be bit-identical to the
+# uncached --engine incremental=false oracle on the edited module, with
+# a nonzero obligation hit rate. Then a deliberately corrupted cache
+# must degrade to a cold run with the same verdict — a bad cache may
+# cost time, never answers.
+INC_TMP="$SERVE_TMP/incremental"
+mkdir -p "$INC_TMP"
+cp examples/asl/paxos.asl "$INC_TMP/paxos.asl"
+paxos_flags=$(example_flags examples/asl/paxos.asl)
+# shellcheck disable=SC2086
+build/tools/isq-verify "$INC_TMP/paxos.asl" $paxos_flags \
+  --engine cache-dir="$INC_TMP/cache" --format json \
+  > "$INC_TMP/cold.json"
+python3 - "$INC_TMP/paxos.asl" <<'EOF'
+import sys
+path = sys.argv[1]
+src = open(path).read()
+old = """action Main() {
+  for r in 1 .. R {
+    async StartRound(r);
+  }
+}"""
+new = """action Main() {
+  async StartRound(1);
+  for r in 2 .. R {
+    async StartRound(r);
+  }
+}"""
+assert old in src
+open(path, "w").write(src.replace(old, new, 1))
+EOF
+# shellcheck disable=SC2086
+build/tools/isq-verify "$INC_TMP/paxos.asl" $paxos_flags \
+  --engine cache-dir="$INC_TMP/cache" --format json \
+  > "$INC_TMP/warm.json"
+# shellcheck disable=SC2086
+build/tools/isq-verify "$INC_TMP/paxos.asl" $paxos_flags \
+  --engine incremental=false --format json > "$INC_TMP/oracle.json"
+# Corrupt the cache image in place: flip bytes in the middle of the base.
+python3 - "$INC_TMP/cache/obcache.bin" <<'EOF'
+import os, sys
+path = sys.argv[1]
+size = os.path.getsize(path)
+with open(path, "r+b") as f:
+    f.seek(size // 2)
+    f.write(bytes(0xA5 ^ (i & 0xFF) for i in range(256)))
+    f.seek(0)
+    f.write(b"XXXXXXXX")  # and the magic, so the whole base is rejected
+EOF
+# shellcheck disable=SC2086
+build/tools/isq-verify "$INC_TMP/paxos.asl" $paxos_flags \
+  --engine cache-dir="$INC_TMP/cache" --format json \
+  > "$INC_TMP/corrupt.json"
+python3 - "$INC_TMP" <<'EOF'
+import json, re, sys
+tmp = sys.argv[1]
+# Cache telemetry and timings are stats, not verdict; everything else in
+# the warm report must be byte-for-byte the uncached oracle's.
+def scrub(s):
+    s = re.sub(r'("[a-z_]*seconds":)[0-9.]+', r'\g<1>0', s)
+    s = re.sub(r'("(?:cache_hits|cache_misses|disk_hits)":)[0-9]+',
+               r'\g<1>0', s)
+    return re.sub(r'("cache_enabled":)(?:true|false)', r'\g<1>X', s)
+cold = open(tmp + "/cold.json").read()
+warm = open(tmp + "/warm.json").read()
+oracle = open(tmp + "/oracle.json").read()
+corrupt = open(tmp + "/corrupt.json").read()
+assert scrub(warm) == scrub(oracle), "warm run != incremental=false oracle"
+assert scrub(corrupt) == scrub(oracle), "corrupted cache changed answers"
+for name, doc in (("cold", json.loads(cold)), ("warm", json.loads(warm))):
+    ob = doc["obligations"]
+    assert doc["accepted"] is True, name
+    assert ob["cache_enabled"] is True, name
+warm_ob = json.loads(warm)["obligations"]
+assert warm_ob["cache_hits"] > 0, warm_ob
+assert warm_ob["disk_hits"] > 0, warm_ob
+# The edit touched one action: the warm run must re-discharge a small
+# fraction, not the universe (<30% is the acceptance bound; in practice
+# the Main peel re-checks well under 1%).
+miss_rate = warm_ob["cache_misses"] / (warm_ob["cache_hits"] +
+                                       warm_ob["cache_misses"])
+assert miss_rate < 0.30, miss_rate
+# The corrupted base is rejected, so the run is (mostly) cold: the tiny
+# journal from the warm run survives independently — by design, a valid
+# journal outlives a dead base — but nearly everything re-discharges.
+corrupt_ob = json.loads(corrupt)["obligations"]
+assert corrupt_ob["cache_misses"] > corrupt_ob["cache_hits"], corrupt_ob
+print("  incremental ok (warm miss rate %.4f)" % miss_rate)
+EOF
+# The corrupted-cache run must have healed the image: one more warm run
+# should now hit the rewritten base.
+# shellcheck disable=SC2086
+build/tools/isq-verify "$INC_TMP/paxos.asl" $paxos_flags \
+  --engine cache-dir="$INC_TMP/cache" --format json |
+  python3 -c '
+import json, sys
+ob = json.load(sys.stdin)["obligations"]
+assert ob["disk_hits"] > 0 and ob["cache_misses"] == 0, ob
+print("  self-heal ok")
+'
+
 echo "==== TSan: threaded engine + scheduler + symmetry + serve ===="
 cmake -B build-tsan -S . -DISQ_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target engine_test scheduler_test \
@@ -250,6 +373,15 @@ build-tsan/tools/isq-verify examples/asl/broadcast.asl --const n=3 \
 build-tsan/tools/isq-verify examples/asl/broadcast.asl --const n=3 \
   --eliminate Broadcast,Collect --abstract Collect=CollectAbs \
   --threads 4 --engine steal-chunk=4,shards=8 >/dev/null
+# Obligation verdict cache under TSan: a cold threaded run racing
+# inserts into the shared cache, then a warm threaded run racing lazy
+# decodes out of the mmap'd image (serve_test separately covers many
+# concurrent verifications over one process-wide cache).
+for _ in 1 2; do
+  build-tsan/tools/isq-verify examples/asl/broadcast.asl --const n=3 \
+    --eliminate Broadcast,Collect --abstract Collect=CollectAbs \
+    --threads 4 --engine cache-dir="$SERVE_TMP/tsan-cache" >/dev/null
+done
 # Symmetry differential under TSan: the reduced and unreduced paths must
 # both accept the symmetric module with the racy-memo canonicalizer active.
 for sym_flag in "" "--no-symmetry"; do

@@ -142,6 +142,19 @@ double percentile(const std::vector<double> &Sorted, double Q) {
   return Sorted[std::min(Rank, Sorted.size() - 1)];
 }
 
+/// Pulls one integer counter out of a verdict report by key. The report
+/// keys this reads ("cache_hits", "cache_misses", "disk_hits" — only the
+/// top-level "obligations" object spells them without a prefix) are part
+/// of the versioned JSON schema, so a regex is enough; a missing key
+/// (older server) reads as 0.
+uint64_t extractCounter(const std::string &Json, const std::string &Key) {
+  std::regex Re("\"" + Key + "\":([0-9]+)");
+  std::smatch M;
+  if (std::regex_search(Json, M, Re))
+    return std::stoull(M[1]);
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -367,13 +380,20 @@ int main(int argc, char **argv) {
     }
   }
 
-  // Aggregate.
+  // Aggregate. The obligation-level counters come out of each verdict's
+  // report: requests that miss the whole-request verdict cache still hit
+  // the server's shared obligation cache, and that reuse is invisible in
+  // the request-level hit rate.
   std::vector<double> LatenciesMs;
   size_t Hits = 0, NonZeroExits = 0;
+  uint64_t ObHits = 0, ObMisses = 0, ObDiskHits = 0;
   for (const Sample &S : Samples) {
     LatenciesMs.push_back(S.Seconds * 1000.0);
     Hits += S.CacheHit ? 1 : 0;
     NonZeroExits += S.ExitCode != 0 ? 1 : 0;
+    ObHits += extractCounter(S.ReportJson, "cache_hits");
+    ObMisses += extractCounter(S.ReportJson, "cache_misses");
+    ObDiskHits += extractCounter(S.ReportJson, "disk_hits");
   }
   std::sort(LatenciesMs.begin(), LatenciesMs.end());
   double P50 = percentile(LatenciesMs, 0.50);
@@ -396,6 +416,14 @@ int main(int argc, char **argv) {
               P99);
   std::printf("  cache hits    %zu/%zu (%.1f%%)\n", Hits, Samples.size(),
               HitRate * 100.0);
+  double ObHitRate = ObHits + ObMisses
+                         ? static_cast<double>(ObHits) /
+                               static_cast<double>(ObHits + ObMisses)
+                         : 0;
+  std::printf("  obligations   hits %llu  misses %llu  (%.1f%%)  disk %llu\n",
+              static_cast<unsigned long long>(ObHits),
+              static_cast<unsigned long long>(ObMisses), ObHitRate * 100.0,
+              static_cast<unsigned long long>(ObDiskHits));
   std::printf("  busy retries  %llu\n",
               static_cast<unsigned long long>(TotalBusyRetries.load()));
 
@@ -438,6 +466,10 @@ int main(int argc, char **argv) {
     W.key("p99_ms").value(P99);
     W.key("cache_hit_rate").value(HitRate);
     W.key("cache_hits").value(static_cast<uint64_t>(Hits));
+    W.key("obligation_cache_hits").value(ObHits);
+    W.key("obligation_cache_misses").value(ObMisses);
+    W.key("obligation_disk_hits").value(ObDiskHits);
+    W.key("obligation_hit_rate").value(ObHitRate);
     W.key("busy_retries").value(TotalBusyRetries.load());
     W.key("non_zero_exits").value(static_cast<uint64_t>(NonZeroExits));
     W.endObject();

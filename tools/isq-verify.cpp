@@ -16,6 +16,7 @@
 
 #include "driver/CliOptions.h"
 #include "driver/ReportRender.h"
+#include "support/Version.h"
 
 #include <cstdio>
 #include <fstream>
@@ -35,6 +36,14 @@ int main(int argc, char **argv) {
     std::fprintf(stdout, "%s", usageText());
     return 0;
   }
+  if (Parse.Options.ShowVersion) {
+    std::fprintf(stdout, "%s\n", versionLine().c_str());
+    return 0;
+  }
+  // Deprecation warnings go to stderr so they never contaminate a piped
+  // JSON report; the parser deduplicated repeats.
+  for (const std::string &Warning : Parse.Warnings)
+    std::fprintf(stderr, "warning: %s\n", Warning.c_str());
 
   std::ifstream In(Parse.Options.InputPath);
   if (!In) {
