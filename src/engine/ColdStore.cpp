@@ -1,0 +1,259 @@
+//===- engine/ColdStore.cpp - mmap-backed cold tier for spilled blocks --------===//
+
+#include "engine/ColdStore.h"
+
+#include <cerrno>
+#include <cstring>
+#include <dirent.h>
+#include <fcntl.h>
+#include <memory>
+#include <stdexcept>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace isq;
+using namespace isq::engine;
+
+namespace {
+
+constexpr uint32_t RecordMagic = 0x42515349; // "ISQB"
+constexpr char SegmentMagic[8] = {'I', 'S', 'Q', 'S', 'E', 'G', '0', '1'};
+constexpr uint64_t SegmentHeaderSize = 16;
+constexpr uint64_t RecordHeaderSize = 24;
+
+/// Same mixing as the ObligationCache's record checksum: framing alone
+/// cannot catch interior corruption, so every record carries a 64-bit
+/// checksum over its ends table and payload, verified before the first
+/// decode. Absorbed little-endian, so segments are endianness-portable.
+uint64_t recordChecksum(const char *Data, size_t Size) {
+  uint64_t H = 0x9e3779b97f4a7c15ULL ^ Size;
+  size_t I = 0;
+  for (; I + 8 <= Size; I += 8) {
+    uint64_t V = 0;
+    for (unsigned B = 0; B < 8; ++B)
+      V |= static_cast<uint64_t>(static_cast<unsigned char>(Data[I + B]))
+           << (8 * B);
+    H = (H ^ V) * 0xc6a4a7935bd1e995ULL;
+    H ^= H >> 29;
+  }
+  uint64_t Tail = 0;
+  for (unsigned B = 0; I < Size; ++I, B += 8)
+    Tail |= static_cast<uint64_t>(static_cast<unsigned char>(Data[I])) << B;
+  H = (H ^ Tail) * 0xc6a4a7935bd1e995ULL;
+  H ^= H >> 32;
+  return H;
+}
+
+void putU32(std::string &Out, uint32_t V) {
+  for (unsigned B = 0; B < 4; ++B)
+    Out.push_back(static_cast<char>((V >> (8 * B)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (unsigned B = 0; B < 8; ++B)
+    Out.push_back(static_cast<char>((V >> (8 * B)) & 0xff));
+}
+
+uint32_t readU32(const char *P) {
+  uint32_t V;
+  std::memcpy(&V, P, sizeof(V));
+  return V;
+}
+
+uint64_t readU64(const char *P) {
+  uint64_t V;
+  std::memcpy(&V, P, sizeof(V));
+  return V;
+}
+
+bool pwriteAll(int Fd, const char *Data, size_t Size, uint64_t Offset) {
+  while (Size) {
+    ssize_t W = ::pwrite(Fd, Data, Size, static_cast<off_t>(Offset));
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += W;
+    Size -= static_cast<size_t>(W);
+    Offset += static_cast<uint64_t>(W);
+  }
+  return true;
+}
+
+bool makeDirs(const std::string &Path) {
+  // mkdir -p: create every prefix, tolerating ones that already exist.
+  for (size_t Pos = 1; Pos <= Path.size(); ++Pos) {
+    if (Pos != Path.size() && Path[Pos] != '/')
+      continue;
+    std::string Prefix = Path.substr(0, Pos);
+    if (::mkdir(Prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      return false;
+  }
+  return true;
+}
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+} // namespace
+
+ColdStore::ColdStore(std::string D) : Dir(std::move(D)) {
+  if (!makeDirs(Dir))
+    throw std::runtime_error("spill: cannot create directory '" + Dir +
+                             "': " + std::strerror(errno));
+  // Spill segments are per-run scratch: a leftover from an interrupted
+  // run holds ids meaningless to this arena, so clean it up front.
+  if (DIR *Handle = ::opendir(Dir.c_str())) {
+    std::vector<std::string> Stale;
+    while (struct dirent *Entry = ::readdir(Handle)) {
+      std::string Name = Entry->d_name;
+      if (endsWith(Name, ".isqseg"))
+        Stale.push_back(Dir + "/" + Name);
+    }
+    ::closedir(Handle);
+    for (const std::string &Path : Stale)
+      ::unlink(Path.c_str());
+  }
+}
+
+ColdStore::~ColdStore() {
+  for (size_t I = 0; I < MaxSegments; ++I) {
+    Segment *Seg = Segments[I].load(std::memory_order_relaxed);
+    if (!Seg)
+      continue;
+    if (Seg->Map)
+      ::munmap(const_cast<char *>(Seg->Map), SegmentCapacity);
+    if (Seg->Fd >= 0)
+      ::close(Seg->Fd);
+    ::unlink(Seg->Path.c_str());
+    delete Seg;
+  }
+  // Best-effort: leave no empty per-arena directory behind (fails
+  // harmlessly when something else put files there).
+  ::rmdir(Dir.c_str());
+}
+
+ColdStore::Segment *ColdStore::openSegment(size_t Index) {
+  if (Index >= MaxSegments)
+    throw std::runtime_error("spill: segment capacity exhausted in '" + Dir +
+                             "'");
+  auto Seg = std::make_unique<Segment>();
+  Seg->Path = Dir + "/seg-" + std::to_string(Index) + ".isqseg";
+  Seg->Fd = ::open(Seg->Path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (Seg->Fd < 0)
+    throw std::runtime_error("spill: cannot create segment '" + Seg->Path +
+                             "': " + std::strerror(errno));
+  if (::ftruncate(Seg->Fd, static_cast<off_t>(SegmentCapacity)) != 0) {
+    std::string Err = std::strerror(errno);
+    ::close(Seg->Fd);
+    ::unlink(Seg->Path.c_str());
+    throw std::runtime_error("spill: cannot size segment '" + Seg->Path +
+                             "': " + Err);
+  }
+  std::string Header(SegmentMagic, sizeof(SegmentMagic));
+  putU32(Header, FormatVersion);
+  putU32(Header, 0); // pad to 16 bytes so records start 8-aligned
+  if (!pwriteAll(Seg->Fd, Header.data(), Header.size(), 0))
+    throw std::runtime_error("spill: cannot write segment header to '" +
+                             Seg->Path + "'");
+  void *Map = ::mmap(nullptr, SegmentCapacity, PROT_READ, MAP_SHARED,
+                     Seg->Fd, 0);
+  if (Map == MAP_FAILED)
+    throw std::runtime_error("spill: cannot map segment '" + Seg->Path +
+                             "': " + std::strerror(errno));
+  Seg->Map = static_cast<const char *>(Map);
+  Segment *Raw = Seg.release();
+  // Release: readers that acquire the pointer (via a BlockRef published
+  // after this store) see the complete, mapped segment.
+  Segments[Index].store(Raw, std::memory_order_release);
+  return Raw;
+}
+
+ColdStore::BlockRef ColdStore::appendBlock(const std::vector<uint32_t> &Ends,
+                                           const char *Payload,
+                                           uint64_t PayloadLen) {
+  std::string Record;
+  Record.reserve(RecordHeaderSize + Ends.size() * 4 + PayloadLen);
+  putU32(Record, RecordMagic);
+  putU32(Record, static_cast<uint32_t>(Ends.size()));
+  putU64(Record, PayloadLen);
+  putU64(Record, 0); // checksum patched below
+  for (uint32_t End : Ends)
+    putU32(Record, End);
+  Record.append(Payload, PayloadLen);
+  uint64_t Sum = recordChecksum(Record.data() + RecordHeaderSize,
+                                Record.size() - RecordHeaderSize);
+  std::string SumBytes;
+  putU64(SumBytes, Sum);
+  Record.replace(16, 8, SumBytes);
+
+  if (Record.size() > SegmentCapacity - SegmentHeaderSize)
+    throw std::runtime_error("spill: block record of " +
+                             std::to_string(Record.size()) +
+                             " bytes exceeds the segment capacity");
+  Segment *Seg = Segments[CurSegment].load(std::memory_order_relaxed);
+  if (!Seg || CurOffset + Record.size() > SegmentCapacity) {
+    if (Seg)
+      ++CurSegment;
+    Seg = openSegment(CurSegment);
+    CurOffset = SegmentHeaderSize;
+  }
+  if (!pwriteAll(Seg->Fd, Record.data(), Record.size(), CurOffset))
+    throw std::runtime_error("spill: write to segment '" + Seg->Path +
+                             "' failed: " + std::strerror(errno));
+  BlockRef Ref;
+  Ref.Segment = static_cast<uint32_t>(CurSegment);
+  Ref.Offset = CurOffset;
+  Ref.Length = Record.size();
+  // Keep records 8-aligned so the mapped ends table is directly
+  // addressable as uint32_t[].
+  CurOffset += (Record.size() + 7) & ~uint64_t(7);
+  BytesWritten.fetch_add(Record.size(), std::memory_order_relaxed);
+  return Ref;
+}
+
+ColdStore::MappedBlock ColdStore::map(const BlockRef &Ref, bool Verify) const {
+  Segment *Seg = Ref.Segment < MaxSegments
+                     ? Segments[Ref.Segment].load(std::memory_order_acquire)
+                     : nullptr;
+  if (!Seg || Ref.Offset < SegmentHeaderSize ||
+      Ref.Offset + Ref.Length > SegmentCapacity ||
+      Ref.Length < RecordHeaderSize)
+    throw std::runtime_error("spill: block reference outside segment bounds");
+  if (Verify) {
+    // Check the on-disk size before touching the mapping: pages past a
+    // truncated end would SIGBUS, so truncation must be caught here and
+    // become a clean diagnostic.
+    struct stat St;
+    if (::fstat(Seg->Fd, &St) != 0 ||
+        static_cast<uint64_t>(St.st_size) < Ref.Offset + Ref.Length)
+      throw std::runtime_error("spill: segment '" + Seg->Path +
+                               "' is truncated");
+  }
+  const char *Base = Seg->Map + Ref.Offset;
+  uint32_t Count = readU32(Base + 4);
+  uint64_t PayloadLen = readU64(Base + 8);
+  if (Verify) {
+    if (readU32(Base) != RecordMagic ||
+        RecordHeaderSize + static_cast<uint64_t>(Count) * 4 + PayloadLen !=
+            Ref.Length)
+      throw std::runtime_error("spill: corrupt block header in segment '" +
+                               Seg->Path + "'");
+    uint64_t Sum = recordChecksum(Base + RecordHeaderSize,
+                                  Ref.Length - RecordHeaderSize);
+    if (Sum != readU64(Base + 16))
+      throw std::runtime_error("spill: checksum mismatch in segment '" +
+                               Seg->Path + "' (corrupted spill data)");
+  }
+  MappedBlock Out;
+  Out.Count = Count;
+  Out.Ends = reinterpret_cast<const uint32_t *>(Base + RecordHeaderSize);
+  Out.Payload = Base + RecordHeaderSize + static_cast<uint64_t>(Count) * 4;
+  Out.PayloadLen = PayloadLen;
+  return Out;
+}

@@ -1,0 +1,121 @@
+//===- engine/ColdStore.h - mmap-backed cold tier for spilled blocks -*- C++ -*-===//
+///
+/// \file
+/// The cold tier of the two-tier state store (--engine spill=true). When
+/// the hot-byte accountant crosses the memory budget, the StateArena
+/// evicts sealed blocks of compact encodings here: each block becomes one
+/// checksummed record inside a fixed-capacity segment file under the
+/// spill directory, written with pwrite and read back through an eager
+/// PROT_READ MAP_SHARED mapping (Linux's unified page cache makes the
+/// write visible through the mapping immediately, and the clean read-only
+/// pages are kernel-reclaimable — the whole point of spilling).
+///
+/// Contents are per-run scratch, unlike the ObligationCache's persistent
+/// tier: segment records embed ids that are only meaningful to the arena
+/// that wrote them, so stale `*.isqseg` files found at startup are
+/// deleted, and the destructor unlinks everything it created. What the
+/// tier shares with the ObligationCache is the integrity posture: every
+/// record carries a magic, framing fields, and a 64-bit checksum over its
+/// payload, verified before the first decode. Truncation or interior
+/// corruption produces a clean std::runtime_error diagnostic — never a
+/// wrong verdict.
+///
+/// Concurrency: appendBlock is called by one evictor at a time (the
+/// arena's eviction mutex); map() is lock-free and called concurrently by
+/// any number of readers. Segment mappings are created before the segment
+/// pointer is published and stay mapped for the ColdStore's lifetime, so
+/// a BlockRef obtained through any release/acquire channel is always
+/// dereferenceable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISQ_ENGINE_COLDSTORE_H
+#define ISQ_ENGINE_COLDSTORE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace isq {
+namespace engine {
+
+class ColdStore {
+public:
+  /// Segment files are ftruncated to this capacity up front; a record
+  /// never spans segments. 64 MiB keeps the segment count (and the
+  /// mapping count) small without reserving silly amounts per run.
+  static constexpr uint64_t SegmentCapacity = 64ull << 20;
+  /// Hard cap on segments (64 MiB each -> 256 GiB of cold state).
+  static constexpr size_t MaxSegments = 4096;
+
+  static constexpr uint32_t FormatVersion = 1;
+
+  /// Creates (or reuses) \p Dir and deletes any stale `*.isqseg` files in
+  /// it — spill segments are scratch, so a leftover directory from an
+  /// interrupted run is simply cleaned. Throws std::runtime_error when
+  /// the directory cannot be created.
+  explicit ColdStore(std::string Dir);
+  ~ColdStore();
+  ColdStore(const ColdStore &) = delete;
+  ColdStore &operator=(const ColdStore &) = delete;
+
+  /// Address of one spilled block record.
+  struct BlockRef {
+    uint32_t Segment = UINT32_MAX;
+    uint64_t Offset = 0;
+    /// Total record length (header + ends table + payload).
+    uint64_t Length = 0;
+  };
+
+  /// The mapped view of a record: per-item end offsets into the payload
+  /// (item i spans [i ? Ends[i-1] : 0, Ends[i])) and the payload bytes.
+  struct MappedBlock {
+    const uint32_t *Ends = nullptr;
+    uint32_t Count = 0;
+    const char *Payload = nullptr;
+    uint64_t PayloadLen = 0;
+  };
+
+  /// Writes one block record (single evictor at a time). \p Ends are the
+  /// cumulative per-item end offsets, \p Payload the concatenated item
+  /// bytes. Throws std::runtime_error on I/O failure or capacity
+  /// exhaustion.
+  BlockRef appendBlock(const std::vector<uint32_t> &Ends, const char *Payload,
+                       uint64_t PayloadLen);
+
+  /// Maps a record for reading. When \p Verify is set the record's
+  /// framing and checksum are validated first (the arena does this once
+  /// per block, on its first fault); a truncated or corrupted record
+  /// throws std::runtime_error with a diagnostic naming the segment.
+  MappedBlock map(const BlockRef &Ref, bool Verify) const;
+
+  /// Total bytes of record data written so far.
+  uint64_t bytesWritten() const {
+    return BytesWritten.load(std::memory_order_relaxed);
+  }
+
+  const std::string &dir() const { return Dir; }
+
+private:
+  struct Segment {
+    int Fd = -1;
+    const char *Map = nullptr;
+    std::string Path;
+  };
+
+  Segment *openSegment(size_t Index);
+
+  std::string Dir;
+  std::atomic<Segment *> Segments[MaxSegments] = {};
+  /// Evictor-only append cursor.
+  size_t CurSegment = 0;
+  uint64_t CurOffset = SegmentCapacity; // forces a segment on first append
+  std::atomic<uint64_t> BytesWritten{0};
+};
+
+} // namespace engine
+} // namespace isq
+
+#endif // ISQ_ENGINE_COLDSTORE_H

@@ -159,8 +159,10 @@ std::string engine::encodeStore(const Store &S) {
 }
 
 Store engine::decodeStore(const std::string &Bytes) {
-  const char *P = Bytes.data();
-  const char *End = Bytes.data() + Bytes.size();
+  return decodeStore(Bytes.data(), Bytes.data() + Bytes.size());
+}
+
+Store engine::decodeStore(const char *P, const char *End) {
   uint64_t N = getVarint(P, End);
   std::vector<std::pair<Symbol, Value>> Vars;
   Vars.reserve(N);
@@ -189,8 +191,11 @@ engine::encodePaVec(const std::vector<std::pair<uint32_t, uint64_t>> &Vec) {
 
 std::vector<std::pair<uint32_t, uint64_t>>
 engine::decodePaVec(const std::string &Bytes) {
-  const char *P = Bytes.data();
-  const char *End = Bytes.data() + Bytes.size();
+  return decodePaVec(Bytes.data(), Bytes.data() + Bytes.size());
+}
+
+std::vector<std::pair<uint32_t, uint64_t>>
+engine::decodePaVec(const char *P, const char *End) {
   uint64_t N = getVarint(P, End);
   std::vector<std::pair<uint32_t, uint64_t>> Vec;
   Vec.reserve(N);

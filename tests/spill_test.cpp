@@ -1,0 +1,465 @@
+//===- tests/spill_test.cpp - Tiered state store tests ------------------------===//
+//
+// Tests for the tiered state store (engine/StateArena.h spill mode and
+// engine/ColdStore.h):
+//
+//  - arena-level: eviction triggers under a tiny budget, every spilled
+//    item reads back identically, the hot-byte accountant tracks the
+//    budget, and adversarial decode-cache access orders stay correct;
+//  - engine-level: exploration results are bit-identical with spilling
+//    on or off, for every thread count;
+//  - cold-store robustness, mirroring the obligation-cache disk suite:
+//    truncation at every length and interior bit flips become clean
+//    diagnostics (never wrong decodes), stale segments from interrupted
+//    runs are cleaned at startup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ColdStore.h"
+#include "engine/StateArena.h"
+#include "explorer/Explorer.h"
+#include "protocols/Broadcast.h"
+#include "protocols/PingPong.h"
+#include "protocols/TwoPhaseCommit.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace isq;
+using namespace isq::engine;
+using namespace isq::protocols;
+
+namespace {
+
+/// A scratch spill directory, removed (recursively, one level) on
+/// destruction. Arenas clean their own segment files; this mops up
+/// whatever a test deliberately left behind.
+struct TempSpillDir {
+  std::string Path;
+  TempSpillDir() {
+    char Template[] = "/tmp/isq_spill_test_XXXXXX";
+    Path = ::mkdtemp(Template);
+  }
+  ~TempSpillDir() { removeTree(Path, 0); }
+  static void removeTree(const std::string &Dir, int Depth) {
+    if (Depth > 4)
+      return;
+    if (DIR *Handle = ::opendir(Dir.c_str())) {
+      while (struct dirent *Entry = ::readdir(Handle)) {
+        std::string Name = Entry->d_name;
+        if (Name == "." || Name == "..")
+          continue;
+        std::string Full = Dir + "/" + Name;
+        if (::unlink(Full.c_str()) != 0)
+          removeTree(Full, Depth + 1);
+      }
+      ::closedir(Handle);
+    }
+    ::rmdir(Dir.c_str());
+  }
+};
+
+StateArena::SpillOptions spillOpts(const TempSpillDir &Dir,
+                                   uint64_t Budget) {
+  StateArena::SpillOptions Opts;
+  Opts.Enabled = true;
+  Opts.Dir = Dir.Path;
+  Opts.MemBudget = Budget;
+  return Opts;
+}
+
+/// N distinct single-variable stores; enough of them fills many spill
+/// blocks even in one shard.
+Store numberedStore(int64_t I) {
+  Store S;
+  S = S.set(Symbol::get("x"), Value::integer(I));
+  S = S.set(Symbol::get("y"), Value::integer(I * 7 + 1));
+  return S;
+}
+
+std::vector<std::string> segmentFiles(const std::string &Base) {
+  std::vector<std::string> Out;
+  if (DIR *Top = ::opendir(Base.c_str())) {
+    while (struct dirent *Entry = ::readdir(Top)) {
+      std::string Name = Entry->d_name;
+      if (Name.rfind("arena-", 0) != 0)
+        continue;
+      std::string Sub = Base + "/" + Name;
+      if (DIR *Inner = ::opendir(Sub.c_str())) {
+        while (struct dirent *Seg = ::readdir(Inner)) {
+          std::string SegName = Seg->d_name;
+          if (SegName.size() > 7 &&
+              SegName.compare(SegName.size() - 7, 7, ".isqseg") == 0)
+            Out.push_back(Sub + "/" + SegName);
+        }
+        ::closedir(Inner);
+      }
+    }
+    ::closedir(Top);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Arena-level spilling
+//===----------------------------------------------------------------------===//
+
+TEST(SpillArenaTest, EvictsUnderBudgetAndReadsBackIdentically) {
+  TempSpillDir Dir;
+  constexpr uint64_t Budget = 8 * 1024;
+  StateArena Arena(/*Shards=*/1, /*Compress=*/true, spillOpts(Dir, Budget));
+  EXPECT_TRUE(Arena.spilling());
+
+  constexpr int64_t N = 4000; // ~7 sealed blocks of 512 in one shard
+  std::vector<StoreId> Ids;
+  Ids.reserve(N);
+  for (int64_t I = 0; I < N; ++I)
+    Ids.push_back(Arena.internStore(numberedStore(I)));
+
+  ArenaStats Stats = Arena.stats();
+  EXPECT_TRUE(Stats.SpillEnabled);
+  EXPECT_EQ(Stats.MemBudget, Budget);
+  EXPECT_GT(Stats.BlocksEvicted, 0u);
+  EXPECT_GT(Stats.BytesCold, 0u);
+  // The accountant keeps hot bytes near the budget: everything evictable
+  // beyond it has been pushed cold (the unsealed tail block stays hot).
+  EXPECT_LT(Stats.BytesHot, Stats.BytesCold);
+
+  // Every id — hot, sealed or evicted — reads back its exact value.
+  for (int64_t I = 0; I < N; ++I)
+    ASSERT_EQ(Arena.store(Ids[I]), numberedStore(I)) << I;
+  EXPECT_GT(Arena.stats().BlocksFaulted, 0u);
+}
+
+TEST(SpillArenaTest, InterningAfterEvictionStillDedups) {
+  TempSpillDir Dir;
+  StateArena Arena(/*Shards=*/1, /*Compress=*/true, spillOpts(Dir, 4096));
+  std::vector<StoreId> Ids;
+  for (int64_t I = 0; I < 2000; ++I)
+    Ids.push_back(Arena.internStore(numberedStore(I)));
+  ASSERT_GT(Arena.stats().BlocksEvicted, 0u);
+  // Re-interning an evicted store's value must find the existing id (the
+  // equality probe faults the cold block instead of re-adding).
+  for (int64_t I = 0; I < 2000; I += 97)
+    EXPECT_EQ(Arena.internStore(numberedStore(I)), Ids[I]) << I;
+}
+
+TEST(SpillArenaTest, PaBagsSpillAndReadBack) {
+  TempSpillDir Dir;
+  StateArena Arena(/*Shards=*/1, /*Compress=*/true, spillOpts(Dir, 2048));
+  std::vector<PaSetId> Ids;
+  for (int64_t I = 0; I < 1500; ++I) {
+    PaMultiset Omega;
+    Omega.insert(PendingAsync(Symbol::get("A"), {Value::integer(I)}));
+    Omega.insert(PendingAsync(Symbol::get("B"), {Value::integer(I % 5)}));
+    Ids.push_back(Arena.internPaSet(Omega));
+  }
+  ASSERT_GT(Arena.stats().BlocksEvicted, 0u);
+  for (int64_t I = 0; I < 1500; ++I) {
+    const PaCountVec &Vec = Arena.paVec(Ids[I]);
+    ASSERT_EQ(Vec.size(), 2u) << I;
+  }
+}
+
+// Adversarial decode-cache access order (satellite): more distinct items
+// than DecodeCacheCapacity, read backwards and in large strides so the
+// FIFO caches keep evicting; every read must still decode the right
+// value. Run once hot-only and once with spilling, so the cold fault
+// path sees the same adversarial order.
+TEST(SpillArenaTest, AdversarialDecodeOrderStaysCorrect) {
+  for (bool Spill : {false, true}) {
+    TempSpillDir Dir;
+    StateArena Arena(/*Shards=*/1, /*Compress=*/true,
+                     Spill ? spillOpts(Dir, 16 * 1024)
+                           : StateArena::SpillOptions());
+    const int64_t N =
+        static_cast<int64_t>(StateArena::DecodeCacheCapacity) + 1500;
+    std::vector<StoreId> Ids;
+    Ids.reserve(N);
+    for (int64_t I = 0; I < N; ++I)
+      Ids.push_back(Arena.internStore(numberedStore(I)));
+    // Backwards: every access misses a FIFO warmed by forward interning.
+    for (int64_t I = N - 1; I >= 0; I -= 3)
+      ASSERT_EQ(Arena.store(Ids[I]), numberedStore(I)) << "spill=" << Spill;
+    // Large prime stride, two laps: revisits after capacity evictions.
+    for (int64_t Lap = 0; Lap < 2; ++Lap)
+      for (int64_t I = (Lap * 2741) % N, Seen = 0; Seen < N / 7;
+           ++Seen, I = (I + 2741) % N)
+        ASSERT_EQ(Arena.store(Ids[I]), numberedStore(I)) << "spill=" << Spill;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Engine-level bit-identity
+//===----------------------------------------------------------------------===//
+
+struct Instance {
+  std::string Name;
+  Program P;
+  Store Init;
+};
+
+std::vector<Instance> instances() {
+  std::vector<Instance> Out;
+  PingPongParams PP{3};
+  Out.push_back({"pingpong", makePingPongProgram(PP),
+                 makePingPongInitialStore(PP)});
+  BroadcastParams BC{3, {}};
+  Out.push_back({"broadcast", makeBroadcastProgram(BC),
+                 makeBroadcastInitialStore(BC)});
+  TwoPhaseCommitParams TP{3};
+  Out.push_back({"2pc", makeTwoPhaseCommitProgram(TP),
+                 makeTwoPhaseCommitInitialStore(TP)});
+  return Out;
+}
+
+void expectIdentical(const ExploreResult &A, const ExploreResult &B,
+                     const std::string &Context) {
+  EXPECT_EQ(A.Reachable, B.Reachable) << Context;
+  EXPECT_EQ(A.FailureReachable, B.FailureReachable) << Context;
+  EXPECT_EQ(A.TerminalStores, B.TerminalStores) << Context;
+  EXPECT_EQ(A.Deadlocks, B.Deadlocks) << Context;
+  EXPECT_EQ(A.Stats.NumConfigurations, B.Stats.NumConfigurations) << Context;
+  EXPECT_EQ(A.Stats.NumTransitions, B.Stats.NumTransitions) << Context;
+  EXPECT_EQ(A.Engine.FrontierPeak, B.Engine.FrontierPeak) << Context;
+  EXPECT_EQ(A.Engine.InternedStores, B.Engine.InternedStores) << Context;
+  EXPECT_EQ(A.Engine.InternedConfigs, B.Engine.InternedConfigs) << Context;
+}
+
+TEST(SpillEngineTest, BitIdenticalToHotOnlyStoreForEveryThreadCount) {
+  for (const Instance &I : instances()) {
+    ExploreOptions Plain;
+    Plain.Config.NumThreads = 1;
+    Plain.Config.Compress = true;
+    ExploreResult Base = explore(I.P, initialConfiguration(I.Init), Plain);
+
+    for (unsigned Threads : {1u, 2u, 8u}) {
+      TempSpillDir Dir;
+      ExploreOptions Spilled = Plain;
+      Spilled.Config.NumThreads = Threads;
+      Spilled.Config.Shards = 1; // concentrate items so blocks seal
+      Spilled.Config.Spill = true;
+      Spilled.Config.SpillDir = Dir.Path;
+      Spilled.Config.MemBudget = 2048; // tiny: evict nearly everything
+      ExploreResult R = explore(I.P, initialConfiguration(I.Init), Spilled);
+      EXPECT_TRUE(R.Engine.SpillEnabled) << I.Name;
+      expectIdentical(Base, R,
+                      I.Name + " spilled @" + std::to_string(Threads) +
+                          " threads");
+    }
+  }
+}
+
+TEST(SpillEngineTest, EvictionActuallyTriggersOnAProtocol) {
+  // A protocol big enough to seal blocks (broadcast interns ~2^N distinct
+  // stores and PA-bags) must push blocks cold under a tiny budget — and
+  // still agree with the hot-only oracle exactly.
+  BroadcastParams BC{10, {}};
+  Program P = makeBroadcastProgram(BC);
+  Configuration Init = initialConfiguration(makeBroadcastInitialStore(BC));
+
+  ExploreOptions Plain;
+  Plain.Config.NumThreads = 2;
+  Plain.Config.Compress = true;
+  ExploreResult Base = explore(P, Init, Plain);
+
+  TempSpillDir Dir;
+  ExploreOptions Opts = Plain;
+  Opts.Config.Shards = 1;
+  Opts.Config.Spill = true;
+  Opts.Config.SpillDir = Dir.Path;
+  Opts.Config.MemBudget = 16 * 1024;
+  ExploreResult R = explore(P, Init, Opts);
+  EXPECT_GT(R.Engine.BlocksEvicted, 0u);
+  EXPECT_GT(R.Engine.BytesCold, 0u);
+  EXPECT_LE(R.Engine.BytesHot + R.Engine.BytesCold + 1,
+            2 * R.Engine.CompressedBytes);
+  expectIdentical(Base, R, "broadcast-10 spilled");
+}
+
+TEST(SpillEngineTest, SegmentsAreRemovedWhenTheArenaDies) {
+  TempSpillDir Dir;
+  {
+    StateArena Arena(/*Shards=*/1, /*Compress=*/true,
+                     spillOpts(Dir, 2048));
+    for (int64_t I = 0; I < 2000; ++I)
+      Arena.internStore(numberedStore(I));
+    ASSERT_GT(Arena.stats().BlocksEvicted, 0u);
+    ASSERT_FALSE(segmentFiles(Dir.Path).empty());
+  }
+  EXPECT_TRUE(segmentFiles(Dir.Path).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Cold-store robustness (mirrors the obligation-cache disk suite)
+//===----------------------------------------------------------------------===//
+
+std::vector<uint32_t> endsOf(const std::vector<std::string> &Items) {
+  std::vector<uint32_t> Ends;
+  uint32_t Acc = 0;
+  for (const std::string &S : Items) {
+    Acc += static_cast<uint32_t>(S.size());
+    Ends.push_back(Acc);
+  }
+  return Ends;
+}
+
+std::string payloadOf(const std::vector<std::string> &Items) {
+  std::string Out;
+  for (const std::string &S : Items)
+    Out += S;
+  return Out;
+}
+
+std::vector<std::string> sampleItems() {
+  std::vector<std::string> Items;
+  for (int I = 0; I < 64; ++I)
+    Items.push_back("item-" + std::to_string(I * I) +
+                    std::string(I % 7, '#'));
+  return Items;
+}
+
+TEST(ColdStoreTest, RoundTripsEveryItem) {
+  TempSpillDir Dir;
+  ColdStore Cold(Dir.Path + "/arena-0");
+  std::vector<std::string> Items = sampleItems();
+  ColdStore::BlockRef Ref =
+      Cold.appendBlock(endsOf(Items), payloadOf(Items).data(),
+                       payloadOf(Items).size());
+  ColdStore::MappedBlock B = Cold.map(Ref, /*Verify=*/true);
+  ASSERT_EQ(B.Count, Items.size());
+  for (size_t I = 0; I < Items.size(); ++I) {
+    const char *Begin = B.Payload + (I ? B.Ends[I - 1] : 0);
+    const char *End = B.Payload + B.Ends[I];
+    EXPECT_EQ(std::string(Begin, End), Items[I]) << I;
+  }
+  EXPECT_GT(Cold.bytesWritten(), 0u);
+}
+
+TEST(ColdStoreTest, TruncationAtEveryLengthIsACleanDiagnostic) {
+  TempSpillDir Dir;
+  ColdStore Cold(Dir.Path + "/arena-0");
+  std::vector<std::string> Items = sampleItems();
+  std::string Payload = payloadOf(Items);
+  ColdStore::BlockRef Ref =
+      Cold.appendBlock(endsOf(Items), Payload.data(), Payload.size());
+  ASSERT_NO_THROW(Cold.map(Ref, true));
+
+  std::vector<std::string> Segs = segmentFiles(Dir.Path);
+  ASSERT_EQ(Segs.size(), 1u);
+  // Interrupted-writer simulation: every prefix of the record region is
+  // rejected with a diagnostic (the fstat guard fires before any page
+  // past EOF is touched, so no SIGBUS either).
+  for (uint64_t Len = Ref.Offset + Ref.Length; Len-- > 0;) {
+    ASSERT_EQ(::truncate(Segs[0].c_str(), static_cast<off_t>(Len)), 0);
+    EXPECT_THROW(Cold.map(Ref, true), std::runtime_error) << Len;
+  }
+}
+
+TEST(ColdStoreTest, InteriorBitFlipFailsChecksumNotDecode) {
+  std::vector<std::string> Items = sampleItems();
+  std::string Payload = payloadOf(Items);
+  // Flip one byte at a time across the whole record: header fields hit
+  // the magic/framing checks, ends table and payload hit the checksum.
+  // Nothing maps successfully.
+  for (uint64_t Offset : {0ull, 5ull, 17ull, 30ull, 90ull, 300ull}) {
+    TempSpillDir Dir;
+    ColdStore Cold(Dir.Path + "/arena-0");
+    ColdStore::BlockRef Ref =
+        Cold.appendBlock(endsOf(Items), Payload.data(), Payload.size());
+    ASSERT_LT(Offset, Ref.Length);
+    std::vector<std::string> Segs = segmentFiles(Dir.Path);
+    ASSERT_EQ(Segs.size(), 1u);
+    {
+      std::fstream F(Segs[0],
+                     std::ios::in | std::ios::out | std::ios::binary);
+      ASSERT_TRUE(F.good());
+      F.seekg(static_cast<std::streamoff>(Ref.Offset + Offset));
+      char C = 0;
+      F.get(C);
+      F.seekp(static_cast<std::streamoff>(Ref.Offset + Offset));
+      F.put(static_cast<char>(C ^ 0x40));
+    }
+    EXPECT_THROW(Cold.map(Ref, true), std::runtime_error)
+        << "offset " << Offset;
+  }
+}
+
+TEST(ColdStoreTest, CorruptionSurfacesThroughTheArenaAsAnError) {
+  TempSpillDir Dir;
+  StateArena Arena(/*Shards=*/1, /*Compress=*/true, spillOpts(Dir, 2048));
+  std::vector<StoreId> Ids;
+  for (int64_t I = 0; I < 2000; ++I)
+    Ids.push_back(Arena.internStore(numberedStore(I)));
+  ASSERT_GT(Arena.stats().BlocksEvicted, 0u);
+
+  // Flip a byte every 24 bytes of every segment's written region (the
+  // file itself is a sparse 64 MiB; only ~BytesCold bytes carry records):
+  // every spilled block is damaged somewhere (header or body).
+  off_t WrittenEnd =
+      static_cast<off_t>(Arena.stats().BytesCold) + 4096 + 16;
+  for (const std::string &Seg : segmentFiles(Dir.Path)) {
+    std::fstream F(Seg, std::ios::in | std::ios::out | std::ios::binary);
+    for (off_t Pos = 16; Pos < WrittenEnd; Pos += 24) {
+      F.seekg(Pos);
+      char C = 0;
+      F.get(C);
+      F.seekp(Pos);
+      F.put(static_cast<char>(C ^ 0x01));
+    }
+  }
+
+  // Reads of evicted items now throw (fresh decode caches, so each read
+  // faults cold and verifies); nothing ever returns a wrong store.
+  size_t Throws = 0;
+  for (int64_t I = 0; I < 2000; ++I) {
+    try {
+      Store S = Arena.store(Ids[I]);
+      EXPECT_EQ(S, numberedStore(I)) << I; // hot items still correct
+    } catch (const std::runtime_error &) {
+      ++Throws;
+    }
+  }
+  EXPECT_GT(Throws, 0u);
+}
+
+TEST(ColdStoreTest, StaleSegmentsAreCleanedAtStartup) {
+  TempSpillDir Dir;
+  std::string ArenaDir = Dir.Path + "/arena-0";
+  ASSERT_EQ(::mkdir(ArenaDir.c_str(), 0755), 0);
+  {
+    std::ofstream Stale(ArenaDir + "/seg-0.isqseg");
+    Stale << "left over by an interrupted run";
+  }
+  {
+    std::ofstream Other(ArenaDir + "/notes.txt");
+    Other << "unrelated";
+  }
+  ColdStore Cold(ArenaDir);
+  struct stat St;
+  EXPECT_NE(::stat((ArenaDir + "/seg-0.isqseg").c_str(), &St), 0);
+  EXPECT_EQ(::stat((ArenaDir + "/notes.txt").c_str(), &St), 0);
+}
+
+TEST(ColdStoreTest, BlockRefOutsideBoundsIsRejected) {
+  TempSpillDir Dir;
+  ColdStore Cold(Dir.Path + "/arena-0");
+  ColdStore::BlockRef Bogus;
+  EXPECT_THROW(Cold.map(Bogus, true), std::runtime_error);
+  Bogus.Segment = 0;
+  Bogus.Offset = 16;
+  Bogus.Length = 64;
+  // Segment 0 was never opened (nothing appended).
+  EXPECT_THROW(Cold.map(Bogus, true), std::runtime_error);
+}
+
+} // namespace

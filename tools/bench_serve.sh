@@ -96,6 +96,11 @@ for row in rows:
     cache, clients, path = row.split()
     with open(path) as f:
         report = json.load(f)
+    # Rows from different --engine sweeps are indistinguishable without
+    # the config echo; refuse to record a report that omits it.
+    if "engine" not in report:
+        sys.exit(f"error: {path} has no engine config echo; isq-loadgen "
+                 "--json-out must include the resolved engine{} map")
     doc["rows"].append({"cache": cache, "clients": int(clients), **report})
 # A warm pass that misses its own cache is a caching regression, not a
 # slow run — fail the recording instead of committing misleading numbers.

@@ -14,11 +14,16 @@
 # on-disk obligation verdict cache, a one-action edit whose warm run
 # must be bit-identical to the --engine incremental=false oracle with a
 # nonzero hit rate, and a corrupted cache that must degrade to a cold
-# run, never to different answers); finally run the threaded engine +
-# obligation-scheduler + symmetry + serve + driver-re-entrancy tests
-# under ThreadSanitizer, including the --no-symmetry differential, a
-# tiny-steal-chunk run that forces cross-worker stealing, and a
-# threaded warm run over a shared verdict cache. All stages must pass.
+# run, never to different answers); run the tiered state-store spill
+# stage (paxos under a deliberately tiny memory budget must spill to
+# the cold tier and stay bit-identical to the unspilled oracle across
+# thread counts, and a rerun over a stale spill directory from an
+# "interrupted" run must succeed); finally run the threaded engine +
+# obligation-scheduler + symmetry + serve + spill + driver-re-entrancy
+# tests under ThreadSanitizer, including the --no-symmetry
+# differential, a tiny-steal-chunk run that forces cross-worker
+# stealing, a threaded warm run over a shared verdict cache, and a
+# threaded spilling run. All stages must pass.
 #
 # Usage: tools/ci.sh [JOBS]
 
@@ -55,7 +60,7 @@ example_flags() {
 # header documents its own invocation ("Verify with:"), so CI follows the
 # same command users see, plus --threads 2 to exercise the parallel
 # scheduler. The JSON report must parse and match the versioned schema
-# (v5: obligation verdict-cache observability).
+# (v6: tiered state-store / spill observability).
 verify_example() {
   local bin="$1" file="$2" flags
   flags=$(example_flags "$file")
@@ -67,7 +72,7 @@ verify_example() {
     python3 -c '
 import json, sys
 doc = json.load(sys.stdin)
-assert doc["schema_version"] == 5, doc["schema_version"]
+assert doc["schema_version"] == 6, doc["schema_version"]
 assert doc["tool"] == "isq-verify"
 assert doc["exit_code"] == 0 and doc["accepted"] is True
 assert doc["diagnostics"] == []
@@ -83,11 +88,14 @@ assert doc["cross_check"]["ran"] and doc["cross_check"]["ok"]
 assert doc["scheduler"]["threads"] == 2 and doc["scheduler"]["jobs"] > 0
 for key in ("symmetry_reduced", "canon_calls", "canon_cache_hits",
             "orbit_states_represented", "work_stealing", "steal_chunk",
-            "steals", "shards", "shard_occupancy", "compressed_bytes"):
+            "steals", "shards", "shard_occupancy", "compressed_bytes",
+            "spill_enabled", "mem_budget", "bytes_hot", "bytes_cold",
+            "blocks_evicted", "blocks_faulted", "fault_stall_ns"):
     assert key in doc["engine"], key
 assert doc["engine"]["work_stealing"] is True
 assert doc["engine"]["steal_chunk"] > 0
 assert doc["engine"]["shards"] >= 1
+assert doc["engine"]["spill_enabled"] is False  # spilling is opt-in
 assert 1 <= doc["engine"]["shard_occupancy"] <= doc["engine"]["shards"]
 ob = doc["obligations"]
 for key in ("total", "cache_enabled", "cache_hits", "cache_misses",
@@ -171,6 +179,9 @@ assert report["failures"] == 0, report
 assert report["submissions"] == 4, report
 assert report["cache_hits"] == 2 and report["cache_hit_rate"] == 0.5, report
 assert report["non_zero_exits"] == 0, report
+# The summary must echo the resolved engine map (empty here: the
+# manifest sets no --engine), or knob-sweep rows are indistinguishable.
+assert "engine" in report, sorted(report)
 # Obligation-cache telemetry is stats, not verdict: the daemon shares one
 # process-wide obligation cache across requests, so its hit counters
 # differ from a one-shot run's. Everything else must match exactly.
@@ -184,7 +195,7 @@ for entry in (0, 1):
     assert scrub(served) == scrub(oneshot), \
         "entry %d: served verdict != one-shot isq-verify" % entry
     doc = json.loads(served)
-    assert doc["schema_version"] == 5 and doc["tool"] == "isq-verify"
+    assert doc["schema_version"] == 6 and doc["tool"] == "isq-verify"
     assert doc["engine"]["work_stealing"] is True
     assert "shard_occupancy" in doc["engine"]
     assert doc["exit_code"] == 0 and doc["accepted"] is True
@@ -357,12 +368,84 @@ assert ob["disk_hits"] > 0 and ob["cache_misses"] == 0, ob
 print("  self-heal ok")
 '
 
+echo "==== tiered state store: spill vs hot-only oracle ===="
+# The hot-only compact store is the differential oracle for the tiered
+# store: paxos under a 64K memory budget (a small fraction of its
+# ~400K compact footprint) must evict blocks to the mmap'd cold tier
+# and still produce bit-identical verdict JSON, for every thread
+# count, once we scrub (a) timing fields, (b) schedule-dependent
+# telemetry (steals and the hit counters of the racy canonicalizer /
+# hash-cons / transition memos, which vary run-to-run when threaded
+# even without spilling), and (c) the engine-config echoes and spill
+# counters that legitimately differ between the two modes. Verdicts,
+# obligation counts, interned stores/configs/pa-sets, configurations,
+# transitions, and frontier peak must agree exactly.
+SPILL_TMP="$SERVE_TMP/spill"
+mkdir -p "$SPILL_TMP"
+# The N=2 instance from the example header is too small to seal
+# eviction blocks; the manifest's N=3 instance interns thousands of
+# stores/pa-sets per shard, so a 64K budget forces real spilling.
+spill_flags=$(grep '^paxos.*N=3' examples/asl/serve_manifest.txt |
+  sed 's/^paxos\.asl //')
+scrub_spill() {
+  sed -E -e 's/("[a-z_]*seconds":)[0-9.]+/\10/g' \
+         -e 's/("(steals|canon_cache_hits)":)[0-9]+/\10/g' \
+         -e 's/("(hash_cons_lookups|hash_cons_hits)":)[0-9]+/\10/g' \
+         -e 's/("(transition_cache_lookups|transition_cache_hits)":)[0-9]+/\10/g' \
+         -e 's/("spill_enabled":)(true|false)/\1X/g' \
+         -e 's/("(mem_budget|bytes_hot|bytes_cold|blocks_evicted)":)[0-9]+/\10/g' \
+         -e 's/("(blocks_faulted|fault_stall_ns)":)[0-9]+/\10/g' "$1"
+}
+for t in 1 4; do
+  # shellcheck disable=SC2086
+  build/tools/isq-verify examples/asl/paxos.asl $spill_flags \
+    --threads "$t" --engine compress=true,shards=1 \
+    --format json > "$SPILL_TMP/oracle$t.json"
+  # shellcheck disable=SC2086
+  build/tools/isq-verify examples/asl/paxos.asl $spill_flags \
+    --threads "$t" --engine \
+    "compress=true,shards=1,spill=true,spill-dir=$SPILL_TMP/run$t,mem-budget=64K" \
+    --format json > "$SPILL_TMP/spill$t.json"
+  if ! diff <(scrub_spill "$SPILL_TMP/oracle$t.json") \
+            <(scrub_spill "$SPILL_TMP/spill$t.json") >/dev/null; then
+    echo "spill differential mismatch at --threads $t"; exit 1
+  fi
+  python3 - "$SPILL_TMP/spill$t.json" <<'EOF'
+import json, sys
+eng = json.load(open(sys.argv[1]))["engine"]
+# The budget is far below the compact footprint, so this run must have
+# actually exercised the cold tier: real evictions, the hot tier held
+# at (or under) the budget, and cold bytes carrying the spilled blocks.
+assert eng["spill_enabled"] is True
+assert eng["blocks_evicted"] > 0, eng
+assert eng["bytes_cold"] > 0, eng
+assert eng["bytes_hot"] <= eng["mem_budget"], eng
+EOF
+  echo "  paxos --threads $t: spill == hot-only oracle"
+done
+# Interrupted-run hygiene: a rerun pointed at a spill directory still
+# holding segment files from a previous (killed) run must clean the
+# stale segments at startup and succeed with the same answers.
+mkdir -p "$SPILL_TMP/stale/arena-0" "$SPILL_TMP/stale/arena-3"
+head -c 4096 /dev/zero > "$SPILL_TMP/stale/arena-0/seg-0.isqseg"
+printf 'truncated-garbage' > "$SPILL_TMP/stale/arena-3/seg-7.isqseg"
+# shellcheck disable=SC2086
+build/tools/isq-verify examples/asl/paxos.asl $spill_flags \
+  --threads 4 --engine \
+  "compress=true,shards=1,spill=true,spill-dir=$SPILL_TMP/stale,mem-budget=64K" \
+  --format json > "$SPILL_TMP/stale.json"
+if ! diff <(scrub_spill "$SPILL_TMP/oracle4.json") \
+          <(scrub_spill "$SPILL_TMP/stale.json") >/dev/null; then
+  echo "spill rerun over stale directory changed answers"; exit 1
+fi
+echo "  stale spill-dir rerun ok"
+
 echo "==== TSan: threaded engine + scheduler + symmetry + serve ===="
 cmake -B build-tsan -S . -DISQ_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target engine_test scheduler_test \
-  symmetry_test cli_test serve_test reentrancy_test isq-verify
+  symmetry_test cli_test serve_test reentrancy_test spill_test isq-verify
 (cd build-tsan && ctest -j "$JOBS" --output-on-failure \
-  -R 'Engine|Scheduler|Symmetry|Cli|Serve|VerdictCache|JobQueue|Reentrancy')
+  -R 'Engine|Scheduler|Symmetry|Cli|Serve|VerdictCache|JobQueue|Reentrancy|Spill|ColdStore')
 build-tsan/tools/isq-verify examples/asl/broadcast.asl --const n=3 \
   --eliminate Broadcast,Collect --abstract Collect=CollectAbs \
   --threads 4 >/dev/null
@@ -382,6 +465,15 @@ for _ in 1 2; do
     --eliminate Broadcast,Collect --abstract Collect=CollectAbs \
     --threads 4 --engine cache-dir="$SERVE_TMP/tsan-cache" >/dev/null
 done
+# Tiered store under TSan: a threaded spilling run races readers
+# pinning sealed blocks against the evictor draining them to the cold
+# tier, and races decode-cache fills against cold-tier faults. The
+# tiny budget forces continual eviction for the whole exploration.
+# shellcheck disable=SC2086
+build-tsan/tools/isq-verify examples/asl/paxos.asl $spill_flags \
+  --threads 4 --engine \
+  "compress=true,shards=1,spill=true,spill-dir=$SERVE_TMP/tsan-spill,mem-budget=64K" \
+  >/dev/null
 # Symmetry differential under TSan: the reduced and unreduced paths must
 # both accept the symmetric module with the racy-memo canonicalizer active.
 for sym_flag in "" "--no-symmetry"; do

@@ -472,6 +472,15 @@ int main(int argc, char **argv) {
     W.key("obligation_hit_rate").value(ObHitRate);
     W.key("busy_retries").value(TotalBusyRetries.load());
     W.key("non_zero_exits").value(static_cast<uint64_t>(NonZeroExits));
+    // Echo the resolved engine configuration the jobs ran under (the
+    // wire-form non-default map of the first manifest entry), so a bench
+    // row is self-describing — without it, rows from different --engine
+    // manifests are indistinguishable.
+    W.key("engine").beginObject();
+    if (!Entries.empty())
+      for (const auto &[Key, Val] : Entries.front().Request.Engine)
+        W.key(Key).value(Val);
+    W.endObject();
     W.endObject();
     std::ofstream Out(JsonOut);
     Out << W.take() << "\n";
